@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures: testcase layouts are built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synth import make_t1, make_t2
+
+
+@pytest.fixture(scope="session")
+def t1_layout():
+    return make_t1()
+
+
+@pytest.fixture(scope="session")
+def t2_layout():
+    return make_t2()
+
+
+@pytest.fixture(scope="session")
+def layouts(t1_layout, t2_layout):
+    return {"T1": t1_layout, "T2": t2_layout}

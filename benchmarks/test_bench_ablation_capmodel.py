@@ -1,0 +1,58 @@
+"""Ablation B: ILP-I's linear capacitance (Eq. 6) vs the exact model
+(Eq. 5) — quantifies when the w ≪ d assumption breaks, the mechanism the
+paper blames for ILP-I losing to Normal on some configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cap import LUTCache, exact_column_cap, linear_column_cap
+
+EPS_R, T, W = 3.9, 0.5, 0.5
+
+_rows: list = []
+
+
+@pytest.mark.parametrize("gap_um", [1.5, 2.0, 4.0, 8.0, 16.0, 50.0],
+                         ids=lambda g: f"d{g}")
+def test_linear_model_error(benchmark, gap_um):
+    """Relative underestimation of the linear model at max column fill."""
+    max_m = int((gap_um - W) // (1.5 * W))  # what a real column would hold
+    max_m = max(max_m, 1)
+
+    def both():
+        exact = exact_column_cap(EPS_R, T, gap_um, max_m, W)
+        linear = linear_column_cap(EPS_R, T, gap_um, max_m, W)
+        return exact, linear
+
+    exact, linear = benchmark(both)
+    ratio = exact / linear
+    _rows.append((gap_um, max_m, ratio))
+    benchmark.extra_info["m"] = max_m
+    benchmark.extra_info["exact_over_linear"] = round(ratio, 3)
+    # The error must grow as the gap shrinks relative to the fill width.
+    assert ratio >= 1.0
+
+
+def test_lut_build_cost(benchmark):
+    """Pre-building the ILP-II lookup tables is cheap (paper §5.3 argues
+    tables are practical because geometry repeats)."""
+    def build():
+        cache = LUTCache(EPS_R, T, W)
+        for gap in (1.5, 2.0, 2.5, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0):
+            # Geometric capacity: a column of m features spans m·w < d.
+            capacity = int((gap - W) / W)
+            cache.get(gap, capacity)
+        return cache
+
+    cache = benchmark(build)
+    assert len(cache) == 9
+
+
+def teardown_module(module):
+    if not _rows:
+        return
+    print("\n\nAblation B — linear (Eq. 6) vs exact (Eq. 5) column capacitance:")
+    print(f"{'gap d (um)':>10}{'m (full)':>10}{'exact/linear':>14}")
+    for gap, m, ratio in sorted(_rows):
+        print(f"{gap:>10.1f}{m:>10d}{ratio:>14.2f}")

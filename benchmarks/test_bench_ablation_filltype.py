@@ -1,0 +1,30 @@
+"""Ablation D: floating vs grounded fill (paper §1 mentions the choice;
+the paper's methods assume floating). Quantifies the per-column
+capacitance cost of grounding across gap sizes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import ablation_cap_models, format_cap_models
+
+_rows = []
+
+
+@pytest.mark.parametrize("gap_um", [2.0, 4.0, 8.0, 16.0], ids=lambda g: f"d{g}")
+def test_grounded_vs_floating(benchmark, gap_um):
+    rows = benchmark(ablation_cap_models, gaps_um=(gap_um,))
+    assert len(rows) == 1
+    row = rows[0]
+    _rows.append(row)
+    benchmark.extra_info["exact_over_linear"] = round(row.exact_over_linear, 2)
+    benchmark.extra_info["grounded_over_exact"] = round(row.grounded_over_exact, 2)
+    # Grounded fill always costs more capacitance than floating at the
+    # same count (it is also screened less by distance).
+    assert row.grounded_ff > row.exact_ff > row.linear_ff
+
+
+def teardown_module(module):
+    if _rows:
+        print("\n\nAblation D — floating vs grounded fill:")
+        print(format_cap_models(sorted(_rows, key=lambda r: r.gap_um)))

@@ -1,0 +1,64 @@
+"""Extension benchmarks: MVDC (footnote ‡) and per-net capacitance
+budgets (§7) on T1/32/2 — the formulations the paper sketches but does
+not evaluate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pilfill import EngineConfig, PILFillEngine, evaluate_impact
+from repro.pilfill.budgeted import derive_net_cap_budgets
+from repro.synth import default_fill_rules, density_rules_for
+
+_rows = []
+
+
+@pytest.fixture(scope="module")
+def engine(t1_layout):
+    rules = default_fill_rules(t1_layout.stack)
+    config = EngineConfig(
+        fill_rules=rules,
+        density_rules=density_rules_for(32, 2, t1_layout.stack),
+        method="ilp2",
+        backend="scipy",
+    )
+    return PILFillEngine(t1_layout, "metal3", config), rules
+
+
+@pytest.mark.parametrize("slack", [0.05, 0.25, 0.75], ids=lambda s: f"slack{s}")
+def test_mvdc(benchmark, engine, t1_layout, slack):
+    eng, rules = engine
+    result = benchmark.pedantic(eng.run_mvdc, kwargs=dict(slack_fraction=slack),
+                                rounds=1, iterations=1)
+    impact = evaluate_impact(t1_layout, "metal3", result.features, rules)
+    coverage = result.total_features / max(sum(result.requested_budget.values()), 1)
+    _rows.append((f"mvdc@{slack}", result.total_features, coverage,
+                  impact.weighted_total_ps))
+    benchmark.extra_info["features"] = result.total_features
+    benchmark.extra_info["coverage"] = round(coverage, 2)
+    benchmark.extra_info["wtau_ps"] = round(impact.weighted_total_ps, 6)
+    assert 0 < coverage <= 1.0 + 1e-9
+
+
+@pytest.mark.parametrize("mode", ["exact", "greedy"])
+def test_budgeted(benchmark, engine, t1_layout, mode):
+    eng, rules = engine
+    budgets = derive_net_cap_budgets(t1_layout, slack_fraction_ps=0.02)
+    result = benchmark.pedantic(
+        eng.run_budgeted, args=(budgets,), kwargs=dict(exact=(mode == "exact")),
+        rounds=1, iterations=1,
+    )
+    impact = evaluate_impact(t1_layout, "metal3", result.features, rules)
+    coverage = result.total_features / max(sum(result.requested_budget.values()), 1)
+    _rows.append((f"budgeted-{mode}", result.total_features, coverage,
+                  impact.weighted_total_ps))
+    benchmark.extra_info["features"] = result.total_features
+    benchmark.extra_info["wtau_ps"] = round(impact.weighted_total_ps, 6)
+
+
+def teardown_module(module):
+    if _rows:
+        print("\n\nExtensions (T1/32/2):")
+        print(f"{'variant':>16}{'features':>10}{'coverage':>10}{'wtau (ps)':>12}")
+        for name, features, coverage, wtau in _rows:
+            print(f"{name:>16}{features:>10d}{coverage:>10.0%}{wtau:>12.4f}")

@@ -1,0 +1,68 @@
+"""Ablation C: the bundled simplex + branch-and-bound (the CPLEX
+substitute) vs scipy/HiGHS — agreement and relative speed on real
+per-tile ILP-II instances harvested from T1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cap.lut import LUTCache
+from repro.dissection import FixedDissection
+from repro.fillsynth import SiteLegality
+from repro.pilfill import SlackColumnDef, extract_columns, solve_tile_ilp2
+from repro.pilfill.costs import build_costs
+from repro.synth import default_fill_rules, density_rules_for
+
+
+@pytest.fixture(scope="module")
+def harvested_tiles(t1_layout):
+    """Per-tile cost instances from T1/32/2 — the mid-size tiles the paper
+    actually solves."""
+    rules = default_fill_rules(t1_layout.stack)
+    dissection = FixedDissection(t1_layout.die, density_rules_for(32, 2, t1_layout.stack))
+    legality = SiteLegality(t1_layout, "metal3", rules)
+    columns = extract_columns(
+        t1_layout, "metal3", dissection, legality, rules, SlackColumnDef.FULL_LAYOUT
+    )
+    layer = t1_layout.stack.layer("metal3")
+    dbu = t1_layout.stack.dbu_per_micron
+    lut = LUTCache(layer.eps_r, layer.thickness_um, rules.fill_size / dbu)
+    instances = []
+    for cols in columns.values():
+        impactful = [c for c in cols if c.capacity > 0]
+        if len(impactful) < 4:
+            continue
+        costs = build_costs(impactful, layer, rules, dbu, lut, weighted=True)
+        capacity = sum(c.capacity for c in costs)
+        instances.append((costs, capacity // 3))
+        if len(instances) == 6:
+            break
+    assert instances, "expected harvestable tiles"
+    return instances
+
+
+@pytest.mark.parametrize("backend", ["bundled", "scipy"])
+def test_ilp2_backend_speed(benchmark, harvested_tiles, backend):
+    def solve_all():
+        return [
+            solve_tile_ilp2(costs, budget, backend=backend)
+            for costs, budget in harvested_tiles
+        ]
+
+    solutions = benchmark.pedantic(solve_all, rounds=2, iterations=1)
+    benchmark.extra_info["tiles"] = len(harvested_tiles)
+    benchmark.extra_info["objective_sum"] = round(
+        sum(s.model_objective_ps for s in solutions), 6
+    )
+
+
+def test_backends_agree_on_harvested_tiles(harvested_tiles):
+    """Solver-substitution validity: the bundled B&B reaches the HiGHS
+    optimum on every harvested instance (within HiGHS's MIP gap)."""
+    for costs, budget in harvested_tiles:
+        bundled = solve_tile_ilp2(costs, budget, backend="bundled")
+        scipy_sol = solve_tile_ilp2(costs, budget, backend="scipy")
+        assert bundled.model_objective_ps <= scipy_sol.model_objective_ps * (1 + 1e-3) + 1e-12
+        assert abs(bundled.model_objective_ps - scipy_sol.model_objective_ps) <= (
+            1e-3 * max(1.0, abs(scipy_sol.model_objective_ps))
+        )

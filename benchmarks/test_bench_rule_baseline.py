@@ -1,0 +1,65 @@
+"""Related-work baseline: rule-based fill (ref [11]) vs PIL-Fill methods
+on T1/32/2. The paper's Related Work argues rules are context-blind; this
+bench quantifies the cost of that blindness at equal fill rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pilfill import EngineConfig, PILFillEngine, evaluate_impact
+from repro.rulefill import run_rule_fill
+from repro.synth import density_rules_for
+
+_rows = []
+
+
+@pytest.fixture(scope="module")
+def density_rules(t1_layout):
+    return density_rules_for(32, 2, t1_layout.stack)
+
+
+def test_rule_based_baseline(benchmark, t1_layout, density_rules):
+    result = benchmark.pedantic(
+        run_rule_fill,
+        args=(t1_layout, "metal3", density_rules),
+        kwargs=dict(density_goal=0.2),
+        rounds=1, iterations=1,
+    )
+    impact = evaluate_impact(
+        t1_layout, "metal3", result.features, result.selected.rule.as_fill_rules()
+    )
+    _rows.append(("rule-based", result.total_features, impact.weighted_total_ps))
+    benchmark.extra_info["wtau_ps"] = round(impact.weighted_total_ps, 6)
+    benchmark.extra_info["rule"] = (
+        f"w={result.selected.rule.fill_size} s={result.selected.rule.fill_gap} "
+        f"buf={result.selected.rule.buffer_distance}"
+    )
+    assert result.total_features > 0
+
+
+@pytest.mark.parametrize("method", ["normal", "greedy", "ilp2"])
+def test_pil_methods_same_rule(benchmark, t1_layout, density_rules, method):
+    """PIL methods run with the *same* fill rule the rule-based flow
+    selected, so the comparison isolates placement intelligence."""
+    rule = run_rule_fill(t1_layout, "metal3", density_rules, density_goal=0.2).selected
+    config = EngineConfig(
+        fill_rules=rule.rule.as_fill_rules(),
+        density_rules=density_rules,
+        method=method,
+        backend="scipy",
+    )
+    engine = PILFillEngine(t1_layout, "metal3", config)
+    result = benchmark.pedantic(engine.run, rounds=1, iterations=1)
+    impact = evaluate_impact(
+        t1_layout, "metal3", result.features, config.fill_rules
+    )
+    _rows.append((method, result.total_features, impact.weighted_total_ps))
+    benchmark.extra_info["wtau_ps"] = round(impact.weighted_total_ps, 6)
+
+
+def teardown_module(module):
+    if _rows:
+        print("\n\nRule-based (ref [11]) vs PIL-Fill (T1/32/2, same fill rule):")
+        print(f"{'flow':>12}{'features':>10}{'wtau (ps)':>12}")
+        for name, features, wtau in _rows:
+            print(f"{name:>12}{features:>10d}{wtau:>12.4f}")

@@ -1,0 +1,41 @@
+"""Fig. 7 scan-line algorithm: throughput and scaling over layout size."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dissection import FixedDissection
+from repro.fillsynth import SiteLegality
+from repro.pilfill import SlackColumnDef, extract_columns, sweep_gap_blocks
+from repro.pilfill.scanline import layer_sweep_lines
+from repro.synth import GeneratorSpec, default_fill_rules, density_rules_for, generate_layout
+
+
+@pytest.mark.parametrize("n_nets", [40, 80, 160], ids=lambda n: f"nets{n}")
+def test_sweep_scaling(benchmark, n_nets):
+    """Raw gap-block sweep over layouts of growing net count."""
+    layout = generate_layout(
+        GeneratorSpec(name=f"s{n_nets}", die_um=128.0, n_nets=n_nets, seed=5)
+    )
+    lines, horizontal = layer_sweep_lines(layout, "metal3")
+    blocks = benchmark(sweep_gap_blocks, lines, layout.die, horizontal)
+    benchmark.extra_info["lines"] = len(lines)
+    benchmark.extra_info["blocks"] = len(blocks)
+    assert blocks
+
+
+@pytest.mark.parametrize("definition", list(SlackColumnDef), ids=lambda d: f"def{d.value}")
+def test_extract_columns_by_definition(benchmark, t1_layout, definition):
+    """Full column extraction under the three §5.1 definitions."""
+    rules = default_fill_rules(t1_layout.stack)
+    dissection = FixedDissection(t1_layout.die, density_rules_for(32, 2, t1_layout.stack))
+    legality = SiteLegality(t1_layout, "metal3", rules)
+    columns = benchmark.pedantic(
+        extract_columns,
+        args=(t1_layout, "metal3", dissection, legality, rules, definition),
+        rounds=2,
+        iterations=1,
+    )
+    total_capacity = sum(c.capacity for cols in columns.values() for c in cols)
+    benchmark.extra_info["capacity"] = total_capacity
+    assert total_capacity >= 0

@@ -1,0 +1,56 @@
+"""Regenerates paper Table 1 (non-weighted PIL-Fill synthesis).
+
+Each benchmark case is one ``T/W/r`` configuration; the measured time is
+the full four-method comparison and the reported ``extra_info`` carries
+the τ values so `pytest benchmarks/ --benchmark-only` output doubles as
+the table data. Row-by-row results also print at the end of the run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_config
+from repro.synth.testcases import R_VALUES, WINDOW_SIZES_UM
+
+CONFIGS = [
+    (testcase, window, r)
+    for testcase in ("T1", "T2")
+    for window in WINDOW_SIZES_UM
+    for r in R_VALUES
+]
+
+_rows: list = []
+
+
+@pytest.mark.parametrize("testcase,window,r", CONFIGS,
+                         ids=[f"{t}-{w}-{r}" for t, w, r in CONFIGS])
+def test_table1_config(benchmark, layouts, testcase, window, r):
+    result = benchmark.pedantic(
+        run_config,
+        args=(layouts[testcase], testcase, window, r),
+        kwargs=dict(weighted=False, backend="scipy"),
+        rounds=1,
+        iterations=1,
+    )
+    _rows.append(result)
+    for method, outcome in result.outcomes.items():
+        benchmark.extra_info[f"tau_{method}"] = round(outcome.tau_ps, 6)
+        benchmark.extra_info[f"cpu_{method}"] = round(outcome.cpu_s, 3)
+    # Reproduction shape checks (paper Section 6).
+    assert result.tau("ilp2", False) <= result.tau("normal", False) + 1e-12
+
+
+def teardown_module(module):
+    if not _rows:
+        return
+    print("\n\nTable 1 (non-weighted tau, ps):")
+    print(f"{'config':<10}{'Normal':>10}{'ILP-I':>10}{'ILP-II':>10}{'Greedy':>10}")
+    for row in _rows:
+        print(
+            f"{row.label:<10}"
+            f"{row.tau('normal', False):>10.4f}"
+            f"{row.tau('ilp1', False):>10.4f}"
+            f"{row.tau('ilp2', False):>10.4f}"
+            f"{row.tau('greedy', False):>10.4f}"
+        )

@@ -1,0 +1,52 @@
+"""Regenerates paper Table 2 (sink-weighted PIL-Fill synthesis)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_config
+from repro.synth.testcases import R_VALUES, WINDOW_SIZES_UM
+
+CONFIGS = [
+    (testcase, window, r)
+    for testcase in ("T1", "T2")
+    for window in WINDOW_SIZES_UM
+    for r in R_VALUES
+]
+
+_rows: list = []
+
+
+@pytest.mark.parametrize("testcase,window,r", CONFIGS,
+                         ids=[f"{t}-{w}-{r}" for t, w, r in CONFIGS])
+def test_table2_config(benchmark, layouts, testcase, window, r):
+    result = benchmark.pedantic(
+        run_config,
+        args=(layouts[testcase], testcase, window, r),
+        kwargs=dict(weighted=True, backend="scipy"),
+        rounds=1,
+        iterations=1,
+    )
+    _rows.append(result)
+    for method, outcome in result.outcomes.items():
+        benchmark.extra_info[f"wtau_{method}"] = round(outcome.weighted_tau_ps, 6)
+        benchmark.extra_info[f"cpu_{method}"] = round(outcome.cpu_s, 3)
+    # Shape checks: ILP-II never loses to Normal (paper: 25-93% reduction).
+    assert result.tau("ilp2", True) <= result.tau("normal", True) + 1e-12
+
+
+def teardown_module(module):
+    if not _rows:
+        return
+    print("\n\nTable 2 (weighted tau, ps):")
+    print(f"{'config':<10}{'Normal':>10}{'ILP-I':>10}{'ILP-II':>10}{'Greedy':>10}"
+          f"{'red(ILP-II)':>12}")
+    for row in _rows:
+        print(
+            f"{row.label:<10}"
+            f"{row.tau('normal', True):>10.4f}"
+            f"{row.tau('ilp1', True):>10.4f}"
+            f"{row.tau('ilp2', True):>10.4f}"
+            f"{row.tau('greedy', True):>10.4f}"
+            f"{row.reduction_vs_normal('ilp2', True):>11.0%}"
+        )

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Sign-off scenario: fill every routed layer, then verify like a tapeout
+deck would.
+
+Chains the library end to end:
+
+1. multi-layer PIL-Fill (``run_all_layers``),
+2. density-rule sign-off per layer (``check_density``),
+3. DRC check of the fill itself (``validate_fill``),
+4. timing sign-off against a clock (``post_fill_slack_report``),
+5. smoothness metrics before/after (ref [4]).
+
+Run:  python examples/multilayer_signoff.py
+"""
+
+from repro import (
+    DensityMap,
+    EngineConfig,
+    FixedDissection,
+    default_fill_rules,
+    density_rules_for,
+    make_t2,
+    validate_fill,
+)
+from repro.dissection import check_density, smoothness
+from repro.pilfill import run_all_layers
+from repro.tech import DensityRules
+from repro.timing import post_fill_slack_report, slack_report
+
+
+def main() -> None:
+    layout = make_t2()
+    rules = default_fill_rules(layout.stack)
+    density_rules = density_rules_for(32, 2, layout.stack)
+    config = EngineConfig(
+        fill_rules=rules, density_rules=density_rules,
+        method="ilp2", backend="scipy",
+    )
+
+    # 1. Fill all layers.
+    result = run_all_layers(layout, config)
+    print(f"filled layers: {sorted(result.per_layer)}")
+    for layer, run in result.per_layer.items():
+        impact = result.per_layer_impact[layer]
+        print(f"  {layer}: {run.total_features} features, "
+              f"wtau {impact.weighted_total_ps:.4f} ps")
+    print(f"combined weighted delay impact: {result.weighted_total_ps:.4f} ps")
+
+    for feature in result.features:
+        layout.add_fill(feature)
+
+    # 2. Density sign-off: every window must stay under the ceiling and
+    #    reach the floor the fill achieved.
+    for layer in result.per_layer:
+        dissection = FixedDissection(layout.die, density_rules)
+        achieved = DensityMap.from_layout(
+            dissection, layout, layer, include_fill=True
+        ).stats().min_density
+        signoff_rules = DensityRules(
+            window_size=density_rules.window_size, r=density_rules.r,
+            min_density=max(achieved - 1e-9, 0.0),
+            max_density=density_rules.max_density,
+        )
+        report = check_density(layout, layer, signoff_rules)
+        print(f"density sign-off {layer}: {report}")
+
+        before = smoothness(DensityMap.from_layout(dissection, layout, layer))
+        after = smoothness(
+            DensityMap.from_layout(dissection, layout, layer, include_fill=True)
+        )
+        print(f"  smoothness pre:  {before}")
+        print(f"  smoothness post: {after}")
+
+    # 3. Fill DRC.
+    drc = validate_fill(layout, rules)
+    print(f"fill DRC: {'OK' if drc.ok else drc.violations[:3]}")
+
+    # 4. Timing sign-off: pick a clock 10% above the worst baseline delay
+    #    and confirm fill ate into, but did not exhaust, the slack.
+    base = slack_report(layout, clock_ps=1.0)  # probe delays
+    worst = max(n.worst_delay_ps for n in base.nets.values())
+    clock = worst * 1.1
+    before = slack_report(layout, clock)
+    after = post_fill_slack_report(
+        layout, "metal3", result.per_layer["metal3"].features, rules, clock
+    )
+    print(f"\nclock {clock:.2f} ps: worst slack "
+          f"{before.worst_slack_ps:.3f} -> {after.worst_slack_ps:.3f} ps, "
+          f"violations after fill: {len(after.violations)}")
+
+
+if __name__ == "__main__":
+    main()

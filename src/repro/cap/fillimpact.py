@@ -1,0 +1,77 @@
+"""Coupling-capacitance increment due to a column of dummy fill
+(paper Eqs. 5-7).
+
+A *column* of ``m`` square fill features (side ``w``) stacked between two
+parallel active lines at spacing ``d`` is modeled as a single floating
+metal block of cross-length ``m·w``: the series plate capacitance through
+the block reduces the effective dielectric gap to ``d − m·w`` (Eq. 5).
+Since the column occupies length ``w`` of the lines' overlap, the *lumped*
+capacitance increment attached to each line at the column position is
+
+    ΔC_exact(m)  = ε₀ ε_r t w (1/(d − m·w) − 1/d)
+    ΔC_linear(m) = ε₀ ε_r t w · m·w / d²          (Eq. 6, w ≪ d regime)
+
+ILP-I uses the linear form; ILP-II and the evaluator use the exact form
+(via :class:`repro.cap.lut.CapacitanceLUT`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import FillError
+from repro.units import EPS0_FF_PER_UM
+
+
+def exact_gap_cap_per_um(eps_r: float, thickness_um: float, spacing_um: float,
+                         m: int, fill_width_um: float) -> float:
+    """Per-unit-length coupling ``f(m, d)`` through a column of ``m``
+    features (paper Eq. 5), fF/µm."""
+    _check(eps_r, thickness_um, spacing_um, m, fill_width_um)
+    remaining = spacing_um - m * fill_width_um
+    if remaining <= 0:
+        raise FillError(
+            f"{m} features of width {fill_width_um} do not fit in gap {spacing_um}"
+        )
+    return EPS0_FF_PER_UM * eps_r * thickness_um / remaining
+
+
+def exact_column_cap(eps_r: float, thickness_um: float, spacing_um: float,
+                     m: int, fill_width_um: float) -> float:
+    """Exact lumped capacitance increment of a column of ``m`` features, fF.
+
+    Zero when ``m == 0``; strictly increasing and convex in ``m``.
+    """
+    _check(eps_r, thickness_um, spacing_um, m, fill_width_um)
+    if m == 0:
+        return 0.0
+    remaining = spacing_um - m * fill_width_um
+    if remaining <= 0:
+        raise FillError(
+            f"{m} features of width {fill_width_um} do not fit in gap {spacing_um}"
+        )
+    base = EPS0_FF_PER_UM * eps_r * thickness_um * fill_width_um
+    return base * (1.0 / remaining - 1.0 / spacing_um)
+
+
+def linear_column_cap(eps_r: float, thickness_um: float, spacing_um: float,
+                      m: int, fill_width_um: float) -> float:
+    """Linearized lumped capacitance increment (paper Eq. 6 regime), fF.
+
+    First-order Taylor expansion of :func:`exact_column_cap` around
+    ``m = 0``; ILP-I's per-feature cost. Always underestimates the exact
+    value (the exact form is convex).
+    """
+    _check(eps_r, thickness_um, spacing_um, m, fill_width_um)
+    base = EPS0_FF_PER_UM * eps_r * thickness_um * fill_width_um
+    return base * m * fill_width_um / (spacing_um * spacing_um)
+
+
+def _check(eps_r: float, thickness_um: float, spacing_um: float,
+           m: int, fill_width_um: float) -> None:
+    if eps_r <= 0 or thickness_um <= 0:
+        raise FillError("eps_r and thickness must be positive")
+    if spacing_um <= 0:
+        raise FillError(f"line spacing must be positive, got {spacing_um}")
+    if fill_width_um <= 0:
+        raise FillError(f"fill width must be positive, got {fill_width_um}")
+    if m < 0:
+        raise FillError(f"feature count must be non-negative, got {m}")

@@ -1,0 +1,77 @@
+"""Pre-built capacitance lookup tables for ILP-II (paper Section 5.3).
+
+For each distinct (gap distance, capacity) the exact column capacitance
+``f(n, d)`` is tabulated once for ``n = 0 .. capacity``. Tables are cached
+by quantized key so the thousands of columns in a layout share a handful
+of tables — exactly the pre-building the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cap.fillimpact import exact_column_cap
+from repro.errors import FillError
+
+
+@dataclass(frozen=True)
+class CapacitanceLUT:
+    """Lumped capacitance increment per feature count for one column
+    geometry: ``table[n]`` is ΔC (fF) with ``n`` features in the column."""
+
+    spacing_um: float
+    fill_width_um: float
+    table: tuple[float, ...]
+
+    @property
+    def max_features(self) -> int:
+        """Largest tabulated feature count."""
+        return len(self.table) - 1
+
+    def cap(self, n: int) -> float:
+        """ΔC for ``n`` features."""
+        if not 0 <= n <= self.max_features:
+            raise FillError(f"feature count {n} outside LUT range 0..{self.max_features}")
+        return self.table[n]
+
+    def marginal(self, n: int) -> float:
+        """ΔC(n) − ΔC(n−1): the cost of the n-th feature."""
+        if not 1 <= n <= self.max_features:
+            raise FillError(f"feature count {n} outside LUT range 1..{self.max_features}")
+        return self.table[n] - self.table[n - 1]
+
+
+class LUTCache:
+    """Builds and caches :class:`CapacitanceLUT` instances.
+
+    Keys quantize the gap distance to a DBU so physically identical columns
+    share one table.
+    """
+
+    def __init__(self, eps_r: float, thickness_um: float, fill_width_um: float):
+        if fill_width_um <= 0:
+            raise FillError("fill width must be positive")
+        self.eps_r = eps_r
+        self.thickness_um = thickness_um
+        self.fill_width_um = fill_width_um
+        self._cache: dict[tuple[int, int], CapacitanceLUT] = {}
+
+    def get(self, spacing_um: float, capacity: int, quantum_um: float = 1e-3) -> CapacitanceLUT:
+        """LUT for a column with gap ``spacing_um`` and up to ``capacity``
+        features. ``quantum_um`` sets the cache key resolution."""
+        if capacity < 0:
+            raise FillError(f"capacity must be non-negative, got {capacity}")
+        key = (round(spacing_um / quantum_um), capacity)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        table = tuple(
+            exact_column_cap(self.eps_r, self.thickness_um, spacing_um, n, self.fill_width_um)
+            for n in range(capacity + 1)
+        )
+        lut = CapacitanceLUT(spacing_um, self.fill_width_um, table)
+        self._cache[key] = lut
+        return lut
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,73 @@
+"""Switch-factor (Miller) scaling of coupling capacitance.
+
+Ref [9] of the paper (Kahng-Muddu-Sarto, DAC 2000): when the neighbor of a
+victim line switches, the *effective* coupling capacitance seen by the
+victim scales by a switch factor — classically 0 (same direction), 1
+(quiet neighbor), 2 (opposite direction); tighter analyses use [-1, 3].
+
+Floating fill modifies the line-to-line *coupling*, so its delay impact
+inherits the victim/neighbor switching scenario. The paper's tables assume
+quiet neighbors (SF = 1, what the plain evaluator reports); these helpers
+bound the impact across switching scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FillError
+
+#: Classical switch-factor bounds.
+SF_SAME_DIRECTION = 0.0
+SF_QUIET = 1.0
+SF_OPPOSITE = 2.0
+#: Extended bounds from ref [9]'s analysis.
+SF_MIN_EXTENDED = -1.0
+SF_MAX_EXTENDED = 3.0
+
+
+def effective_coupling(delta_c_ff: float, switch_factor: float) -> float:
+    """Effective coupling capacitance under a switching scenario, fF."""
+    if not SF_MIN_EXTENDED <= switch_factor <= SF_MAX_EXTENDED:
+        raise FillError(
+            f"switch factor {switch_factor} outside [{SF_MIN_EXTENDED}, {SF_MAX_EXTENDED}]"
+        )
+    return delta_c_ff * switch_factor
+
+
+@dataclass(frozen=True)
+class SwitchingBounds:
+    """Delay-impact bounds of a fill placement across switching scenarios.
+
+    All values scale linearly from the quiet-neighbor (SF = 1) impact, so
+    only one evaluator pass is needed.
+    """
+
+    quiet_ps: float
+
+    @property
+    def best_case_ps(self) -> float:
+        """Neighbors switching with the victim (SF = 0): fill coupling
+        vanishes from the victim's delay."""
+        return self.quiet_ps * SF_SAME_DIRECTION
+
+    @property
+    def worst_case_ps(self) -> float:
+        """Neighbors switching against the victim (SF = 2)."""
+        return self.quiet_ps * SF_OPPOSITE
+
+    @property
+    def worst_case_extended_ps(self) -> float:
+        """Extended worst case (SF = 3, ref [9])."""
+        return self.quiet_ps * SF_MAX_EXTENDED
+
+    def at(self, switch_factor: float) -> float:
+        """Impact at an arbitrary switch factor."""
+        return effective_coupling(self.quiet_ps, switch_factor)
+
+
+def switching_bounds(quiet_impact_ps: float) -> SwitchingBounds:
+    """Wrap an evaluator total (quiet-neighbor assumption) into bounds."""
+    if quiet_impact_ps < 0:
+        raise FillError("impact must be non-negative")
+    return SwitchingBounds(quiet_ps=quiet_impact_ps)

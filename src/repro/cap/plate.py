@@ -1,0 +1,47 @@
+"""Parallel-plate coupling capacitance primitives (paper Eqs. 2-4).
+
+Geometry convention: two parallel active lines on the same layer, metal
+thickness ``t`` (µm), edge-to-edge spacing ``d`` (µm). The facing "plate"
+per unit length of overlap has area ``t × 1``, so the per-unit-length
+lateral coupling is ``C_B = ε₀ ε_r t / d`` (Eq. 3). All capacitances in
+fF, lengths in µm.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FillError
+from repro.units import EPS0_FF_PER_UM
+
+
+def coupling_per_um(eps_r: float, thickness_um: float, spacing_um: float) -> float:
+    """Per-unit-length lateral coupling between two parallel lines, fF/µm
+    (paper Eq. 3)."""
+    if spacing_um <= 0:
+        raise FillError(f"line spacing must be positive, got {spacing_um}")
+    if eps_r <= 0 or thickness_um <= 0:
+        raise FillError("eps_r and thickness must be positive")
+    return EPS0_FF_PER_UM * eps_r * thickness_um / spacing_um
+
+
+def line_coupling(eps_r: float, thickness_um: float, spacing_um: float, overlap_um: float) -> float:
+    """Total coupling between two parallel lines with overlap length
+    ``overlap_um``, fF (paper Eq. 2)."""
+    if overlap_um < 0:
+        raise FillError(f"overlap length must be non-negative, got {overlap_um}")
+    return coupling_per_um(eps_r, thickness_um, spacing_um) * overlap_um
+
+
+def series_caps(*caps: float) -> float:
+    """Series combination ``1 / Σ(1/C_i)`` (paper Eq. 4's
+    ``1/(1/C_A + 1/C_C + 1/C_A)`` pattern). Zero capacitances make the
+    chain an open circuit (returns 0)."""
+    if not caps:
+        raise FillError("series_caps needs at least one capacitance")
+    total = 0.0
+    for c in caps:
+        if c < 0:
+            raise FillError(f"capacitance must be non-negative, got {c}")
+        if c == 0.0:
+            return 0.0
+        total += 1.0 / c
+    return 1.0 / total

@@ -1,0 +1,186 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro table1 [--quick] [--csv out.csv]
+    python -m repro table2 [--quick] [--csv out.csv]
+    python -m repro density --testcase T1 --window 32 -r 2
+    python -m repro fill --testcase T1 --window 32 -r 2 --method ilp2 --out filled.def
+    python -m repro quickstart
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dissection import DensityMap, FixedDissection
+from repro.experiments.ablation import STUDIES, run_study
+from repro.experiments.tables import TableSpec, run_table
+from repro.io import write_def
+from repro.pilfill import EngineConfig, METHODS, PILFillEngine, evaluate_impact
+from repro.synth import (
+    default_fill_rules,
+    density_rules_for,
+    make_t1,
+    make_t2,
+)
+
+
+def _layout_for(name: str):
+    if name == "T1":
+        return make_t1()
+    if name == "T2":
+        return make_t2()
+    raise SystemExit(f"unknown testcase {name!r}; expected T1 or T2")
+
+
+def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
+    spec = TableSpec()
+    if args.quick:
+        spec = TableSpec(testcases=("T1",), windows_um=(32,), r_values=(2,))
+    table = run_table(
+        weighted=weighted, spec=spec, progress=lambda label: print(f"  done {label}")
+    )
+    print()
+    print(table.format())
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(table.to_csv())
+        print(f"\nCSV written to {args.csv}")
+    return 0
+
+
+def _cmd_density(args: argparse.Namespace) -> int:
+    layout = _layout_for(args.testcase)
+    rules = density_rules_for(args.window, args.r, layout.stack)
+    dissection = FixedDissection(layout.die, rules)
+    density = DensityMap.from_layout(dissection, layout, args.layer)
+    stats = density.stats()
+    print(f"{args.testcase} {args.layer} W={args.window}um r={args.r}")
+    print(f"  tiles: {dissection.nx} x {dissection.ny}, windows: {dissection.window_count}")
+    print(f"  window density min/mean/max: "
+          f"{stats.min_density:.4f} / {stats.mean_density:.4f} / {stats.max_density:.4f}")
+    print(f"  variation: {stats.variation:.4f}")
+    return 0
+
+
+def _cmd_fill(args: argparse.Namespace) -> int:
+    layout = _layout_for(args.testcase)
+    fill_rules = default_fill_rules(layout.stack)
+    cfg = EngineConfig(
+        fill_rules=fill_rules,
+        density_rules=density_rules_for(args.window, args.r, layout.stack),
+        method=args.method,
+        weighted=not args.unweighted,
+        seed=args.seed,
+    )
+    engine = PILFillEngine(layout, args.layer, cfg)
+    result = engine.run()
+    impact = evaluate_impact(layout, args.layer, result.features, fill_rules)
+    print(f"{args.testcase}/{args.window}/{args.r} method={args.method}")
+    print(f"  features placed: {result.total_features} (shortfall {result.shortfall})")
+    print(f"  delay impact: tau={impact.total_ps:.4f} ps, "
+          f"weighted tau={impact.weighted_total_ps:.4f} ps")
+    print(f"  solve time: {result.solve_seconds:.2f} s")
+    if args.out:
+        for feature in result.features:
+            layout.add_fill(feature)
+        with open(args.out, "w") as handle:
+            handle.write(write_def(layout))
+        print(f"  filled layout written to {args.out}")
+    return 0
+
+
+def _quickstart_inline(_args: argparse.Namespace) -> int:
+    layout = make_t1()
+    fill_rules = default_fill_rules(layout.stack)
+    cfg = EngineConfig(
+        fill_rules=fill_rules,
+        density_rules=density_rules_for(32, 2, layout.stack),
+        method="ilp2",
+    )
+    result = PILFillEngine(layout, "metal3", cfg).run()
+    impact = evaluate_impact(layout, "metal3", result.features, fill_rules)
+    print(f"placed {result.total_features} fill features on metal3")
+    print(f"weighted delay impact: {impact.weighted_total_ps:.4f} ps")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="pilfill",
+        description="Performance-impact limited area fill synthesis (DAC 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table_name in ("table1", "table2"):
+        p = sub.add_parser(table_name, help=f"regenerate paper {table_name}")
+        p.add_argument("--quick", action="store_true", help="single-config smoke run")
+        p.add_argument("--csv", help="also write CSV to this path")
+
+    p = sub.add_parser("density", help="density analysis of a testcase")
+    p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
+    p.add_argument("--layer", default="metal3")
+    p.add_argument("--window", type=int, default=32)
+    p.add_argument("-r", type=int, default=2, dest="r")
+
+    p = sub.add_parser("fill", help="run one fill configuration")
+    p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
+    p.add_argument("--layer", default="metal3")
+    p.add_argument("--window", type=int, default=32)
+    p.add_argument("-r", type=int, default=2, dest="r")
+    p.add_argument("--method", default="ilp2", choices=METHODS)
+    p.add_argument("--unweighted", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="write filled DEF-lite to this path")
+
+    sub.add_parser("quickstart", help="tiny end-to-end demo")
+
+    p = sub.add_parser("ablation", help="run one ablation study")
+    p.add_argument("name", choices=sorted(STUDIES),
+                   help="; ".join(f"{k}: {v}" for k, v in sorted(STUDIES.items())))
+    p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
+
+    p = sub.add_parser("report", help="full markdown reproduction report")
+    p.add_argument("-o", "--out", default="REPORT.md")
+    p.add_argument("--quick", action="store_true", help="single-config tables")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table(args, weighted=False)
+    if args.command == "table2":
+        return _cmd_table(args, weighted=True)
+    if args.command == "density":
+        return _cmd_density(args)
+    if args.command == "fill":
+        return _cmd_fill(args)
+    if args.command == "quickstart":
+        return _quickstart_inline(args)
+    if args.command == "ablation":
+        needs_layout = args.name in ("columns", "margin", "fillsize")
+        layout = _layout_for(args.testcase) if needs_layout else None
+        print(run_study(args.name, layout))
+        return 0
+    if args.command == "report":
+        from repro.experiments import ReportSpec, generate_report
+
+        spec = ReportSpec()
+        if args.quick:
+            spec.table_spec = TableSpec(testcases=("T1",), windows_um=(32,), r_values=(2,))
+            spec.include_ablations = False
+        text = generate_report(spec)
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+        return 0
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

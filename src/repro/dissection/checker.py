@@ -1,0 +1,79 @@
+"""Density-rule sign-off checker.
+
+Verifies a (filled) layout against :class:`~repro.tech.rules.DensityRules`
+the way a physical-verification deck would: every sliding window's feature
+density must lie within [min_density, max_density]. Produces a violation
+report in the same spirit as :mod:`repro.layout.validate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dissection.density import DensityMap
+from repro.dissection.fixed import FixedDissection
+from repro.layout.layout import RoutedLayout
+from repro.tech.rules import DensityRules
+
+
+@dataclass(frozen=True)
+class DensityViolation:
+    """One window out of bounds."""
+
+    window: tuple[int, int]
+    density: float
+    bound: float
+    kind: str  # "min" or "max"
+
+    def __str__(self) -> str:
+        relation = "<" if self.kind == "min" else ">"
+        return (
+            f"window {self.window}: density {self.density:.4f} {relation} "
+            f"{self.kind} bound {self.bound:.4f}"
+        )
+
+
+@dataclass
+class DensityCheckReport:
+    """All window violations of one layer."""
+
+    layer: str
+    violations: list[DensityViolation] = field(default_factory=list)
+    windows_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"{self.layer}: OK ({self.windows_checked} windows)"
+        body = "\n".join(str(v) for v in self.violations[:20])
+        more = len(self.violations) - 20
+        if more > 0:
+            body += f"\n... and {more} more"
+        return f"{self.layer}: {len(self.violations)} violations\n{body}"
+
+
+def check_density(
+    layout: RoutedLayout,
+    layer: str,
+    rules: DensityRules,
+    include_fill: bool = True,
+) -> DensityCheckReport:
+    """Check every window of ``layer`` against the density bounds."""
+    dissection = FixedDissection(layout.die, rules)
+    density = DensityMap.from_layout(dissection, layout, layer, include_fill=include_fill)
+    dens = density.window_density()
+    report = DensityCheckReport(layer=layer, windows_checked=int(dens.size))
+    for win in dissection.windows():
+        value = float(dens[win.ix, win.iy])
+        if value < rules.min_density - 1e-12:
+            report.violations.append(
+                DensityViolation(win.key, value, rules.min_density, "min")
+            )
+        elif value > rules.max_density + 1e-12:
+            report.violations.append(
+                DensityViolation(win.key, value, rules.max_density, "max")
+            )
+    return report

@@ -1,0 +1,127 @@
+"""Layout density analysis over a fixed dissection.
+
+Computes per-tile feature area (union-exact, clipped to tiles) and derives
+per-window densities, the quantities that CMP density rules constrain and
+the Min-Var fill-budget LP consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dissection.fixed import FixedDissection
+from repro.geometry import Rect, total_area
+from repro.layout.layout import RoutedLayout
+
+
+@dataclass(frozen=True)
+class DensityStats:
+    """Summary of window densities on one layer."""
+
+    min_density: float
+    max_density: float
+    mean_density: float
+
+    @property
+    def variation(self) -> float:
+        """Max minus min window density — the quantity Min-Var fill drives
+        down."""
+        return self.max_density - self.min_density
+
+
+class DensityMap:
+    """Per-tile feature area and per-window density for one layer.
+
+    ``tile_area[ix, iy]`` holds drawn feature area (DBU²) clipped to tile
+    ``(ix, iy)``; ``window_density()`` aggregates tiles into the sliding
+    windows of the dissection.
+    """
+
+    def __init__(self, dissection: FixedDissection, tile_area: np.ndarray):
+        if tile_area.shape != (dissection.nx, dissection.ny):
+            raise ValueError(
+                f"tile_area shape {tile_area.shape} != grid "
+                f"({dissection.nx},{dissection.ny})"
+            )
+        self.dissection = dissection
+        self.tile_area = tile_area
+
+    @staticmethod
+    def from_rects(dissection: FixedDissection, rects: list[Rect]) -> "DensityMap":
+        """Build from drawn rectangles (overlaps are not double counted)."""
+        area = np.zeros((dissection.nx, dissection.ny), dtype=np.float64)
+        by_tile: dict[tuple[int, int], list[Rect]] = {}
+        for rect in rects:
+            for tile in dissection.tiles_overlapping(rect):
+                clipped = rect.intersection(tile.rect)
+                if clipped is not None:
+                    by_tile.setdefault(tile.key, []).append(clipped)
+        for key, clips in by_tile.items():
+            area[key] = total_area(clips)
+        return DensityMap(dissection, area)
+
+    @staticmethod
+    def from_layout(
+        dissection: FixedDissection,
+        layout: RoutedLayout,
+        layer: str,
+        include_fill: bool = False,
+    ) -> "DensityMap":
+        """Build from one layout layer."""
+        return DensityMap.from_rects(
+            dissection, layout.feature_rects(layer, include_fill=include_fill)
+        )
+
+    # -- derived quantities ---------------------------------------------------
+
+    def tile_density(self, ix: int, iy: int) -> float:
+        """Feature density of one tile (0..1)."""
+        tile = self.dissection.tile(ix, iy)
+        return float(self.tile_area[ix, iy]) / tile.rect.area
+
+    def window_area(self) -> np.ndarray:
+        """Feature area per window, shape (wx, wy)."""
+        r = self.dissection.rules.r
+        nx, ny = self.dissection.nx, self.dissection.ny
+        wx, wy = max(0, nx - r + 1), max(0, ny - r + 1)
+        # 2-D summed-area table for O(1) window sums.
+        summed = self.tile_area.cumsum(axis=0).cumsum(axis=1)
+        padded = np.zeros((nx + 1, ny + 1))
+        padded[1:, 1:] = summed
+        out = np.zeros((wx, wy))
+        for i in range(wx):
+            for j in range(wy):
+                out[i, j] = (
+                    padded[i + r, j + r]
+                    - padded[i, j + r]
+                    - padded[i + r, j]
+                    + padded[i, j]
+                )
+        return out
+
+    def window_density(self) -> np.ndarray:
+        """Feature density per window (0..1), shape (wx, wy)."""
+        areas = self.window_area()
+        window_geo = np.zeros_like(areas)
+        for win in self.dissection.windows():
+            window_geo[win.ix, win.iy] = win.rect.area
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(window_geo > 0, areas / window_geo, 0.0)
+
+    def stats(self) -> DensityStats:
+        """Min/max/mean window density."""
+        dens = self.window_density()
+        if dens.size == 0:
+            return DensityStats(0.0, 0.0, 0.0)
+        return DensityStats(
+            min_density=float(dens.min()),
+            max_density=float(dens.max()),
+            mean_density=float(dens.mean()),
+        )
+
+    def added(self, extra_tile_area: np.ndarray) -> "DensityMap":
+        """A new map with per-tile area increased by ``extra_tile_area``
+        (e.g. planned fill)."""
+        return DensityMap(self.dissection, self.tile_area + extra_tile_area)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the PIL-Fill reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the package with a single ``except`` clause,
+while still being able to discriminate on more specific subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric construction or operation (e.g. negative extents)."""
+
+
+class LayoutError(ReproError):
+    """Inconsistent layout model (unknown net, segment outside die, ...)."""
+
+
+class TechError(ReproError):
+    """Invalid technology description (non-positive pitch, missing layer)."""
+
+
+class DissectionError(ReproError):
+    """Invalid fixed-dissection parameters (w not divisible by r, ...)."""
+
+
+class ParseError(ReproError):
+    """Malformed LEF-lite / DEF-lite input."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        self.line_no = line_no
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+
+
+class SolverError(ReproError):
+    """ILP/LP solver failure (infeasible where feasibility was required,
+    iteration limit, numerical breakdown)."""
+
+
+class InfeasibleError(SolverError):
+    """The optimization instance admits no feasible solution."""
+
+
+class UnboundedError(SolverError):
+    """The LP relaxation is unbounded below."""
+
+
+class FillError(ReproError):
+    """Fill synthesis failure (budget exceeds slack capacity, bad rules)."""

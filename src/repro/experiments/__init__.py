@@ -1,0 +1,58 @@
+"""Experiment harness reproducing the paper's evaluation (Tables 1-2)."""
+
+from repro.experiments.ablation import (
+    STUDIES,
+    ablation_cap_models,
+    ablation_capacity_margin,
+    ablation_column_definitions,
+    ablation_seed_sensitivity,
+    run_study,
+)
+from repro.experiments.compare import (
+    ComparisonReport,
+    ResultRow,
+    check_shape,
+    compare_results,
+    parse_results_csv,
+)
+from repro.experiments.report import ReportSpec, generate_report
+from repro.experiments.harness import (
+    TABLE_METHODS,
+    ConfigResult,
+    MethodOutcome,
+    run_config,
+)
+from repro.experiments.tables import (
+    TableResult,
+    TableSpec,
+    default_layouts,
+    run_table,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "STUDIES",
+    "ablation_cap_models",
+    "ablation_capacity_margin",
+    "ablation_column_definitions",
+    "ablation_seed_sensitivity",
+    "run_study",
+    "ReportSpec",
+    "generate_report",
+    "ComparisonReport",
+    "ResultRow",
+    "check_shape",
+    "compare_results",
+    "parse_results_csv",
+    "TABLE_METHODS",
+    "ConfigResult",
+    "MethodOutcome",
+    "run_config",
+    "TableResult",
+    "TableSpec",
+    "default_layouts",
+    "run_table",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,108 @@
+"""Experiment harness: one ``T/W/r`` configuration, all methods.
+
+Mirrors the paper's Section 6 protocol: the density-control step fixes a
+per-tile fill budget once per configuration, then every method places the
+same budget (identical density-control quality) and is scored by the
+common evaluator. CPU time per method covers its per-tile optimization
+phase, which is what distinguishes the methods (setup/scan-line/budget are
+shared preprocessing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout.layout import RoutedLayout
+from repro.pilfill.columns import SlackColumnDef
+from repro.pilfill.engine import EngineConfig, PILFillEngine
+from repro.pilfill.evaluate import evaluate_impact
+from repro.tech.rules import FillRules
+from repro.synth.testcases import default_fill_rules, density_rules_for
+
+#: Method order of the paper's tables.
+TABLE_METHODS = ("normal", "ilp1", "ilp2", "greedy")
+
+
+@dataclass
+class MethodOutcome:
+    """Result of one method on one configuration."""
+
+    method: str
+    tau_ps: float
+    weighted_tau_ps: float
+    cpu_s: float
+    features: int
+    model_objective_ps: float
+
+
+@dataclass
+class ConfigResult:
+    """All methods on one ``T/W/r`` configuration."""
+
+    testcase: str
+    window_um: int
+    r: int
+    budget_total: int
+    outcomes: dict[str, MethodOutcome] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.testcase}/{self.window_um}/{self.r}"
+
+    def tau(self, method: str, weighted: bool) -> float:
+        out = self.outcomes[method]
+        return out.weighted_tau_ps if weighted else out.tau_ps
+
+    def reduction_vs_normal(self, method: str, weighted: bool) -> float:
+        """Fractional τ reduction of ``method`` relative to Normal."""
+        base = self.tau("normal", weighted)
+        if base <= 0:
+            return 0.0
+        return 1.0 - self.tau(method, weighted) / base
+
+
+def run_config(
+    layout: RoutedLayout,
+    testcase: str,
+    window_um: int,
+    r: int,
+    layer: str = "metal3",
+    methods: tuple[str, ...] = TABLE_METHODS,
+    weighted: bool = True,
+    fill_rules: FillRules | None = None,
+    column_def: SlackColumnDef = SlackColumnDef.FULL_LAYOUT,
+    backend: str = "scipy",
+    seed: int = 0,
+) -> ConfigResult:
+    """Run every method on one configuration with a shared budget."""
+    if fill_rules is None:
+        fill_rules = default_fill_rules(layout.stack)
+    density_rules = density_rules_for(window_um, r, layout.stack)
+
+    result = ConfigResult(testcase=testcase, window_um=window_um, r=r, budget_total=0)
+    budget = None
+    for method in methods:
+        cfg = EngineConfig(
+            fill_rules=fill_rules,
+            density_rules=density_rules,
+            method=method,
+            weighted=weighted,
+            column_def=column_def,
+            backend=backend,
+            seed=seed,
+        )
+        engine = PILFillEngine(layout, layer, cfg)
+        run = engine.run(budget=budget)
+        if budget is None:
+            budget = run.requested_budget
+            result.budget_total = sum(budget.values())
+        impact = evaluate_impact(layout, layer, run.features, fill_rules)
+        result.outcomes[method] = MethodOutcome(
+            method=method,
+            tau_ps=impact.total_ps,
+            weighted_tau_ps=impact.weighted_total_ps,
+            cpu_s=run.solve_seconds,
+            features=run.total_features,
+            model_objective_ps=run.model_objective_ps,
+        )
+    return result

@@ -1,0 +1,14 @@
+"""Density-control fill baseline (ref [3]): slack sites, Min-Var LP /
+Monte-Carlo fill budgets, and timing-oblivious Normal placement."""
+
+from repro.fillsynth.slack_sites import SiteLegality
+from repro.fillsynth.budget import hybrid_budget, lp_minvar_budget, montecarlo_budget
+from repro.fillsynth.placer import place_normal
+
+__all__ = [
+    "SiteLegality",
+    "hybrid_budget",
+    "lp_minvar_budget",
+    "montecarlo_budget",
+    "place_normal",
+]

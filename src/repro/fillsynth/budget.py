@@ -1,0 +1,217 @@
+"""Per-tile fill budgets — the "normal fill" density-control step (ref [3],
+Chen-Kahng-Robins-Zelikovsky, TCAD 2002).
+
+Two interchangeable back-ends compute the prescribed number of fill
+features ``numRF_ij`` for every tile:
+
+* :func:`lp_minvar_budget` — the Min-Var linear program: maximize the
+  minimum window density M subject to a maximum density U and per-tile
+  slack capacity; the LP's fractional fill areas are rounded down to whole
+  features.
+* :func:`montecarlo_budget` — the randomized greedy of the same paper:
+  repeatedly pick the lowest-density window and drop one feature into a
+  random tile of it that still has slack.
+
+Both return ``{(ix, iy): feature_count}``. The PIL-Fill methods then decide
+*where inside each tile* those features go.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.dissection.density import DensityMap
+from repro.errors import FillError
+from repro.ilp import Model, solve
+from repro.tech.rules import FillRules
+
+
+def lp_minvar_budget(
+    density: DensityMap,
+    capacity: dict[tuple[int, int], int],
+    rules: FillRules,
+    max_density: float | None = None,
+    target_density: float | None = None,
+    backend: str = "scipy",
+) -> dict[tuple[int, int], int]:
+    """Min-Var LP fill budgets.
+
+    Args:
+        density: pre-fill density map of the layer.
+        capacity: legal fill sites per tile.
+        rules: fill rules (feature area for area↔count conversion).
+        max_density: density ceiling U; defaults to the larger of the
+            dissection rules' max density and the current maximum window
+            density (so the LP is always feasible).
+        target_density: optional cap on the maximized min-density M. When
+            the foundry rule only requires windows to reach a floor (the
+            common case), capping M keeps budgets minimal instead of
+            spending every slack site chasing uniformity.
+        backend: ILP backend; the LP is continuous, scipy/HiGHS by default.
+
+    Returns:
+        Whole-feature budget per tile.
+    """
+    dissection = density.dissection
+    windows = list(dissection.windows())
+    if not windows:
+        raise FillError("dissection has no windows; die too small for window size")
+
+    current = density.window_density()
+    ceiling = max(
+        max_density if max_density is not None else dissection.rules.max_density,
+        float(current.max()),
+    )
+
+    model = Model("minvar-budget")
+    fill_area = float(rules.fill_area)
+    tile_vars = {}
+    for tile in dissection.tiles():
+        cap_area = capacity.get(tile.key, 0) * fill_area
+        tile_vars[tile.key] = model.add_var(f"p_{tile.ix}_{tile.iy}", lb=0.0, ub=cap_area)
+
+    m_ub = ceiling if target_density is None else min(ceiling, target_density)
+    m_var = model.add_var("M", lb=0.0, ub=m_ub)
+    window_areas = density.window_area()
+    for win in windows:
+        added = sum((tile_vars[k] * 1.0 for k in win.tile_keys), start=0.0)
+        orig = float(window_areas[win.ix, win.iy])
+        area = float(win.rect.area)
+        model.add_constraint(added + orig <= ceiling * area)
+        model.add_constraint(added + orig >= m_var * area)
+
+    # Phase 1: the best achievable minimum window density M*.
+    model.maximize(m_var * 1.0)
+    phase1 = solve(model, backend=backend)
+    if not phase1.status.is_optimal:
+        raise FillError(f"Min-Var budget LP (phase 1) failed: {phase1.status}")
+    m_star = phase1.value("M")
+
+    # Phase 2: the *minimum total fill* achieving M*. Without this pass the
+    # solver may return any max-M vertex — including ones that saturate
+    # every tile, which both wastes fill and leaves the placement methods
+    # no freedom.
+    total_fill = sum((v * 1.0 for v in tile_vars.values()), start=0.0)
+    model.add_constraint(m_var >= m_star - 1e-9)
+    model.minimize(total_fill)
+    result = solve(model, backend=backend)
+    if not result.status.is_optimal:
+        raise FillError(f"Min-Var budget LP (phase 2) failed: {result.status}")
+
+    budget: dict[tuple[int, int], int] = {}
+    for key, var in tile_vars.items():
+        features = int(result.value(var.name) / fill_area + 1e-9)
+        budget[key] = min(features, capacity.get(key, 0))
+    return budget
+
+
+def hybrid_budget(
+    density: DensityMap,
+    capacity: dict[tuple[int, int], int],
+    rules: FillRules,
+    target_density: float | None = None,
+    max_density: float | None = None,
+    seed: int = 0,
+) -> dict[tuple[int, int], int]:
+    """The iterated LP + Monte-Carlo back-end of ref [3].
+
+    The LP works in continuous areas; rounding down to whole features
+    leaves the minimum window density slightly short of the LP optimum.
+    This hybrid runs the LP first, then lets the Monte-Carlo greedy top up
+    windows that the rounding left below target, using only the capacity
+    the LP did not consume.
+    """
+    lp = lp_minvar_budget(
+        density, capacity, rules,
+        max_density=max_density, target_density=target_density,
+    )
+    fill_area = float(rules.fill_area)
+    extra_area = np.zeros((density.dissection.nx, density.dissection.ny))
+    for (ix, iy), count in lp.items():
+        extra_area[ix, iy] = count * fill_area
+    topped = density.added(extra_area)
+    leftover = {
+        key: capacity.get(key, 0) - lp.get(key, 0) for key in capacity
+    }
+    if target_density is None:
+        target_density = float(density.window_density().mean())
+    mc = montecarlo_budget(
+        topped, leftover, rules,
+        target_density=target_density, max_density=max_density, seed=seed,
+    )
+    return {key: lp.get(key, 0) + mc.get(key, 0) for key in set(lp) | set(mc)}
+
+
+def montecarlo_budget(
+    density: DensityMap,
+    capacity: dict[tuple[int, int], int],
+    rules: FillRules,
+    target_density: float | None = None,
+    max_density: float | None = None,
+    seed: int = 0,
+    max_steps: int | None = None,
+) -> dict[tuple[int, int], int]:
+    """Randomized greedy fill budgets (the Monte-Carlo back-end of ref [3]).
+
+    Repeatedly selects the minimum-density window and adds one feature to a
+    random tile of it that has remaining slack, until every window reaches
+    ``target_density`` (default: the pre-fill mean window density), no
+    window can be improved, or ``max_steps`` insertions were made.
+    """
+    dissection = density.dissection
+    windows = list(dissection.windows())
+    if not windows:
+        raise FillError("dissection has no windows; die too small for window size")
+    rng = random.Random(seed)
+
+    fill_area = float(rules.fill_area)
+    ceiling = max(
+        max_density if max_density is not None else dissection.rules.max_density,
+        float(density.window_density().max()),
+    )
+    window_area_geo = {w.key: float(w.rect.area) for w in windows}
+    window_areas = density.window_area()
+    window_fill = {w.key: float(window_areas[w.ix, w.iy]) for w in windows}
+    if target_density is None:
+        target_density = float(density.window_density().mean())
+    target_density = min(target_density, ceiling)
+
+    remaining = dict(capacity)
+    budget = {t.key: 0 for t in dissection.tiles()}
+    if max_steps is None:
+        max_steps = sum(capacity.values())
+
+    blocked: set[tuple[int, int]] = set()
+    for _ in range(max_steps):
+        candidates = [
+            w for w in windows
+            if w.key not in blocked
+            and window_fill[w.key] / window_area_geo[w.key] < target_density
+        ]
+        if not candidates:
+            break
+        worst = min(candidates, key=lambda w: window_fill[w.key] / window_area_geo[w.key])
+        open_tiles = [k for k in worst.tile_keys if remaining.get(k, 0) > 0]
+        if not open_tiles:
+            blocked.add(worst.key)
+            continue
+        # Adding a feature must not push any covering window over the ceiling.
+        rng.shuffle(open_tiles)
+        placed = False
+        for tile_key in open_tiles:
+            covering = dissection.windows_containing_tile(*tile_key)
+            if all(
+                (window_fill[w] + fill_area) / window_area_geo[w] <= ceiling + 1e-12
+                for w in covering
+            ):
+                budget[tile_key] += 1
+                remaining[tile_key] -= 1
+                for w in covering:
+                    window_fill[w] += fill_area
+                placed = True
+                break
+        if not placed:
+            blocked.add(worst.key)
+    return budget

@@ -1,0 +1,62 @@
+"""Timing-oblivious "Normal" fill placement — the paper's comparison
+baseline (ref [3] placement stage).
+
+Given per-tile budgets and the legal sites of each tile, place features
+with no awareness of delay: either uniformly at random (the Monte-Carlo
+placement of ref [3]; this is the paper's "Normal" column) or row-major
+deterministic (useful for reproducible debugging).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dissection.fixed import FixedDissection
+from repro.errors import FillError
+from repro.fillsynth.slack_sites import SiteLegality
+from repro.layout.layout import FillFeature, RoutedLayout
+
+
+def place_normal(
+    layout: RoutedLayout,
+    layer: str,
+    dissection: FixedDissection,
+    legality: SiteLegality,
+    budget: dict[tuple[int, int], int],
+    seed: int = 0,
+    order: str = "random",
+) -> list[FillFeature]:
+    """Place ``budget[tile]`` features into each tile's legal sites.
+
+    Args:
+        order: ``"random"`` (seeded shuffle, the Normal baseline) or
+            ``"row_major"`` (bottom-left first, deterministic).
+
+    Returns:
+        The placed features (also appended to ``layout.fills``).
+
+    Raises:
+        FillError: when a tile's budget exceeds its legal site count.
+    """
+    if order not in ("random", "row_major"):
+        raise FillError(f"unknown placement order {order!r}")
+    rng = random.Random(seed)
+    placed: list[FillFeature] = []
+    for tile in dissection.tiles():
+        want = budget.get(tile.key, 0)
+        if want == 0:
+            continue
+        sites = legality.legal_sites_in_region(tile.rect)
+        if want > len(sites):
+            raise FillError(
+                f"tile {tile.key}: budget {want} exceeds {len(sites)} legal sites"
+            )
+        if order == "random":
+            chosen = rng.sample(sites, want)
+        else:
+            chosen = sorted(sites, key=lambda r: (r.ylo, r.xlo))[:want]
+        for rect in chosen:
+            feature = FillFeature(layer=layer, rect=rect)
+            layout.add_fill(feature)
+            placed.append(feature)
+    return placed

@@ -1,0 +1,78 @@
+"""Slack-site computation: where may fill features legally go.
+
+The layout is gridded into candidate fill sites (side ``fill_size``, pitch
+``fill_size + fill_gap``) anchored at the die's lower-left corner. A site
+is *legal* when the site square, expanded by the buffer distance, overlaps
+no drawn geometry on the layer and stays inside the die. This exact test
+covers line ends and wrong-direction routing, which the parallel-line
+capacitance model itself does not see.
+"""
+
+from __future__ import annotations
+
+from repro.dissection.fixed import FixedDissection, Tile
+from repro.geometry import GridBinIndex, Rect, SiteGrid
+from repro.layout.layout import RoutedLayout
+from repro.tech.rules import FillRules
+
+
+class SiteLegality:
+    """Per-layer legality oracle for fill sites."""
+
+    def __init__(self, layout: RoutedLayout, layer: str, rules: FillRules):
+        self.layout = layout
+        self.layer = layer
+        self.rules = rules
+        self.grid = SiteGrid(
+            origin_x=layout.die.xlo + rules.buffer_distance,
+            origin_y=layout.die.ylo + rules.buffer_distance,
+            site_size=rules.fill_size,
+            site_gap=rules.fill_gap,
+        )
+        bin_size = max(1, max(layout.die.width, layout.die.height) // 32)
+        self._blockages: GridBinIndex[int] = GridBinIndex(bin_size)
+        for i, rect in enumerate(layout.feature_rects(layer)):
+            self._blockages.insert(rect, i)
+        self._rects = layout.feature_rects(layer)
+
+    def is_legal(self, site_rect: Rect) -> bool:
+        """True when a fill feature at ``site_rect`` is design-rule legal."""
+        if not self.layout.die.contains_rect(site_rect):
+            return False
+        grown = site_rect.expanded(self.rules.buffer_distance)
+        for idx in self._blockages.query(grown):
+            if self._rects[idx].overlaps(grown):
+                return False
+        return True
+
+    def legal_sites_in_region(self, region: Rect) -> list[Rect]:
+        """Legal site squares whose center lies in ``region``, sorted by
+        (column, row)."""
+        # Candidate sites: any whose square could have its center in region.
+        pad = self.grid.site_size
+        search = Rect(
+            region.xlo - pad, region.ylo - pad, region.xhi + pad, region.yhi + pad
+        )
+        out: list[Rect] = []
+        c0 = self.grid.col_at(search.xlo)
+        c1 = self.grid.col_at(search.xhi) + 1
+        r0 = self.grid.row_at(search.ylo)
+        r1 = self.grid.row_at(search.yhi) + 1
+        for col in range(c0, c1 + 1):
+            for row in range(r0, r1 + 1):
+                rect = self.grid.site_rect(col, row)
+                if region.contains_point(rect.center) and self.is_legal(rect):
+                    out.append(rect)
+        return out
+
+    def legal_count_by_tile(self, dissection: FixedDissection) -> dict[tuple[int, int], int]:
+        """Number of legal sites per tile (sites assigned by center)."""
+        counts: dict[tuple[int, int], int] = {t.key: 0 for t in dissection.tiles()}
+        for tile in dissection.tiles():
+            counts[tile.key] = len(self.legal_sites_in_region(tile.rect))
+        return counts
+
+    def site_center_tile(self, dissection: FixedDissection, site_rect: Rect) -> Tile:
+        """Tile owning a site (by center containment)."""
+        c = site_rect.center
+        return dissection.tile_at_point(c.x, c.y)

@@ -1,0 +1,18 @@
+"""Geometric primitives: points, rectangles, intervals, site grids, and a
+uniform-bin spatial index. All coordinates are integer DBU."""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, total_area
+from repro.geometry.interval import Interval, IntervalSet
+from repro.geometry.grid import SiteGrid
+from repro.geometry.spatial import GridBinIndex
+
+__all__ = [
+    "Point",
+    "Rect",
+    "total_area",
+    "Interval",
+    "IntervalSet",
+    "SiteGrid",
+    "GridBinIndex",
+]

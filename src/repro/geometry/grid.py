@@ -1,0 +1,83 @@
+"""Site grids: mapping between DBU coordinates and discrete fill sites.
+
+Fill features are squares of side ``site_size`` placed on a uniform grid
+with pitch ``site_pitch = site_size + site_gap`` anchored at the grid
+origin. A *site* is addressed by integer column/row indices ``(col, row)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class SiteGrid:
+    """Uniform square fill-site grid over a region.
+
+    Attributes:
+        origin_x, origin_y: DBU coordinates of the lower-left corner of
+            site ``(0, 0)``.
+        site_size: side of the square fill feature, DBU.
+        site_gap: spacing between adjacent fill features, DBU.
+    """
+
+    origin_x: int
+    origin_y: int
+    site_size: int
+    site_gap: int
+
+    def __post_init__(self) -> None:
+        if self.site_size <= 0:
+            raise GeometryError(f"site_size must be positive, got {self.site_size}")
+        if self.site_gap < 0:
+            raise GeometryError(f"site_gap must be non-negative, got {self.site_gap}")
+
+    @property
+    def pitch(self) -> int:
+        """Distance between the lower-left corners of adjacent sites."""
+        return self.site_size + self.site_gap
+
+    def site_rect(self, col: int, row: int) -> Rect:
+        """Geometry of site ``(col, row)``."""
+        x = self.origin_x + col * self.pitch
+        y = self.origin_y + row * self.pitch
+        return Rect(x, y, x + self.site_size, y + self.site_size)
+
+    def col_at(self, x: int) -> int:
+        """Column index of the site whose pitch cell contains ``x``
+        (floor division — works for coordinates left of the origin too)."""
+        return (x - self.origin_x) // self.pitch
+
+    def row_at(self, y: int) -> int:
+        """Row index of the site whose pitch cell contains ``y``."""
+        return (y - self.origin_y) // self.pitch
+
+    def cols_fully_inside(self, xlo: int, xhi: int) -> range:
+        """Range of columns whose site squares fit entirely in ``[xlo, xhi)``."""
+        if xhi - xlo < self.site_size:
+            return range(0)
+        first = self.col_at(xlo + self.pitch - 1)  # ceil to next cell start
+        if self.origin_x + first * self.pitch < xlo:
+            first += 1
+        # last col c such that origin + c*pitch + site_size <= xhi
+        last = (xhi - self.site_size - self.origin_x) // self.pitch
+        return range(first, last + 1) if last >= first else range(0)
+
+    def rows_fully_inside(self, ylo: int, yhi: int) -> range:
+        """Range of rows whose site squares fit entirely in ``[ylo, yhi)``."""
+        if yhi - ylo < self.site_size:
+            return range(0)
+        first = self.row_at(ylo + self.pitch - 1)
+        if self.origin_y + first * self.pitch < ylo:
+            first += 1
+        last = (yhi - self.site_size - self.origin_y) // self.pitch
+        return range(first, last + 1) if last >= first else range(0)
+
+    def sites_fully_inside(self, region: Rect) -> list[tuple[int, int]]:
+        """All ``(col, row)`` whose squares fit entirely inside ``region``."""
+        cols = self.cols_fully_inside(region.xlo, region.xhi)
+        rows = self.rows_fully_inside(region.ylo, region.yhi)
+        return [(c, r) for c in cols for r in rows]

@@ -1,0 +1,185 @@
+"""1-D integer intervals and interval sets.
+
+The scan-line slack-column extraction (paper Fig. 7) and the slack-site
+computation both reduce to boolean algebra on 1-D intervals: "the x-range of
+the tile minus the x-ranges blocked by active lines plus buffer distance".
+:class:`IntervalSet` keeps a canonical sorted list of disjoint, non-touching
+half-open intervals and supports union / subtraction / intersection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """Half-open integer interval ``[lo, hi)`` with ``lo <= hi``."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.lo, int) or not isinstance(self.hi, int):
+            raise GeometryError(f"Interval bounds must be integers, got ({self.lo!r}, {self.hi!r})")
+        if self.hi < self.lo:
+            raise GeometryError(f"Interval inverted: [{self.lo}, {self.hi})")
+
+    @property
+    def length(self) -> int:
+        """Number of lattice units covered."""
+        return self.hi - self.lo
+
+    def is_empty(self) -> bool:
+        """True for zero-length intervals."""
+        return self.hi == self.lo
+
+    def contains(self, value: int) -> bool:
+        """Half-open membership test."""
+        return self.lo <= value < self.hi
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when open interiors intersect."""
+        return self.lo < other.hi and other.lo < self.hi
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        """Overlap, or None when interiors are disjoint."""
+        lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+        if hi <= lo:
+            return None
+        return Interval(lo, hi)
+
+    def shifted(self, delta: int) -> "Interval":
+        """Interval translated by ``delta``."""
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def expanded(self, margin: int) -> "Interval":
+        """Interval grown by ``margin`` at both ends (collapses to a point
+        when shrunk past zero)."""
+        lo, hi = self.lo - margin, self.hi + margin
+        if hi < lo:
+            lo = hi = (lo + hi) // 2
+        return Interval(lo, hi)
+
+
+class IntervalSet:
+    """A canonical union of disjoint half-open integer intervals.
+
+    Internally stored sorted and merged (touching intervals coalesce), so
+    equality and iteration order are deterministic.
+    """
+
+    __slots__ = ("_ivs",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        self._ivs: list[Interval] = self._normalize(intervals)
+
+    @staticmethod
+    def _normalize(intervals: Iterable[Interval]) -> list[Interval]:
+        items = sorted(iv for iv in intervals if not iv.is_empty())
+        merged: list[Interval] = []
+        for iv in items:
+            if merged and iv.lo <= merged[-1].hi:
+                if iv.hi > merged[-1].hi:
+                    merged[-1] = Interval(merged[-1].lo, iv.hi)
+            else:
+                merged.append(iv)
+        return merged
+
+    # -- container protocol -----------------------------------------------
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._ivs)
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivs == other._ivs
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._ivs))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"[{iv.lo},{iv.hi})" for iv in self._ivs)
+        return f"IntervalSet({body})"
+
+    @property
+    def intervals(self) -> Sequence[Interval]:
+        """The canonical disjoint intervals, sorted ascending."""
+        return tuple(self._ivs)
+
+    @property
+    def total_length(self) -> int:
+        """Sum of interval lengths (measure of the set)."""
+        return sum(iv.length for iv in self._ivs)
+
+    def contains(self, value: int) -> bool:
+        """Membership test (binary search)."""
+        lo, hi = 0, len(self._ivs)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            iv = self._ivs[mid]
+            if value < iv.lo:
+                hi = mid
+            elif value >= iv.hi:
+                lo = mid + 1
+            else:
+                return True
+        return False
+
+    # -- boolean algebra -----------------------------------------------------
+
+    def union(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        """Set union."""
+        other_ivs = [other] if isinstance(other, Interval) else list(other)
+        return IntervalSet(list(self._ivs) + other_ivs)
+
+    def intersection(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        """Set intersection (linear merge)."""
+        other_ivs = [other] if isinstance(other, Interval) else list(other)
+        result: list[Interval] = []
+        i = j = 0
+        a, b = self._ivs, other_ivs
+        while i < len(a) and j < len(b):
+            inter = a[i].intersection(b[j])
+            if inter is not None:
+                result.append(inter)
+            if a[i].hi <= b[j].hi:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(result)
+
+    def subtract(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        """Set difference ``self - other``."""
+        other_ivs = [other] if isinstance(other, Interval) else list(other)
+        other_ivs = IntervalSet(other_ivs)._ivs
+        result: list[Interval] = []
+        for iv in self._ivs:
+            cursor = iv.lo
+            for cut in other_ivs:
+                if cut.hi <= cursor:
+                    continue
+                if cut.lo >= iv.hi:
+                    break
+                if cut.lo > cursor:
+                    result.append(Interval(cursor, min(cut.lo, iv.hi)))
+                cursor = max(cursor, cut.hi)
+                if cursor >= iv.hi:
+                    break
+            if cursor < iv.hi:
+                result.append(Interval(cursor, iv.hi))
+        return IntervalSet(result)
+
+    def clipped(self, window: Interval) -> "IntervalSet":
+        """Intersection with a single interval, as a new set."""
+        return self.intersection(window)

@@ -1,0 +1,36 @@
+"""Integer lattice points in DBU coordinates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable 2-D point in integer database units.
+
+    Ordering is lexicographic ``(x, y)`` which is what scan-line sorting
+    wants for vertical sweeps; use ``key=lambda p: (p.y, p.x)`` for
+    horizontal sweeps.
+    """
+
+    x: int
+    y: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.x, int) or not isinstance(self.y, int):
+            raise GeometryError(f"Point coordinates must be integers, got ({self.x!r}, {self.y!r})")
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        """Return this point moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def manhattan_distance(self, other: "Point") -> int:
+        """L1 distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def as_tuple(self) -> tuple[int, int]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)

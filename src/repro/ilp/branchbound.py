@@ -1,0 +1,184 @@
+"""Branch-and-bound MILP solver over the bundled simplex.
+
+Substitutes the paper's CPLEX 7.0. Design:
+
+* LP relaxations via :func:`repro.ilp.simplex.solve_lp`; general variable
+  bounds are handled by shifting finite lower bounds to zero and emitting
+  explicit upper-bound rows,
+* best-first node selection on the parent relaxation bound,
+* branching on the most fractional integer variable,
+* a root rounding heuristic to seed the incumbent,
+* pruning with a small absolute tolerance so ties resolve deterministically.
+
+The per-tile PIL-Fill instances are small (tens to a few hundred
+variables); for larger models use the scipy/HiGHS backend
+(:mod:`repro.ilp.scipy_backend`) which shares the same :class:`Model` API.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.ilp.model import CompiledModel, Model
+from repro.ilp.result import SolveResult, SolveStatus
+from repro.ilp.simplex import solve_lp
+
+#: Integrality tolerance.
+INT_TOL = 1e-6
+#: Pruning tolerance.
+PRUNE_TOL = 1e-9
+
+
+@dataclass
+class _Node:
+    bound: float
+    lb: np.ndarray
+    ub: np.ndarray
+
+
+def _solve_relaxation(compiled: CompiledModel, lb: np.ndarray, ub: np.ndarray):
+    """LP relaxation with per-node bounds: shift lb to 0, add ub rows."""
+    if np.any(np.isneginf(lb)):
+        raise SolverError(
+            "bundled branch-and-bound requires finite lower bounds; "
+            "use the scipy backend for free variables"
+        )
+    if np.any(lb > ub + 1e-12):
+        return None, 0  # empty box
+    n = compiled.c.shape[0]
+    shift = lb
+    b_ub = compiled.b_ub - compiled.a_ub @ shift if compiled.a_ub.size else compiled.b_ub
+    b_eq = compiled.b_eq - compiled.a_eq @ shift if compiled.a_eq.size else compiled.b_eq
+
+    span = ub - lb
+    finite = np.flatnonzero(np.isfinite(span))
+    extra_rows = np.zeros((finite.size, n))
+    for r, i in enumerate(finite):
+        extra_rows[r, i] = 1.0
+    a_ub = np.vstack([compiled.a_ub, extra_rows]) if compiled.a_ub.size else extra_rows
+    b_ub_full = np.concatenate([b_ub, span[finite]])
+
+    res = solve_lp(compiled.c, a_ub, b_ub_full, compiled.a_eq, b_eq)
+    if res.status is not SolveStatus.OPTIMAL:
+        return res, res.iterations
+    x = res.x + shift
+    return _ShiftedLP(res.objective + float(compiled.c @ shift), x), res.iterations
+
+
+@dataclass
+class _ShiftedLP:
+    objective: float
+    x: np.ndarray
+
+
+def solve_branch_and_bound(
+    model: Model,
+    max_nodes: int = 100000,
+) -> SolveResult:
+    """Solve a mixed-integer model to optimality (within tolerances).
+
+    Returns OPTIMAL with variable values, INFEASIBLE, UNBOUNDED (when the
+    root relaxation is unbounded), or NODE_LIMIT with the best incumbent
+    found so far (if any).
+    """
+    compiled = model.compile()
+    n = compiled.c.shape[0]
+    int_idx = np.flatnonzero(compiled.integer)
+
+    total_iters = 0
+    nodes_explored = 0
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = math.inf
+
+    def consider(x: np.ndarray, obj: float) -> None:
+        nonlocal incumbent_x, incumbent_obj
+        if obj < incumbent_obj - PRUNE_TOL:
+            incumbent_obj = obj
+            incumbent_x = x.copy()
+
+    def is_feasible(x: np.ndarray) -> bool:
+        if compiled.a_ub.size and np.any(compiled.a_ub @ x > compiled.b_ub + 1e-7):
+            return False
+        if compiled.a_eq.size and np.any(np.abs(compiled.a_eq @ x - compiled.b_eq) > 1e-7):
+            return False
+        if np.any(x < compiled.lb - 1e-9) or np.any(x > compiled.ub + 1e-9):
+            return False
+        return True
+
+    # Root relaxation.
+    root, iters = _solve_relaxation(compiled, compiled.lb.copy(), compiled.ub.copy())
+    total_iters += iters
+    if root is None:
+        return SolveResult(SolveStatus.INFEASIBLE, {}, math.nan, 0, total_iters)
+    if not isinstance(root, _ShiftedLP):
+        if root.status is SolveStatus.UNBOUNDED:
+            return SolveResult(SolveStatus.UNBOUNDED, {}, -math.inf, 0, total_iters)
+        return SolveResult(SolveStatus(root.status.value), {}, math.nan, 0, total_iters)
+
+    # Root heuristic: round to the nearest integer point in the box.
+    if int_idx.size:
+        rounded = root.x.copy()
+        rounded[int_idx] = np.clip(
+            np.round(rounded[int_idx]), compiled.lb[int_idx], compiled.ub[int_idx]
+        )
+        if is_feasible(rounded):
+            consider(rounded, float(compiled.c @ rounded))
+
+    counter = itertools.count()  # heap tie-breaker
+    heap: list[tuple[float, int, _Node]] = []
+    heapq.heappush(
+        heap, (root.objective, next(counter), _Node(root.objective, compiled.lb.copy(), compiled.ub.copy()))
+    )
+
+    status = SolveStatus.OPTIMAL
+    while heap:
+        if nodes_explored >= max_nodes:
+            status = SolveStatus.NODE_LIMIT
+            break
+        bound, _tie, node = heapq.heappop(heap)
+        if bound >= incumbent_obj - PRUNE_TOL:
+            continue  # pruned by incumbent
+        relax, iters = _solve_relaxation(compiled, node.lb, node.ub)
+        total_iters += iters
+        nodes_explored += 1
+        if relax is None or not isinstance(relax, _ShiftedLP):
+            continue  # infeasible box
+        if relax.objective >= incumbent_obj - PRUNE_TOL:
+            continue
+        x = relax.x
+        frac = np.abs(x[int_idx] - np.round(x[int_idx])) if int_idx.size else np.array([])
+        if frac.size == 0 or frac.max() <= INT_TOL:
+            clean = x.copy()
+            if int_idx.size:
+                clean[int_idx] = np.round(clean[int_idx])
+            consider(clean, float(compiled.c @ clean))
+            continue
+        # Branch on the most fractional integer variable.
+        branch_var = int(int_idx[int(np.argmax(frac))])
+        floor_val = math.floor(x[branch_var] + INT_TOL)
+        lo_node = _Node(relax.objective, node.lb.copy(), node.ub.copy())
+        lo_node.ub[branch_var] = floor_val
+        hi_node = _Node(relax.objective, node.lb.copy(), node.ub.copy())
+        hi_node.lb[branch_var] = floor_val + 1
+        heapq.heappush(heap, (relax.objective, next(counter), lo_node))
+        heapq.heappush(heap, (relax.objective, next(counter), hi_node))
+
+    if incumbent_x is None:
+        if status is SolveStatus.NODE_LIMIT:
+            return SolveResult(SolveStatus.NODE_LIMIT, {}, math.nan, nodes_explored, total_iters)
+        return SolveResult(SolveStatus.INFEASIBLE, {}, math.nan, nodes_explored, total_iters)
+
+    values = {
+        name: (round(v) if compiled.integer[i] else float(v))
+        for i, (name, v) in enumerate(zip(compiled.names, incumbent_x))
+    }
+    objective = float(compiled.c @ incumbent_x + compiled.c0)
+    if model.is_maximization:
+        objective = -objective
+    return SolveResult(status, values, objective, nodes_explored, total_iters)

@@ -1,0 +1,59 @@
+"""Solver result types shared by the LP and MILP engines."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SolveStatus(enum.Enum):
+    """Terminal state of a solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+
+    @property
+    def is_optimal(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class LPResult:
+    """Raw LP solve outcome in array form."""
+
+    status: SolveStatus
+    x: np.ndarray | None
+    objective: float
+    iterations: int
+
+
+@dataclass
+class SolveResult:
+    """MILP solve outcome mapped back to model variable names.
+
+    Attributes:
+        status: terminal status.
+        values: variable name → value (rounded to exact integers for
+            integer variables when optimal).
+        objective: objective value at the returned point.
+        nodes: number of branch-and-bound nodes explored.
+        iterations: total simplex iterations across all LP relaxations.
+    """
+
+    status: SolveStatus
+    values: dict[str, float] = field(default_factory=dict)
+    objective: float = float("nan")
+    nodes: int = 0
+    iterations: int = 0
+
+    def __getitem__(self, name: str) -> float:
+        return self.values[name]
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Value of a variable, with a default for absent names."""
+        return self.values.get(name, default)

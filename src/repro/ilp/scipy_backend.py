@@ -1,0 +1,88 @@
+"""scipy/HiGHS backend for :class:`repro.ilp.model.Model`.
+
+Used for large instances (the Min-Var budget LP over all tiles) and as an
+independent cross-check of the bundled branch-and-bound solver in tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.optimize import LinearConstraint, milp
+from scipy.optimize import linprog
+
+from repro.ilp.model import Model
+from repro.ilp.result import SolveResult, SolveStatus
+
+_MILP_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ITERATION_LIMIT,  # iteration/time limit
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.ITERATION_LIMIT,  # numerical trouble: surface as limit
+}
+
+
+def solve_scipy(model: Model) -> SolveResult:
+    """Solve via ``scipy.optimize.milp`` (HiGHS). Continuous models go to
+    HiGHS too (milp handles them)."""
+    compiled = model.compile()
+    n = compiled.c.shape[0]
+
+    constraints = []
+    if compiled.a_ub.size:
+        constraints.append(LinearConstraint(compiled.a_ub, -np.inf, compiled.b_ub))
+    if compiled.a_eq.size:
+        constraints.append(LinearConstraint(compiled.a_eq, compiled.b_eq, compiled.b_eq))
+
+    from scipy.optimize import Bounds
+
+    bounds = Bounds(compiled.lb, compiled.ub)
+    integrality = compiled.integer.astype(np.int64)
+    res = milp(
+        c=compiled.c,
+        constraints=constraints,
+        bounds=bounds,
+        integrality=integrality,
+    )
+    status = _MILP_STATUS.get(res.status, SolveStatus.ITERATION_LIMIT)
+    if res.x is None:
+        return SolveResult(status, {}, math.nan, 0, 0)
+    x = np.asarray(res.x)
+    values = {
+        name: (round(v) if compiled.integer[i] else float(v))
+        for i, (name, v) in enumerate(zip(compiled.names, x))
+    }
+    objective = float(compiled.c @ x + compiled.c0)
+    if model.is_maximization:
+        objective = -objective
+    return SolveResult(status, values, objective, 0, 0)
+
+
+def solve_scipy_lp(model: Model) -> SolveResult:
+    """Solve the continuous relaxation via ``scipy.optimize.linprog``."""
+    compiled = model.compile()
+    res = linprog(
+        c=compiled.c,
+        A_ub=compiled.a_ub if compiled.a_ub.size else None,
+        b_ub=compiled.b_ub if compiled.b_ub.size else None,
+        A_eq=compiled.a_eq if compiled.a_eq.size else None,
+        b_eq=compiled.b_eq if compiled.b_eq.size else None,
+        bounds=list(zip(compiled.lb, compiled.ub)),
+        method="highs",
+    )
+    status = {
+        0: SolveStatus.OPTIMAL,
+        1: SolveStatus.ITERATION_LIMIT,
+        2: SolveStatus.INFEASIBLE,
+        3: SolveStatus.UNBOUNDED,
+        4: SolveStatus.ITERATION_LIMIT,
+    }.get(res.status, SolveStatus.ITERATION_LIMIT)
+    if res.x is None:
+        return SolveResult(status, {}, math.nan, 0, 0)
+    values = {name: float(v) for name, v in zip(compiled.names, res.x)}
+    objective = float(compiled.c @ res.x + compiled.c0)
+    if model.is_maximization:
+        objective = -objective
+    return SolveResult(status, values, objective, 0, int(getattr(res, "nit", 0)))

@@ -1,0 +1,201 @@
+"""Dense two-phase primal simplex.
+
+Solves the standard-form LP
+
+    min  c·x   s.t.  A_ub x <= b_ub,  A_eq x = b_eq,  x >= 0
+
+with a classic tableau implementation: slack variables for inequality
+rows, artificial variables for equality rows (and for inequality rows with
+negative right-hand sides), phase 1 driving the artificials to zero, then
+phase 2 on the original costs. Pivoting uses Dantzig's rule with an
+automatic switch to Bland's rule when cycling is suspected.
+
+This is the LP engine underneath :mod:`repro.ilp.branchbound`; upper
+bounds and general lower bounds are handled by the caller (shift +
+explicit rows), keeping this module small and testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ilp.result import LPResult, SolveStatus
+
+#: Feasibility / optimality tolerance.
+TOL = 1e-9
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray,
+    b_ub: np.ndarray,
+    a_eq: np.ndarray,
+    b_eq: np.ndarray,
+    max_iter: int = 20000,
+) -> LPResult:
+    """Solve the standard-form LP; see module docstring.
+
+    Returns an :class:`LPResult` whose ``x`` is None unless the status is
+    OPTIMAL.
+    """
+    c = np.asarray(c, dtype=np.float64)
+    n = c.shape[0]
+    a_ub = np.asarray(a_ub, dtype=np.float64).reshape(-1, n)
+    a_eq = np.asarray(a_eq, dtype=np.float64).reshape(-1, n)
+    b_ub = np.asarray(b_ub, dtype=np.float64).ravel()
+    b_eq = np.asarray(b_eq, dtype=np.float64).ravel()
+    m_ub, m_eq = a_ub.shape[0], a_eq.shape[0]
+    m = m_ub + m_eq
+
+    if m == 0:
+        # Only the trivial nonnegativity region: optimum at 0 unless some
+        # cost is negative (then unbounded).
+        if np.any(c < -TOL):
+            return LPResult(SolveStatus.UNBOUNDED, None, -np.inf, 0)
+        return LPResult(SolveStatus.OPTIMAL, np.zeros(n), 0.0, 0)
+
+    # Assemble rows [A | slack | artificial | b] with b >= 0.
+    rows = np.zeros((m, n))
+    rhs = np.zeros(m)
+    rows[:m_ub] = a_ub
+    rhs[:m_ub] = b_ub
+    rows[m_ub:] = a_eq
+    rhs[m_ub:] = b_eq
+
+    slack = np.zeros((m, m_ub))
+    for i in range(m_ub):
+        slack[i, i] = 1.0
+
+    flip = rhs < 0
+    rows[flip] *= -1.0
+    rhs[flip] *= -1.0
+    slack[flip] *= -1.0
+
+    # Rows needing an artificial: all eq rows plus flipped ub rows (their
+    # slack became a surplus and can't seed the basis).
+    needs_art = np.ones(m, dtype=bool)
+    for i in range(m_ub):
+        if not flip[i]:
+            needs_art[i] = False
+    art_rows = np.flatnonzero(needs_art)
+    n_art = art_rows.size
+
+    art = np.zeros((m, n_art))
+    for j, i in enumerate(art_rows):
+        art[i, j] = 1.0
+
+    tableau = np.hstack([rows, slack, art, rhs[:, None]])
+    ncols = n + m_ub + n_art
+
+    # Initial basis: slack for clean ub rows, artificial otherwise.
+    basis = np.empty(m, dtype=np.int64)
+    art_counter = 0
+    for i in range(m):
+        if needs_art[i]:
+            basis[i] = n + m_ub + art_counter
+            art_counter += 1
+        else:
+            basis[i] = n + i
+
+    iterations = 0
+
+    def run_phase(cost: np.ndarray, iter_budget: int) -> tuple[str, int]:
+        """Optimize ``cost`` over the current tableau. Returns (status, iters)."""
+        nonlocal tableau, basis
+        # Reduced-cost row: z = cost - cost_B · B^-1 A (tableau rows are
+        # already B^-1 A since we pivot in place).
+        z = cost.copy().astype(np.float64)
+        for i in range(m):
+            cb = cost[basis[i]]
+            if cb != 0.0:
+                z -= cb * tableau[i, :ncols]
+        obj = 0.0
+        for i in range(m):
+            obj += cost[basis[i]] * tableau[i, ncols]
+
+        used = 0
+        bland = False
+        while used < iter_budget:
+            if bland:
+                candidates = np.flatnonzero(z < -TOL)
+                if candidates.size == 0:
+                    return "optimal", used
+                pivot_col = int(candidates[0])
+            else:
+                pivot_col = int(np.argmin(z))
+                if z[pivot_col] >= -TOL:
+                    return "optimal", used
+            col = tableau[:, pivot_col]
+            mask = col > TOL
+            if not mask.any():
+                return "unbounded", used
+            ratios = np.full(m, np.inf)
+            ratios[mask] = tableau[mask, ncols] / col[mask]
+            pivot_row = int(np.argmin(ratios))
+            # Bland tie-break: lowest basis index among minimal ratios.
+            if bland:
+                best = ratios[pivot_row]
+                ties = np.flatnonzero(np.isclose(ratios, best, rtol=0, atol=TOL))
+                pivot_row = int(min(ties, key=lambda i: basis[i]))
+
+            # Pivot.
+            pivot_val = tableau[pivot_row, pivot_col]
+            tableau[pivot_row] /= pivot_val
+            factors = tableau[:, pivot_col].copy()
+            factors[pivot_row] = 0.0
+            tableau -= np.outer(factors, tableau[pivot_row])
+            z_factor = z[pivot_col]
+            z = z - z_factor * tableau[pivot_row, :ncols]
+            basis[pivot_row] = pivot_col
+            used += 1
+            # Heuristic cycling guard: switch to Bland after many pivots.
+            if used > 4 * (m + ncols) and not bland:
+                bland = True
+        return "iteration_limit", used
+
+    # -- phase 1 -------------------------------------------------------------
+    if n_art > 0:
+        phase1_cost = np.zeros(ncols)
+        phase1_cost[n + m_ub:] = 1.0
+        status, used = run_phase(phase1_cost, max_iter)
+        iterations += used
+        if status == "iteration_limit":
+            return LPResult(SolveStatus.ITERATION_LIMIT, None, np.nan, iterations)
+        infeas = sum(
+            tableau[i, ncols] for i in range(m) if basis[i] >= n + m_ub
+        )
+        if status == "unbounded" or infeas > 1e-7:
+            return LPResult(SolveStatus.INFEASIBLE, None, np.nan, iterations)
+        # Pivot residual zero-level artificials out of the basis when possible.
+        for i in range(m):
+            if basis[i] >= n + m_ub:
+                row = tableau[i, : n + m_ub]
+                candidates = np.flatnonzero(np.abs(row) > 1e-7)
+                if candidates.size:
+                    pivot_col = int(candidates[0])
+                    pivot_val = tableau[i, pivot_col]
+                    tableau[i] /= pivot_val
+                    factors = tableau[:, pivot_col].copy()
+                    factors[i] = 0.0
+                    tableau -= np.outer(factors, tableau[i])
+                    basis[i] = pivot_col
+        # Freeze artificial columns so they never re-enter.
+        tableau[:, n + m_ub:ncols] = 0.0
+
+    # -- phase 2 -------------------------------------------------------------
+    phase2_cost = np.zeros(ncols)
+    phase2_cost[:n] = c
+    status, used = run_phase(phase2_cost, max_iter - iterations)
+    iterations += used
+    if status == "iteration_limit":
+        return LPResult(SolveStatus.ITERATION_LIMIT, None, np.nan, iterations)
+    if status == "unbounded":
+        return LPResult(SolveStatus.UNBOUNDED, None, -np.inf, iterations)
+
+    x = np.zeros(n)
+    for i in range(m):
+        if basis[i] < n:
+            x[basis[i]] = tableau[i, ncols]
+    # Clamp tiny negatives from roundoff.
+    x[np.abs(x) < 1e-11] = 0.0
+    return LPResult(SolveStatus.OPTIMAL, x, float(c @ x), iterations)

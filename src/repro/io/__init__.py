@@ -1,0 +1,6 @@
+"""Layout and technology I/O: LEF-lite and DEF-lite text dialects."""
+
+from repro.io.leflite import parse_lef, write_lef
+from repro.io.deflite import parse_def, write_def
+
+__all__ = ["parse_lef", "write_lef", "parse_def", "write_def"]

@@ -1,0 +1,196 @@
+"""DEF-lite: a small DEF-inspired dialect for routed layouts.
+
+Covers exactly what the library models — die area, routed signal nets with
+driver/sink pins, and fill features — in DEF-flavoured syntax::
+
+    VERSION 1.0 ;
+    DESIGN t1 ;
+    UNITS DISTANCE MICRONS 1000 ;
+    DIEAREA ( 0 0 ) ( 128000 128000 ) ;
+    NETS 2 ;
+    - net0
+      + PIN drv ( 1000 5000 ) LAYER metal3 DRIVER RES 120
+      + PIN s0 ( 90000 5000 ) LAYER metal3 CAP 5
+      + ROUTED metal3 ( 1000 5000 ) ( 90000 5000 ) WIDTH 400
+      + ROUTED metal4 ( 50000 5000 ) ( 50000 20000 ) WIDTH 400
+    ;
+    END NETS
+    FILLS 1 ;
+    - LAYER metal3 RECT ( 10000 10000 10500 10500 ) ;
+    END FILLS
+    END DESIGN
+
+All coordinates in DBU. Segment order within a net is free; the RC-tree
+builder re-orients by signal flow.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.geometry import Point, Rect
+from repro.layout import FillFeature, Net, Pin, RoutedLayout, WireSegment
+from repro.tech.process import ProcessStack
+
+_PAREN = re.compile(r"[()]")
+
+
+def write_def(layout: RoutedLayout) -> str:
+    """Serialize a layout to DEF-lite text."""
+    die = layout.die
+    out = [
+        "VERSION 1.0 ;",
+        f"DESIGN {layout.name} ;",
+        f"UNITS DISTANCE MICRONS {layout.stack.dbu_per_micron} ;",
+        f"DIEAREA ( {die.xlo} {die.ylo} ) ( {die.xhi} {die.yhi} ) ;",
+        f"NETS {len(layout.nets)} ;",
+    ]
+    for net in layout.nets.values():
+        out.append(f"- {net.name}")
+        for pin in net.pins:
+            if pin.is_driver:
+                out.append(
+                    f"  + PIN {pin.name} ( {pin.point.x} {pin.point.y} ) "
+                    f"LAYER {pin.layer} DRIVER RES {pin.driver_res_ohm:g}"
+                )
+            else:
+                out.append(
+                    f"  + PIN {pin.name} ( {pin.point.x} {pin.point.y} ) "
+                    f"LAYER {pin.layer} CAP {pin.load_cap_ff:g}"
+                )
+        for seg in net.segments:
+            out.append(
+                f"  + ROUTED {seg.layer} ( {seg.start.x} {seg.start.y} ) "
+                f"( {seg.end.x} {seg.end.y} ) WIDTH {seg.width}"
+            )
+        out.append(";")
+    out.append("END NETS")
+    out.append(f"FILLS {len(layout.fills)} ;")
+    for fill in layout.fills:
+        r = fill.rect
+        out.append(f"- LAYER {fill.layer} RECT ( {r.xlo} {r.ylo} {r.xhi} {r.yhi} ) ;")
+    out.append("END FILLS")
+    out.append("END DESIGN")
+    return "\n".join(out) + "\n"
+
+
+def parse_def(text: str, stack: ProcessStack) -> RoutedLayout:
+    """Parse DEF-lite text against a process stack."""
+    name = "design"
+    die: Rect | None = None
+    layout: RoutedLayout | None = None
+    current_net: Net | None = None
+    pending_nets: list[Net] = []
+    fills: list[FillFeature] = []
+    section = None  # None | "nets" | "fills"
+    declared_dbu: int | None = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        tokens = _PAREN.sub(" ", raw).replace(";", " ; ").split()
+        if not tokens or tokens[0].startswith("#"):
+            continue
+        tokens = [t for t in tokens if t != ";"] or ["_SEMI_ONLY_"]
+        head = tokens[0].upper()
+        try:
+            if head == "_SEMI_ONLY_":
+                # bare ';' — terminates the current net
+                if section == "nets" and current_net is not None:
+                    pending_nets.append(current_net)
+                    current_net = None
+            elif head == "VERSION":
+                continue
+            elif head == "DESIGN":
+                name = tokens[1]
+            elif head == "UNITS":
+                declared_dbu = int(tokens[3])
+                if declared_dbu != stack.dbu_per_micron:
+                    raise ParseError(
+                        f"DEF units {declared_dbu} do not match stack "
+                        f"units {stack.dbu_per_micron}",
+                        line_no,
+                    )
+            elif head == "DIEAREA":
+                x1, y1, x2, y2 = (int(t) for t in tokens[1:5])
+                die = Rect(x1, y1, x2, y2)
+                layout = RoutedLayout(name, die, stack)
+            elif head == "NETS":
+                section = "nets"
+            elif head == "FILLS":
+                section = "fills"
+            elif head == "END":
+                what = tokens[1].upper() if len(tokens) > 1 else ""
+                if what in ("NETS", "FILLS"):
+                    section = None
+                elif what == "DESIGN":
+                    break
+            elif head == "-":
+                if section == "nets":
+                    if current_net is not None:
+                        pending_nets.append(current_net)
+                    current_net = Net(tokens[1])
+                elif section == "fills":
+                    _parse_fill(tokens, fills, line_no)
+                else:
+                    raise ParseError("'-' outside NETS/FILLS section", line_no)
+            elif head == "+":
+                if section != "nets" or current_net is None:
+                    raise ParseError("'+' outside a net statement", line_no)
+                _parse_net_item(tokens, current_net, line_no)
+            else:
+                raise ParseError(f"unexpected token {tokens[0]!r}", line_no)
+        except (ValueError, IndexError) as exc:
+            raise ParseError(f"malformed statement: {exc}", line_no) from exc
+
+    if layout is None:
+        raise ParseError("missing DIEAREA statement")
+    if current_net is not None:
+        pending_nets.append(current_net)
+    for net in pending_nets:
+        layout.add_net(net)
+    for fill in fills:
+        layout.add_fill(fill)
+    return layout
+
+
+def _parse_net_item(tokens: list[str], net: Net, line_no: int) -> None:
+    kind = tokens[1].upper()
+    if kind == "PIN":
+        pin_name = tokens[2]
+        x, y = int(tokens[3]), int(tokens[4])
+        if tokens[5].upper() != "LAYER":
+            raise ParseError("expected LAYER after pin coordinates", line_no)
+        layer = tokens[6]
+        rest = [t.upper() for t in tokens[7:]]
+        if rest[:1] == ["DRIVER"]:
+            if len(tokens) < 10 or rest[1] != "RES":
+                raise ParseError("driver pin needs 'DRIVER RES <ohm>'", line_no)
+            net.add_pin(
+                Pin(pin_name, Point(x, y), layer, is_driver=True,
+                    driver_res_ohm=float(tokens[9]))
+            )
+        elif rest[:1] == ["CAP"]:
+            net.add_pin(
+                Pin(pin_name, Point(x, y), layer, load_cap_ff=float(tokens[8]))
+            )
+        else:
+            raise ParseError("pin needs 'DRIVER RES <ohm>' or 'CAP <ff>'", line_no)
+    elif kind == "ROUTED":
+        layer = tokens[2]
+        x1, y1, x2, y2 = (int(t) for t in tokens[3:7])
+        if tokens[7].upper() != "WIDTH":
+            raise ParseError("expected WIDTH after segment coordinates", line_no)
+        width = int(tokens[8])
+        net.add_segment(
+            WireSegment(net.name, len(net.segments), layer, Point(x1, y1), Point(x2, y2), width)
+        )
+    else:
+        raise ParseError(f"unknown net item {tokens[1]!r}", line_no)
+
+
+def _parse_fill(tokens: list[str], fills: list[FillFeature], line_no: int) -> None:
+    if tokens[1].upper() != "LAYER" or tokens[3].upper() != "RECT":
+        raise ParseError("expected '- LAYER <name> RECT ( x1 y1 x2 y2 )'", line_no)
+    layer = tokens[2]
+    x1, y1, x2, y2 = (int(t) for t in tokens[4:8])
+    fills.append(FillFeature(layer=layer, rect=Rect(x1, y1, x2, y2)))

@@ -1,0 +1,144 @@
+"""LEF-lite: a small LEF-inspired dialect for process stacks.
+
+Not full LEF — just the fields this library consumes, in LEF-flavoured
+syntax, so testcases and stacks can live in version-controlled text files::
+
+    VERSION 1.0 ;
+    UNITS DATABASE MICRONS 1000 ;
+    LAYER metal3
+      TYPE ROUTING ;
+      DIRECTION HORIZONTAL ;
+      WIDTH 0.28 ;
+      SPACING 0.28 ;
+      THICKNESS 0.5 ;
+      RESISTANCE RPERSQ 0.08 ;
+      EPSR 3.9 ;
+      GROUNDCAP 0.2 ;
+    END metal3
+    END LIBRARY
+
+Widths/spacings in microns (converted to DBU against the UNITS line);
+THICKNESS in µm, RESISTANCE in Ω/sq, GROUNDCAP in fF/µm.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.tech.process import ProcessLayer, ProcessStack
+from repro.units import um_to_dbu
+
+
+def write_lef(stack: ProcessStack) -> str:
+    """Serialize a stack to LEF-lite text."""
+    dbu = stack.dbu_per_micron
+    lines = [
+        "VERSION 1.0 ;",
+        f"UNITS DATABASE MICRONS {dbu} ;",
+    ]
+    for layer in stack.layers:
+        direction = "HORIZONTAL" if layer.direction == "h" else "VERTICAL"
+        lines += [
+            f"LAYER {layer.name}",
+            "  TYPE ROUTING ;",
+            f"  DIRECTION {direction} ;",
+            f"  WIDTH {layer.min_width_dbu / dbu:g} ;",
+            f"  SPACING {layer.min_space_dbu / dbu:g} ;",
+            f"  THICKNESS {layer.thickness_um:g} ;",
+            f"  RESISTANCE RPERSQ {layer.sheet_res_ohm:g} ;",
+            f"  EPSR {layer.eps_r:g} ;",
+            f"  GROUNDCAP {layer.ground_cap_ff_per_um:g} ;",
+            f"END {layer.name}",
+        ]
+    lines.append("END LIBRARY")
+    return "\n".join(lines) + "\n"
+
+
+def parse_lef(text: str, name: str = "lef") -> ProcessStack:
+    """Parse LEF-lite text into a :class:`ProcessStack`."""
+    dbu: int | None = None
+    layers: list[ProcessLayer] = []
+    current: dict | None = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        tokens = raw.replace(";", " ").split()
+        if not tokens or tokens[0].startswith("#"):
+            continue
+        head = tokens[0].upper()
+        try:
+            if head == "VERSION":
+                continue
+            if head == "UNITS":
+                if len(tokens) < 4 or tokens[1].upper() != "DATABASE":
+                    raise ParseError("expected 'UNITS DATABASE MICRONS <n>'", line_no)
+                dbu = int(tokens[3])
+            elif head == "LAYER":
+                if current is not None:
+                    raise ParseError("nested LAYER", line_no)
+                current = {"name": tokens[1]}
+            elif head == "END":
+                if len(tokens) > 1 and tokens[1].upper() == "LIBRARY":
+                    break
+                if current is None:
+                    raise ParseError("END outside LAYER", line_no)
+                if dbu is None:
+                    raise ParseError("UNITS must precede LAYER blocks", line_no)
+                layers.append(_finish_layer(current, dbu, line_no))
+                current = None
+            elif current is not None:
+                _layer_field(current, head, tokens, line_no)
+            else:
+                raise ParseError(f"unexpected token {tokens[0]!r}", line_no)
+        except (ValueError, IndexError) as exc:
+            raise ParseError(f"malformed statement: {exc}", line_no) from exc
+
+    if current is not None:
+        raise ParseError("unterminated LAYER block")
+    if dbu is None:
+        raise ParseError("missing UNITS statement")
+    if not layers:
+        raise ParseError("no LAYER blocks found")
+    return ProcessStack(layers=tuple(layers), dbu_per_micron=dbu, name=name)
+
+
+def _layer_field(current: dict, head: str, tokens: list[str], line_no: int) -> None:
+    if head == "TYPE":
+        if tokens[1].upper() != "ROUTING":
+            raise ParseError(f"unsupported layer type {tokens[1]!r}", line_no)
+    elif head == "DIRECTION":
+        value = tokens[1].upper()
+        if value not in ("HORIZONTAL", "VERTICAL"):
+            raise ParseError(f"bad DIRECTION {tokens[1]!r}", line_no)
+        current["direction"] = "h" if value == "HORIZONTAL" else "v"
+    elif head == "WIDTH":
+        current["width_um"] = float(tokens[1])
+    elif head == "SPACING":
+        current["space_um"] = float(tokens[1])
+    elif head == "THICKNESS":
+        current["thickness_um"] = float(tokens[1])
+    elif head == "RESISTANCE":
+        if tokens[1].upper() != "RPERSQ":
+            raise ParseError("expected 'RESISTANCE RPERSQ <ohm>'", line_no)
+        current["sheet_res_ohm"] = float(tokens[2])
+    elif head == "EPSR":
+        current["eps_r"] = float(tokens[1])
+    elif head == "GROUNDCAP":
+        current["ground_cap"] = float(tokens[1])
+    else:
+        raise ParseError(f"unknown layer field {head!r}", line_no)
+
+
+def _finish_layer(current: dict, dbu: int, line_no: int) -> ProcessLayer:
+    required = ("direction", "width_um", "space_um", "thickness_um", "sheet_res_ohm", "eps_r")
+    missing = [k for k in required if k not in current]
+    if missing:
+        raise ParseError(f"layer {current['name']}: missing fields {missing}", line_no)
+    return ProcessLayer(
+        name=current["name"],
+        direction=current["direction"],
+        thickness_um=current["thickness_um"],
+        eps_r=current["eps_r"],
+        sheet_res_ohm=current["sheet_res_ohm"],
+        min_width_dbu=um_to_dbu(current["width_um"], dbu),
+        min_space_dbu=um_to_dbu(current["space_um"], dbu),
+        ground_cap_ff_per_um=current.get("ground_cap", 0.2),
+    )

@@ -1,0 +1,23 @@
+"""Layout data model: pins, nets, wire segments (active lines), the routed
+layout container, per-net RC trees, and validation."""
+
+from repro.layout.net import Net, Pin
+from repro.layout.segment import Direction, WireSegment
+from repro.layout.rctree import LineTiming, RCTree, OHM_FF_TO_PS
+from repro.layout.layout import FillFeature, RoutedLayout
+from repro.layout.validate import ValidationReport, validate_fill, validate_layout
+
+__all__ = [
+    "Net",
+    "Pin",
+    "Direction",
+    "WireSegment",
+    "LineTiming",
+    "RCTree",
+    "OHM_FF_TO_PS",
+    "FillFeature",
+    "RoutedLayout",
+    "ValidationReport",
+    "validate_fill",
+    "validate_layout",
+]

@@ -1,0 +1,145 @@
+"""The routed-layout container.
+
+:class:`RoutedLayout` owns the die area, the process stack, all nets, and
+(after :meth:`RoutedLayout.build_timing`) the per-net RC trees whose
+oriented lines are the *active lines* every downstream algorithm works on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LayoutError
+from repro.geometry import GridBinIndex, Rect
+from repro.layout.net import Net
+from repro.layout.rctree import LineTiming, RCTree
+from repro.layout.segment import WireSegment
+from repro.tech.process import ProcessStack
+
+
+@dataclass
+class FillFeature:
+    """One placed square of floating fill."""
+
+    layer: str
+    rect: Rect
+
+    def __post_init__(self) -> None:
+        if self.rect.width != self.rect.height:
+            raise LayoutError(f"fill features must be square, got {self.rect}")
+
+
+class RoutedLayout:
+    """A routed design: die, technology, nets, and derived timing views."""
+
+    def __init__(self, name: str, die: Rect, stack: ProcessStack):
+        if die.is_empty():
+            raise LayoutError(f"die area must have positive extent, got {die}")
+        self.name = name
+        self.die = die
+        self.stack = stack
+        self.nets: dict[str, Net] = {}
+        self.fills: list[FillFeature] = []
+        self._trees: dict[str, RCTree] | None = None
+
+    # -- construction -------------------------------------------------------
+
+    def add_net(self, net: Net) -> None:
+        """Register a net; geometry must stay inside the die."""
+        if net.name in self.nets:
+            raise LayoutError(f"duplicate net {net.name!r}")
+        for seg in net.segments:
+            if not self.die.contains_rect(seg.rect):
+                raise LayoutError(
+                    f"net {net.name}: segment {seg.index} at {seg.rect} leaves die {self.die}"
+                )
+            if not self.stack.has_layer(seg.layer):
+                raise LayoutError(f"net {net.name}: unknown layer {seg.layer!r}")
+        self.nets[net.name] = net
+        self._trees = None  # timing views are now stale
+
+    def add_fill(self, feature: FillFeature) -> None:
+        """Register a placed fill feature."""
+        if not self.die.contains_rect(feature.rect):
+            raise LayoutError(f"fill at {feature.rect} leaves die {self.die}")
+        self.fills.append(feature)
+
+    # -- timing views ---------------------------------------------------------
+
+    def build_timing(self) -> None:
+        """(Re)build RC trees for every net. Called lazily by accessors."""
+        self._trees = {name: RCTree.build(net, self.stack) for name, net in self.nets.items()}
+
+    def tree(self, net_name: str) -> RCTree:
+        """RC tree of one net."""
+        if self._trees is None:
+            self.build_timing()
+        try:
+            return self._trees[net_name]
+        except KeyError:
+            raise LayoutError(f"unknown net {net_name!r}") from None
+
+    def trees(self) -> Iterator[RCTree]:
+        """All RC trees, in net insertion order."""
+        if self._trees is None:
+            self.build_timing()
+        return iter(self._trees.values())
+
+    def active_lines(self, layer: str) -> list[tuple[RCTree, LineTiming]]:
+        """All oriented active lines on ``layer`` with their owning trees."""
+        out: list[tuple[RCTree, LineTiming]] = []
+        for tree in self.trees():
+            for line in tree.lines:
+                if line.segment.layer == layer:
+                    out.append((tree, line))
+        return out
+
+    def line_index(self, layer: str, bin_size: int | None = None) -> GridBinIndex[tuple[str, int]]:
+        """Spatial index of active-line rectangles on ``layer``; items are
+        ``(net_name, line_index)`` keys resolvable via :meth:`tree`."""
+        if bin_size is None:
+            bin_size = max(1, max(self.die.width, self.die.height) // 16)
+        index: GridBinIndex[tuple[str, int]] = GridBinIndex(bin_size)
+        for tree in self.trees():
+            for line in tree.lines:
+                if line.segment.layer == layer:
+                    index.insert(line.segment.rect, (tree.net.name, line.segment.index))
+        return index
+
+    # -- geometry queries -----------------------------------------------------
+
+    def segments_on_layer(self, layer: str) -> list[WireSegment]:
+        """Raw (input-orientation) segments on ``layer``."""
+        return [
+            seg for net in self.nets.values() for seg in net.segments if seg.layer == layer
+        ]
+
+    def feature_rects(self, layer: str, include_fill: bool = False) -> list[Rect]:
+        """Drawn metal rectangles on ``layer`` (optionally including fill)."""
+        rects = [seg.rect for seg in self.segments_on_layer(layer)]
+        if include_fill:
+            rects.extend(f.rect for f in self.fills if f.layer == layer)
+        return rects
+
+    @property
+    def used_layers(self) -> list[str]:
+        """Layers carrying at least one segment, in stack order."""
+        present = {seg.layer for net in self.nets.values() for seg in net.segments}
+        return [name for name in self.stack.layer_names if name in present]
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Summary counters, handy for logging and test assertions."""
+        n_segments = sum(len(net.segments) for net in self.nets.values())
+        n_sinks = sum(len(net.sinks) for net in self.nets.values())
+        wirelength = sum(net.total_wirelength for net in self.nets.values())
+        return {
+            "nets": len(self.nets),
+            "segments": n_segments,
+            "sinks": n_sinks,
+            "wirelength_dbu": wirelength,
+            "fills": len(self.fills),
+            "die_area_dbu2": self.die.area,
+        }

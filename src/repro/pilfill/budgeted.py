@@ -1,0 +1,242 @@
+"""Per-net capacitance-budgeted PIL-Fill (paper Section 7, "ongoing
+research").
+
+The paper's closing direction: timing flows hand down *budgeted slacks*
+per net, translatable into capacitance budgets ``B_net`` (fF). Fill must
+then satisfy the per-tile density prescription while keeping the coupling
+capacitance added to each net within its budget — and, among feasible
+placements, still minimize total weighted delay.
+
+Per tile this is no longer separable per column (a column couples to two
+nets, and budgets tie columns of the same net together), so it genuinely
+needs the ILP machinery:
+
+    minimize    Σ_k Σ_n cost_k(n) · s_{k,n}                 (ILP-II objective)
+    subject to  Σ_k m_k = F                                  (budget, Eq. 17)
+                one-hot selectors per column                 (Eqs. 18-19)
+                Σ_{k adj net} ΔC_k(n)·s_{k,n} ≤ B_net        (NEW, per net)
+
+A Lagrangian-flavoured greedy fallback (`solve_tile_budgeted_greedy`)
+handles tiles too large for exact solving: marginal greedy that skips
+columns whose next feature would breach a net budget.
+
+Budgets are naturally derived from timing slack via
+:func:`derive_net_cap_budgets`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import heapq
+
+from repro.errors import FillError
+from repro.ilp import Model, VarKind, solve
+from repro.layout.layout import RoutedLayout
+from repro.layout.rctree import OHM_FF_TO_PS
+from repro.pilfill.costs import ColumnCosts
+from repro.pilfill.solution import TileSolution
+
+
+@dataclass
+class BudgetedOutcome:
+    """Solution of one budgeted tile plus the capacitance actually used."""
+
+    solution: TileSolution
+    cap_used_ff: dict[str, float]
+    feasible: bool
+
+
+def solve_tile_budgeted_ilp(
+    costs: list[ColumnCosts],
+    cap_tables: list[tuple[float, ...]],
+    budget: int,
+    net_budgets_ff: dict[str, float],
+    backend: str = "auto",
+) -> BudgetedOutcome:
+    """Exact per-tile solve with per-net capacitance budgets.
+
+    Args:
+        costs: per-column cost tables (exact delay model).
+        cap_tables: per-column ΔC(n) in fF (parallel to ``costs``) — the
+            raw capacitance each count adds to *each* adjacent net.
+        budget: features to place in this tile.
+        net_budgets_ff: remaining capacitance budget per net name; nets
+            absent from the mapping are unconstrained.
+
+    Returns:
+        A :class:`BudgetedOutcome`; ``feasible=False`` when no placement
+        satisfies every budget (the caller may then relax or report).
+    """
+    if budget == 0:
+        return BudgetedOutcome(TileSolution(counts=[0] * len(costs)), {}, True)
+    capacity = sum(c.capacity for c in costs)
+    if budget > capacity:
+        raise FillError(f"budget {budget} exceeds tile capacity {capacity}")
+
+    model = Model("budgeted-tile")
+    m_vars = []
+    objective_terms = []
+    net_terms: dict[str, list] = defaultdict(list)
+    for k, (cc, caps) in enumerate(zip(costs, cap_tables)):
+        m_k = model.add_var(f"m_{k}", lb=0, ub=cc.capacity, kind=VarKind.INTEGER)
+        m_vars.append(m_k)
+        if cc.capacity == 0:
+            continue
+        selectors = [
+            model.add_var(f"s_{k}_{n}", kind=VarKind.BINARY)
+            for n in range(cc.capacity + 1)
+        ]
+        model.add_constraint(sum((s * 1.0 for s in selectors), start=0.0) == 1.0)
+        model.add_constraint(
+            m_k == sum((selectors[n] * float(n) for n in range(cc.capacity + 1)), start=0.0)
+        )
+        for n in range(1, cc.capacity + 1):
+            if cc.exact[n] != 0.0:
+                objective_terms.append(selectors[n] * cc.exact[n])
+        if cc.column.has_impact:
+            for neighbor in (cc.column.below, cc.column.above):
+                if neighbor is None or neighbor.net not in net_budgets_ff:
+                    continue
+                for n in range(1, cc.capacity + 1):
+                    if caps[n] != 0.0:
+                        net_terms[neighbor.net].append(selectors[n] * caps[n])
+
+    model.add_constraint(sum((m * 1.0 for m in m_vars), start=0.0) == float(budget))
+    for net, terms in net_terms.items():
+        model.add_constraint(
+            sum(terms, start=0.0) <= net_budgets_ff[net]
+        )
+    model.minimize(sum(objective_terms, start=0.0))
+
+    result = solve(model, backend=backend)
+    if not result.status.is_optimal:
+        return BudgetedOutcome(TileSolution(counts=[0] * len(costs)), {}, False)
+    counts = [int(result.value(m.name)) for m in m_vars]
+    used = _cap_used(costs, cap_tables, counts)
+    solution = TileSolution(
+        counts=counts,
+        model_objective_ps=result.objective,
+        nodes=result.nodes,
+        iterations=result.iterations,
+    )
+    return BudgetedOutcome(solution, used, True)
+
+
+def solve_tile_budgeted_greedy(
+    costs: list[ColumnCosts],
+    cap_tables: list[tuple[float, ...]],
+    budget: int,
+    net_budgets_ff: dict[str, float],
+) -> BudgetedOutcome:
+    """Marginal greedy that respects per-net capacitance budgets.
+
+    Grants the cheapest next feature whose ΔC fits in both adjacent nets'
+    remaining budgets; columns that would breach a budget are frozen. May
+    return fewer than ``budget`` features when the budgets bind —
+    ``feasible`` reflects whether the full count was placed.
+    """
+    remaining = dict(net_budgets_ff)
+    counts = [0] * len(costs)
+    spent = 0.0
+
+    heap: list[tuple[float, int]] = []
+    for k, cc in enumerate(costs):
+        if cc.capacity > 0:
+            heapq.heappush(heap, (cc.exact[1] - cc.exact[0], k))
+
+    placed = 0
+    frozen: set[int] = set()
+    while placed < budget and heap:
+        marginal, k = heapq.heappop(heap)
+        if k in frozen:
+            continue
+        cc, caps = costs[k], cap_tables[k]
+        nxt = counts[k] + 1
+        delta_cap = caps[nxt] - caps[counts[k]]
+        nets = []
+        if cc.column.has_impact:
+            nets = [
+                n.net for n in (cc.column.below, cc.column.above)
+                if n is not None and n.net in remaining
+            ]
+        if any(remaining[n] < delta_cap - 1e-15 for n in nets):
+            frozen.add(k)
+            continue
+        counts[k] = nxt
+        for n in nets:
+            remaining[n] -= delta_cap
+        spent += marginal
+        placed += 1
+        if nxt < len(cc.exact) - 1:
+            heapq.heappush(heap, (cc.exact[nxt + 1] - cc.exact[nxt], k))
+
+    used = _cap_used(costs, cap_tables, counts)
+    solution = TileSolution(counts=counts, model_objective_ps=spent)
+    return BudgetedOutcome(solution, used, placed == budget)
+
+
+def _cap_used(costs, cap_tables, counts) -> dict[str, float]:
+    used: dict[str, float] = defaultdict(float)
+    for cc, caps, n in zip(costs, cap_tables, counts):
+        if n == 0 or not cc.column.has_impact:
+            continue
+        for neighbor in (cc.column.below, cc.column.above):
+            if neighbor is not None:
+                used[neighbor.net] += caps[n]
+    return dict(used)
+
+
+def derive_net_cap_budgets(
+    layout: RoutedLayout,
+    slack_fraction_ps: float = 0.05,
+) -> dict[str, float]:
+    """Capacitance budgets from timing slack (paper Section 7's premise).
+
+    Gives each net a delay slack of ``slack_fraction_ps`` × its worst
+    baseline sink delay, then converts to capacitance through the net's
+    mean line resistance: B_net = slack_ps / (R̄ · 1e-3).
+    """
+    if slack_fraction_ps < 0:
+        raise FillError("slack fraction must be non-negative")
+    budgets: dict[str, float] = {}
+    for tree in layout.trees():
+        delays = tree.elmore_delays()
+        if not delays:
+            continue
+        slack_ps = max(delays.values()) * slack_fraction_ps
+        resistances = [
+            line.resistance_at(line.segment.high_coord) for line in tree.lines
+        ]
+        mean_res = sum(resistances) / len(resistances)
+        if mean_res <= 0:
+            continue
+        budgets[tree.net.name] = slack_ps / (mean_res * OHM_FF_TO_PS)
+    return budgets
+
+
+def build_cap_tables(costs: list[ColumnCosts]) -> list[tuple[float, ...]]:
+    """Recover raw ΔC(n) (fF) per column from the weighted cost tables.
+
+    ``exact[n] = r̂ · ΔC(n) · OHM_FF_TO_PS`` with the r̂ the tables were
+    built with; dividing it back out yields the capacitance each adjacent
+    net receives. Columns without impact get all-zero tables.
+    """
+    out: list[tuple[float, ...]] = []
+    for cc in costs:
+        if not cc.column.has_impact:
+            out.append(tuple(0.0 for _ in range(cc.capacity + 1)))
+            continue
+        # The tables may have been built weighted or unweighted; both
+        # divisors are available on the column, and exactly one of them
+        # reproduces a consistent ΔC — weighted tables were built with
+        # resistance_weight(True). Prefer it; fall back when degenerate.
+        divisor = cc.column.resistance_weight(True) * OHM_FF_TO_PS
+        if divisor <= 0:
+            divisor = cc.column.resistance_weight(False) * OHM_FF_TO_PS
+        if divisor <= 0:
+            out.append(tuple(0.0 for _ in range(cc.capacity + 1)))
+            continue
+        out.append(tuple(v / divisor for v in cc.exact))
+    return out

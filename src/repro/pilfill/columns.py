@@ -1,0 +1,121 @@
+"""Slack-column data model (paper Section 5.1).
+
+A *slack column* is a vertical (for horizontal routing) stack of legal
+fill sites at one site-grid column position, lying in the *gap* between a
+pair of neighboring active lines (or between a line and a boundary). The
+three definitions of Section 5.1 differ in which gaps are seen:
+
+* ``SlackColumnDef.WITHIN_TILE`` (SlackColumn-I): only gaps between two
+  active lines inside the tile;
+* ``SlackColumnDef.TILE_BOUNDED`` (SlackColumn-II): gaps against tile
+  boundaries too, but neighbors outside the tile are invisible (their
+  capacitance impact is *not* captured);
+* ``SlackColumnDef.FULL_LAYOUT`` (SlackColumn-III): the sweep runs over the
+  whole layout, so every column knows its true neighboring lines even when
+  those lines live in adjacent tiles.
+
+Capacitance bookkeeping: a column with both neighbors present carries the
+gap distance ``d`` and contributes ΔC(m) coupling to *both* lines; columns
+missing a neighbor (boundary gaps) have no modeled delay impact — which is
+precisely the inaccuracy of definitions I/II that the paper discusses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+from repro.layout.rctree import OHM_FF_TO_PS
+
+
+class SlackColumnDef(enum.Enum):
+    """Which slack-column definition the scan uses (paper §5.1)."""
+
+    WITHIN_TILE = "I"
+    TILE_BOUNDED = "II"
+    FULL_LAYOUT = "III"
+
+
+@dataclass(frozen=True)
+class ColumnNeighbor:
+    """One active line adjacent to a slack column, with the electrical
+    quantities the MDFC objective needs at the column's position.
+
+    Attributes:
+        net: owning net name.
+        line_index: index of the line within its RC tree.
+        sinks: downstream sink count (the weight ``W_l``).
+        resistance_ohm: total upstream resistance at the column position
+            (the paper's ``R_l + Σ r_l``), Ω.
+    """
+
+    net: str
+    line_index: int
+    sinks: int
+    resistance_ohm: float
+
+    @property
+    def identity(self) -> tuple[str, int]:
+        return (self.net, self.line_index)
+
+
+@dataclass(frozen=True)
+class SlackColumn:
+    """A stack of legal fill sites in one gap, clipped to one tile.
+
+    Attributes:
+        layer: routing layer.
+        tile: owning tile key ``(ix, iy)``.
+        col: global site-grid column index along the routing direction.
+        sites: legal site rectangles, ordered nearest-line-first is NOT
+            guaranteed — ordered by increasing cross coordinate.
+        gap_um: edge-to-edge distance between the two neighbor lines (µm),
+            or None when fewer than two line neighbors exist.
+        below: neighbor on the low-coordinate side (None = boundary).
+        above: neighbor on the high-coordinate side (None = boundary).
+    """
+
+    layer: str
+    tile: tuple[int, int]
+    col: int
+    sites: tuple[Rect, ...]
+    gap_um: float | None
+    below: ColumnNeighbor | None
+    above: ColumnNeighbor | None
+
+    @property
+    def capacity(self) -> int:
+        """Number of fill features the column can take in this tile."""
+        return len(self.sites)
+
+    @property
+    def has_impact(self) -> bool:
+        """True when filling this column changes modeled coupling (both
+        neighbor lines present)."""
+        return self.below is not None and self.above is not None and self.gap_um is not None
+
+    @property
+    def gap_key(self) -> tuple:
+        """Identity of the *physical* gap column. Columns in different
+        tiles that share the same site-grid column and the same neighbor
+        pair refer to the same physical stack; the evaluator recombines
+        them when computing true (nonlinear) capacitance."""
+        below = self.below.identity if self.below else None
+        above = self.above.identity if self.above else None
+        return (self.layer, self.col, below, above)
+
+    def resistance_weight(self, weighted: bool) -> float:
+        """The r̂_k multiplier of the MDFC objective (paper Fig. 8 line 11):
+        Σ over present neighbors of (W_l or 1) × upstream resistance at the
+        column position, Ω."""
+        total = 0.0
+        for neighbor in (self.below, self.above):
+            if neighbor is not None:
+                w = neighbor.sinks if weighted else 1
+                total += w * neighbor.resistance_ohm
+        return total
+
+    def delay_ps(self, cap_ff: float, weighted: bool) -> float:
+        """Delay impact (ps) of attaching ``cap_ff`` in this column."""
+        return self.resistance_weight(weighted) * cap_ff * OHM_FF_TO_PS

@@ -1,0 +1,70 @@
+"""Per-tile cost tables shared by the MDFC solution methods.
+
+For every slack column ``k`` in a tile we tabulate the delay impact (ps)
+of placing ``n = 0 .. C_k`` features:
+
+* exact costs — the LUT capacitance model (ILP-II, Greedy, DP, evaluator),
+* linear costs — ILP-I's Eq. 6 approximation (per-feature constant).
+
+Both are weighted by the column's r̂ multiplier (Σ neighbor weight ×
+upstream resistance), so a cost table entry *is* the objective
+contribution of that column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cap.fillimpact import linear_column_cap
+from repro.cap.lut import LUTCache
+from repro.layout.rctree import OHM_FF_TO_PS
+from repro.pilfill.columns import SlackColumn
+from repro.tech.process import ProcessLayer
+from repro.tech.rules import FillRules
+
+
+@dataclass(frozen=True)
+class ColumnCosts:
+    """Cost tables of one column.
+
+    ``exact[n]`` and ``linear[n]`` are delay impacts in ps for ``n``
+    features; both have length ``capacity + 1`` with entry 0 equal to 0.
+    """
+
+    column: SlackColumn
+    exact: tuple[float, ...]
+    linear: tuple[float, ...]
+
+    @property
+    def capacity(self) -> int:
+        return self.column.capacity
+
+
+def build_costs(
+    columns: list[SlackColumn],
+    layer: ProcessLayer,
+    rules: FillRules,
+    dbu_per_micron: int,
+    lut_cache: LUTCache,
+    weighted: bool,
+) -> list[ColumnCosts]:
+    """Cost tables for every column of a tile."""
+    fill_w_um = rules.fill_size / dbu_per_micron
+    out: list[ColumnCosts] = []
+    for col in columns:
+        cap = col.capacity
+        if not col.has_impact:
+            zero = tuple(0.0 for _ in range(cap + 1))
+            out.append(ColumnCosts(col, zero, zero))
+            continue
+        r_hat = col.resistance_weight(weighted)
+        lut = lut_cache.get(col.gap_um, cap)
+        exact = tuple(r_hat * lut.cap(n) * OHM_FF_TO_PS for n in range(cap + 1))
+        linear = tuple(
+            r_hat
+            * linear_column_cap(layer.eps_r, layer.thickness_um, col.gap_um, n, fill_w_um)
+            * OHM_FF_TO_PS
+            for n in range(cap + 1)
+        )
+        out.append(ColumnCosts(col, exact, linear))
+    return out

@@ -1,0 +1,106 @@
+"""Exact solvers for the per-tile separable MDFC problem.
+
+The per-tile problem — minimize Σ_k cost_k(m_k) subject to Σ m_k = F,
+0 ≤ m_k ≤ C_k integer — is a *separable resource allocation* problem.
+When every cost table is convex in m (true for both the exact and linear
+capacitance models), the marginal-greedy allocation is provably optimal;
+a classic dynamic program solves the general (non-convex) case.
+
+These serve three roles: a fast exact method in their own right (an
+extension beyond the paper), the verification oracle for ILP-II in the
+test suite, and the engine's fallback for very large tiles.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import FillError
+
+
+def allocate_marginal_greedy(cost_tables: list[tuple[float, ...]], budget: int) -> list[int]:
+    """Optimal allocation for convex cost tables via marginal greedy.
+
+    Repeatedly grants one more feature to the column with the cheapest
+    next-feature marginal cost. Optimal when every table's marginals are
+    nondecreasing (convexity), which holds for Eq. 5/Eq. 6 costs.
+
+    Args:
+        cost_tables: per column, cost of 0..C_k features (entry 0 must be 0).
+        budget: exact total features to allocate.
+
+    Returns:
+        Features per column, summing to ``budget``.
+
+    Raises:
+        FillError: when the budget exceeds total capacity.
+    """
+    capacity = sum(len(t) - 1 for t in cost_tables)
+    if budget < 0:
+        raise FillError(f"budget must be non-negative, got {budget}")
+    if budget > capacity:
+        raise FillError(f"budget {budget} exceeds total column capacity {capacity}")
+
+    counts = [0] * len(cost_tables)
+    heap: list[tuple[float, int]] = []
+    for k, table in enumerate(cost_tables):
+        if len(table) > 1:
+            heapq.heappush(heap, (table[1] - table[0], k))
+    for _ in range(budget):
+        marginal, k = heapq.heappop(heap)
+        counts[k] += 1
+        table = cost_tables[k]
+        nxt = counts[k] + 1
+        if nxt < len(table):
+            heapq.heappush(heap, (table[nxt] - table[counts[k]], k))
+    return counts
+
+
+def allocate_dp(cost_tables: list[tuple[float, ...]], budget: int) -> list[int]:
+    """Exact allocation by dynamic programming (no convexity assumption).
+
+    O(K · F · C_max) time — intended for verification and modest tiles.
+    """
+    capacity = sum(len(t) - 1 for t in cost_tables)
+    if budget < 0:
+        raise FillError(f"budget must be non-negative, got {budget}")
+    if budget > capacity:
+        raise FillError(f"budget {budget} exceeds total column capacity {capacity}")
+
+    inf = float("inf")
+    # best[f] = minimal cost to allocate f features among processed columns.
+    best = [0.0] + [inf] * budget
+    choice: list[list[int]] = []
+    for table in cost_tables:
+        cmax = len(table) - 1
+        new = [inf] * (budget + 1)
+        pick = [0] * (budget + 1)
+        for f in range(budget + 1):
+            for n in range(0, min(cmax, f) + 1):
+                cand = best[f - n] + table[n]
+                if cand < new[f] - 1e-15:
+                    new[f] = cand
+                    pick[f] = n
+        best = new
+        choice.append(pick)
+
+    counts = [0] * len(cost_tables)
+    f = budget
+    for k in range(len(cost_tables) - 1, -1, -1):
+        n = choice[k][f]
+        counts[k] = n
+        f -= n
+    assert f == 0
+    return counts
+
+
+def allocation_cost(cost_tables: list[tuple[float, ...]], counts: list[int]) -> float:
+    """Objective value of an allocation."""
+    if len(counts) != len(cost_tables):
+        raise FillError("counts/cost_tables length mismatch")
+    total = 0.0
+    for table, n in zip(cost_tables, counts):
+        if not 0 <= n < len(table):
+            raise FillError(f"count {n} outside table range 0..{len(table) - 1}")
+        total += table[n]
+    return total

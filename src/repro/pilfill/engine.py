@@ -1,0 +1,426 @@
+"""End-to-end PIL-Fill engine (paper Sections 5-6 flow).
+
+Pipeline per layer:
+
+1. build the fixed r-dissection and the pre-fill density map,
+2. compute per-tile fill budgets with the density-control baseline
+   (Min-Var LP or Monte-Carlo, ref [3]),
+3. run the scan-line to extract slack columns (definition I/II/III),
+4. clamp budgets to column capacity (the definition-I/II shortfall the
+   paper describes surfaces here),
+5. solve each tile's MDFC instance with the chosen method and place the
+   features into column sites,
+6. return the placement plus bookkeeping (budgets, per-tile solutions,
+   phase runtimes).
+
+The engine never mutates the input layout; callers evaluate placements
+with :func:`repro.pilfill.evaluate.evaluate_impact` and may attach the
+features via ``layout.add_fill`` afterwards.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.cap.lut import LUTCache
+from repro.dissection.density import DensityMap
+from repro.dissection.fixed import FixedDissection
+from repro.errors import FillError
+from repro.fillsynth.budget import hybrid_budget, lp_minvar_budget, montecarlo_budget
+from repro.fillsynth.slack_sites import SiteLegality
+from repro.layout.layout import FillFeature, RoutedLayout
+from repro.pilfill.columns import SlackColumnDef
+from repro.pilfill.costs import build_costs
+from repro.pilfill.dp import allocate_dp, allocation_cost
+from repro.pilfill.greedy import solve_tile_greedy, solve_tile_greedy_marginal
+from repro.pilfill.budgeted import (
+    build_cap_tables,
+    solve_tile_budgeted_greedy,
+    solve_tile_budgeted_ilp,
+)
+from repro.pilfill.ilp1 import solve_tile_ilp1
+from repro.pilfill.ilp2 import solve_tile_ilp2
+from repro.pilfill.mvdc import derive_tile_delay_budgets, solve_tile_mvdc
+from repro.pilfill.scanline import extract_columns
+from repro.pilfill.solution import TileSolution
+from repro.tech.rules import DensityRules, FillRules
+
+#: The method names the engine accepts.
+METHODS = ("normal", "ilp1", "ilp2", "greedy", "greedy_marginal", "dp")
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of one PIL-Fill run.
+
+    Attributes:
+        fill_rules: fill feature size / gap / buffer distance.
+        density_rules: window size, dissection value r, density bounds.
+        method: one of :data:`METHODS`.
+        weighted: sink-weighted (True, Table 2) or per-segment (False,
+            Table 1) objective.
+        column_def: slack-column definition (paper §5.1); III by default.
+        budget_mode: ``"lp"`` (Min-Var LP) or ``"montecarlo"``.
+        target_density: density floor the budget step aims for. A float is
+            used directly; ``"mean"`` resolves to the pre-fill mean window
+            density; None maximizes uniformity with no cap (can consume all
+            slack, leaving the methods little freedom).
+        capacity_margin: fraction of each tile's slack capacity the budget
+            step may prescribe (≤ 1). Real flows keep headroom below 100%
+            utilization; for the reproduction it also guarantees every
+            budgeted tile retains site choice, so methods stay
+            distinguishable at fine dissections.
+        backend: ILP backend for the ILP methods.
+        seed: seed for the Normal placement / Monte-Carlo budget.
+    """
+
+    fill_rules: FillRules
+    density_rules: DensityRules
+    method: str = "ilp2"
+    weighted: bool = True
+    column_def: SlackColumnDef = SlackColumnDef.FULL_LAYOUT
+    budget_mode: str = "lp"
+    target_density: float | str | None = "mean"
+    capacity_margin: float = 0.7
+    backend: str = "auto"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise FillError(f"unknown method {self.method!r}; expected one of {METHODS}")
+        if self.budget_mode not in ("lp", "montecarlo", "hybrid"):
+            raise FillError(f"unknown budget mode {self.budget_mode!r}")
+        if isinstance(self.target_density, str) and self.target_density != "mean":
+            raise FillError(
+                f"target_density must be a float, None, or 'mean'; got {self.target_density!r}"
+            )
+        if not 0.0 < self.capacity_margin <= 1.0:
+            raise FillError(
+                f"capacity_margin must be in (0, 1], got {self.capacity_margin}"
+            )
+
+
+@dataclass
+class FillResult:
+    """Outcome of one engine run."""
+
+    features: list[FillFeature] = field(default_factory=list)
+    requested_budget: dict[tuple[int, int], int] = field(default_factory=dict)
+    effective_budget: dict[tuple[int, int], int] = field(default_factory=dict)
+    tile_solutions: dict[tuple[int, int], TileSolution] = field(default_factory=dict)
+    model_objective_ps: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_features(self) -> int:
+        return len(self.features)
+
+    @property
+    def shortfall(self) -> int:
+        """Features the density step asked for that no slack column could
+        hold (the paper's definition-I/II weakness)."""
+        return sum(self.requested_budget.values()) - sum(self.effective_budget.values())
+
+    @property
+    def solve_seconds(self) -> float:
+        """Time in the per-tile optimization phase (the paper's CPU
+        column measures the method, not the shared preprocessing)."""
+        return self.phase_seconds.get("solve", 0.0)
+
+
+class PILFillEngine:
+    """Runs the full PIL-Fill flow on one layer of a layout."""
+
+    def __init__(self, layout: RoutedLayout, layer: str, config: EngineConfig):
+        if not layout.stack.has_layer(layer):
+            raise FillError(f"layout stack has no layer {layer!r}")
+        self.layout = layout
+        self.layer = layer
+        self.config = config
+
+    def run(self, budget: dict[tuple[int, int], int] | None = None) -> FillResult:
+        """Execute the flow. ``budget`` overrides the density step when
+        given (used to hold density control identical across methods)."""
+        cfg = self.config
+        result = FillResult()
+        clock = time.perf_counter
+
+        t0 = clock()
+        dissection = FixedDissection(self.layout.die, cfg.density_rules)
+        legality = SiteLegality(self.layout, self.layer, cfg.fill_rules)
+        density = DensityMap.from_layout(dissection, self.layout, self.layer)
+        result.phase_seconds["setup"] = clock() - t0
+
+        t0 = clock()
+        columns_by_tile = extract_columns(
+            self.layout, self.layer, dissection, legality, cfg.fill_rules, cfg.column_def
+        )
+        result.phase_seconds["scanline"] = clock() - t0
+
+        t0 = clock()
+        if budget is None:
+            # The density step sees the true placeable capacity (column
+            # sites) scaled by the headroom margin, so its prescription is
+            # achievable by every method with room to choose.
+            capacity = {
+                key: int(sum(c.capacity for c in cols) * cfg.capacity_margin)
+                for key, cols in columns_by_tile.items()
+            }
+            budget = self.compute_budget(density, capacity)
+        result.requested_budget = dict(budget)
+        result.phase_seconds["budget"] = clock() - t0
+
+        t0 = clock()
+        layer_proc = self.layout.stack.layer(self.layer)
+        dbu = self.layout.stack.dbu_per_micron
+        lut_cache = LUTCache(
+            layer_proc.eps_r, layer_proc.thickness_um, cfg.fill_rules.fill_size / dbu
+        )
+        rng = random.Random(cfg.seed)
+
+        for tile in dissection.tiles():
+            want = budget.get(tile.key, 0)
+            columns = columns_by_tile.get(tile.key, [])
+            capacity = sum(c.capacity for c in columns)
+            effective = min(want, capacity)
+            result.effective_budget[tile.key] = effective
+            if effective == 0:
+                continue
+            costs = build_costs(
+                columns, layer_proc, cfg.fill_rules, dbu, lut_cache, cfg.weighted
+            )
+            solution = self._solve_tile(costs, effective, rng)
+            result.tile_solutions[tile.key] = solution
+            result.model_objective_ps += solution.model_objective_ps
+            for cc, count in zip(costs, solution.counts):
+                for rect in cc.column.sites[:count]:
+                    result.features.append(FillFeature(layer=self.layer, rect=rect))
+        result.phase_seconds["solve"] = clock() - t0
+        return result
+
+    def run_mvdc(self, slack_fraction: float = 0.25) -> FillResult:
+        """Run the MVDC (minimum variation with delay constraint) variant
+        — the formulation the paper mentions in footnote ‡ but does not
+        develop.
+
+        Per tile, the density step's prescription becomes a *ceiling*
+        rather than an obligation: the solver packs as many features as a
+        per-tile delay budget allows (derived as ``slack_fraction`` of the
+        worst-case impact of the prescribed count). Tiles with generous
+        free space still fill fully; tiles where every site is expensive
+        stop early — trading density uniformity for timing safety.
+        """
+        cfg = self.config
+        result = FillResult()
+        clock = time.perf_counter
+
+        t0 = clock()
+        dissection = FixedDissection(self.layout.die, cfg.density_rules)
+        legality = SiteLegality(self.layout, self.layer, cfg.fill_rules)
+        density = DensityMap.from_layout(dissection, self.layout, self.layer)
+        columns_by_tile = extract_columns(
+            self.layout, self.layer, dissection, legality, cfg.fill_rules, cfg.column_def
+        )
+        capacity = {
+            key: int(sum(c.capacity for c in cols) * cfg.capacity_margin)
+            for key, cols in columns_by_tile.items()
+        }
+        budget = self.compute_budget(density, capacity)
+        result.requested_budget = dict(budget)
+        result.phase_seconds["setup"] = clock() - t0
+
+        t0 = clock()
+        layer_proc = self.layout.stack.layer(self.layer)
+        dbu = self.layout.stack.dbu_per_micron
+        lut_cache = LUTCache(
+            layer_proc.eps_r, layer_proc.thickness_um, cfg.fill_rules.fill_size / dbu
+        )
+        costs_by_tile = {
+            key: build_costs(cols, layer_proc, cfg.fill_rules, dbu, lut_cache, cfg.weighted)
+            for key, cols in columns_by_tile.items()
+        }
+        delay_budgets = derive_tile_delay_budgets(budget, costs_by_tile, slack_fraction)
+        for tile in dissection.tiles():
+            costs = costs_by_tile.get(tile.key, [])
+            want = budget.get(tile.key, 0)
+            if want == 0 or not costs:
+                result.effective_budget[tile.key] = 0
+                continue
+            solution = solve_tile_mvdc(costs, delay_budgets[tile.key])
+            # MVDC may not *need* the whole prescription; cap at it.
+            if solution.total_features > want:
+                solution = self._trim_to(costs, solution, want)
+            result.effective_budget[tile.key] = solution.total_features
+            result.tile_solutions[tile.key] = solution
+            result.model_objective_ps += solution.model_objective_ps
+            for cc, count in zip(costs, solution.counts):
+                for rect in cc.column.sites[:count]:
+                    result.features.append(FillFeature(layer=self.layer, rect=rect))
+        result.phase_seconds["solve"] = clock() - t0
+        return result
+
+    def run_budgeted(
+        self,
+        net_budgets_ff: dict[str, float],
+        exact: bool = True,
+    ) -> FillResult:
+        """Run the per-net capacitance-budgeted variant (paper §7).
+
+        Like :meth:`run`, but each net's total added coupling capacitance
+        (across *all* tiles) must stay within ``net_budgets_ff``. Budgets
+        are consumed tile by tile: each tile solve sees the remaining
+        budget of every net it touches and what it uses is deducted before
+        the next tile. Tiles are visited in increasing total-capacity
+        order so constrained tiles claim budget before generous ones.
+
+        Args:
+            net_budgets_ff: ΔC budget per net name, fF (see
+                :func:`repro.pilfill.budgeted.derive_net_cap_budgets`).
+                Nets absent from the mapping are unconstrained.
+            exact: True → per-tile ILP; False → budget-aware greedy (may
+                fall short of a tile's prescription; the shortfall is
+                visible via ``FillResult.shortfall``).
+        """
+        cfg = self.config
+        result = FillResult()
+        clock = time.perf_counter
+
+        t0 = clock()
+        dissection = FixedDissection(self.layout.die, cfg.density_rules)
+        legality = SiteLegality(self.layout, self.layer, cfg.fill_rules)
+        density = DensityMap.from_layout(dissection, self.layout, self.layer)
+        columns_by_tile = extract_columns(
+            self.layout, self.layer, dissection, legality, cfg.fill_rules, cfg.column_def
+        )
+        capacity = {
+            key: int(sum(c.capacity for c in cols) * cfg.capacity_margin)
+            for key, cols in columns_by_tile.items()
+        }
+        budget = self.compute_budget(density, capacity)
+        result.requested_budget = dict(budget)
+        result.phase_seconds["setup"] = clock() - t0
+
+        t0 = clock()
+        layer_proc = self.layout.stack.layer(self.layer)
+        dbu = self.layout.stack.dbu_per_micron
+        lut_cache = LUTCache(
+            layer_proc.eps_r, layer_proc.thickness_um, cfg.fill_rules.fill_size / dbu
+        )
+        remaining = dict(net_budgets_ff)
+        order = sorted(
+            dissection.tiles(),
+            key=lambda t: sum(c.capacity for c in columns_by_tile.get(t.key, [])),
+        )
+        for tile in order:
+            want = budget.get(tile.key, 0)
+            columns = columns_by_tile.get(tile.key, [])
+            cap_total = sum(c.capacity for c in columns)
+            effective = min(want, cap_total)
+            if effective == 0:
+                result.effective_budget[tile.key] = 0
+                continue
+            costs = build_costs(
+                columns, layer_proc, cfg.fill_rules, dbu, lut_cache, cfg.weighted
+            )
+            cap_tables = build_cap_tables(costs)
+            if exact:
+                outcome = solve_tile_budgeted_ilp(
+                    costs, cap_tables, effective, remaining, backend=cfg.backend
+                )
+                if not outcome.feasible:
+                    # Fall back to the largest feasible count via greedy.
+                    outcome = solve_tile_budgeted_greedy(
+                        costs, cap_tables, effective, remaining
+                    )
+            else:
+                outcome = solve_tile_budgeted_greedy(
+                    costs, cap_tables, effective, remaining
+                )
+            for net, used in outcome.cap_used_ff.items():
+                if net in remaining:
+                    remaining[net] -= used
+            solution = outcome.solution
+            result.effective_budget[tile.key] = solution.total_features
+            result.tile_solutions[tile.key] = solution
+            result.model_objective_ps += solution.model_objective_ps
+            for cc, count in zip(costs, solution.counts):
+                for rect in cc.column.sites[:count]:
+                    result.features.append(FillFeature(layer=self.layer, rect=rect))
+        result.phase_seconds["solve"] = clock() - t0
+        return result
+
+    @staticmethod
+    def _trim_to(costs, solution: TileSolution, want: int) -> TileSolution:
+        """Drop the most expensive granted features until only ``want``
+        remain (marginals are convex, so trimming from the top is optimal)."""
+        counts = list(solution.counts)
+        spent = solution.model_objective_ps
+        while sum(counts) > want:
+            worst_k, worst_marginal = -1, -1.0
+            for k, cc in enumerate(costs):
+                if counts[k] > 0:
+                    marginal = cc.exact[counts[k]] - cc.exact[counts[k] - 1]
+                    if marginal > worst_marginal:
+                        worst_k, worst_marginal = k, marginal
+            counts[worst_k] -= 1
+            spent -= worst_marginal
+        return TileSolution(counts=counts, model_objective_ps=spent)
+
+    def compute_budget(
+        self,
+        density: DensityMap,
+        capacity: dict[tuple[int, int], int],
+    ) -> dict[tuple[int, int], int]:
+        """Per-tile feature budgets from the density-control baseline."""
+        target = self.config.target_density
+        if target == "mean":
+            target = float(density.window_density().mean())
+        if self.config.budget_mode == "lp":
+            return lp_minvar_budget(
+                density, capacity, self.config.fill_rules, target_density=target
+            )
+        if self.config.budget_mode == "hybrid":
+            return hybrid_budget(
+                density,
+                capacity,
+                self.config.fill_rules,
+                target_density=target,
+                seed=self.config.seed,
+            )
+        return montecarlo_budget(
+            density,
+            capacity,
+            self.config.fill_rules,
+            target_density=target,
+            seed=self.config.seed,
+        )
+
+    def _solve_tile(self, costs, effective: int, rng: random.Random) -> TileSolution:
+        """Dispatch one tile to the configured method."""
+        method = self.config.method
+        if method == "ilp1":
+            return solve_tile_ilp1(
+                costs, effective, self.config.weighted, backend=self.config.backend
+            )
+        if method == "ilp2":
+            return solve_tile_ilp2(costs, effective, backend=self.config.backend)
+        if method == "greedy":
+            return solve_tile_greedy(costs, effective)
+        if method == "greedy_marginal":
+            return solve_tile_greedy_marginal(costs, effective)
+        if method == "dp":
+            tables = [c.exact for c in costs]
+            counts = allocate_dp(tables, effective)
+            return TileSolution(counts=counts, model_objective_ps=allocation_cost(tables, counts))
+        # Normal: timing-oblivious random spread over the tile's column
+        # sites (same site universe as the other methods so density control
+        # quality is identical — paper Section 6).
+        slots = [(k, s) for k, cc in enumerate(costs) for s in range(cc.capacity)]
+        chosen = rng.sample(slots, effective)
+        counts = [0] * len(costs)
+        for k, _s in chosen:
+            counts[k] += 1
+        tables = [c.exact for c in costs]
+        return TileSolution(counts=counts, model_objective_ps=allocation_cost(tables, counts))

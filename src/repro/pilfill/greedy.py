@@ -1,0 +1,58 @@
+"""The Greedy PIL-Fill method (paper Fig. 8).
+
+Per tile: score every slack column by its *whole-column* delay — the exact
+capacitance of filling it to capacity times the cumulative weighted
+resistance r̂_k (Fig. 8 lines 11-13) — then fill columns cheapest-first,
+each to capacity (or to the remaining budget), deleting them as they fill
+(lines 15-19).
+
+The whole-column score is the published algorithm's weakness: a large
+cheap-per-feature column can be passed over for a small expensive one.
+The marginal variant (:func:`solve_tile_greedy_marginal`) fixes this and —
+because the cost tables are convex — is actually *optimal*, matching
+ILP-II; it is provided as an extension/ablation beyond the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FillError
+from repro.pilfill.costs import ColumnCosts
+from repro.pilfill.dp import allocate_marginal_greedy, allocation_cost
+from repro.pilfill.solution import TileSolution
+
+
+def solve_tile_greedy(costs: list[ColumnCosts], budget: int) -> TileSolution:
+    """Solve one tile with the paper's Greedy algorithm (Fig. 8)."""
+    if budget == 0:
+        return TileSolution(counts=[0] * len(costs))
+    capacity = sum(c.capacity for c in costs)
+    if budget > capacity:
+        raise FillError(f"budget {budget} exceeds tile capacity {capacity}")
+
+    # Fig. 8 line 13: sort by whole-column delay r̂_k · Cap(C_k); our cost
+    # tables already fold r̂ in, so the score is exact[C_k]. Ties resolve
+    # by column index for determinism.
+    order = sorted(
+        range(len(costs)),
+        key=lambda k: (costs[k].exact[costs[k].capacity], k),
+    )
+    counts = [0] * len(costs)
+    remaining = budget
+    for k in order:
+        if remaining == 0:
+            break
+        take = min(remaining, costs[k].capacity)
+        counts[k] = take
+        remaining -= take
+    objective = allocation_cost([c.exact for c in costs], counts)
+    return TileSolution(counts=counts, model_objective_ps=objective)
+
+
+def solve_tile_greedy_marginal(costs: list[ColumnCosts], budget: int) -> TileSolution:
+    """Extension: marginal-cost greedy (optimal for the convex exact
+    model). Not in the paper; used for the ablation benchmarks."""
+    if budget == 0:
+        return TileSolution(counts=[0] * len(costs))
+    tables = [c.exact for c in costs]
+    counts = allocate_marginal_greedy(tables, budget)
+    return TileSolution(counts=counts, model_objective_ps=allocation_cost(tables, counts))

@@ -1,0 +1,76 @@
+"""Multi-layer fill orchestration.
+
+Foundry density rules apply per layer; a full sign-off run fills every
+routing layer. This module runs the single-layer engine over all (or a
+selection of) layers that carry routing, aggregates budgets and placements,
+and evaluates the combined delay impact — each layer's fill only couples
+to that layer's lines, so per-layer impacts add.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout.layout import FillFeature, RoutedLayout
+from repro.pilfill.engine import EngineConfig, FillResult, PILFillEngine
+from repro.pilfill.evaluate import ImpactReport, evaluate_impact
+
+
+@dataclass
+class MultiLayerResult:
+    """Aggregated outcome of a multi-layer fill run."""
+
+    per_layer: dict[str, FillResult] = field(default_factory=dict)
+    per_layer_impact: dict[str, ImpactReport] = field(default_factory=dict)
+
+    @property
+    def features(self) -> list[FillFeature]:
+        """All placed features across layers."""
+        return [f for result in self.per_layer.values() for f in result.features]
+
+    @property
+    def total_features(self) -> int:
+        return sum(r.total_features for r in self.per_layer.values())
+
+    @property
+    def total_ps(self) -> float:
+        """Combined unweighted delay impact (per-layer impacts add)."""
+        return sum(i.total_ps for i in self.per_layer_impact.values())
+
+    @property
+    def weighted_total_ps(self) -> float:
+        """Combined sink-weighted delay impact."""
+        return sum(i.weighted_total_ps for i in self.per_layer_impact.values())
+
+    @property
+    def per_net_weighted_ps(self) -> dict[str, float]:
+        """Per-net weighted impact summed over layers."""
+        out: dict[str, float] = {}
+        for impact in self.per_layer_impact.values():
+            for net, value in impact.per_net_weighted_ps.items():
+                out[net] = out.get(net, 0.0) + value
+        return out
+
+
+def run_all_layers(
+    layout: RoutedLayout,
+    config: EngineConfig,
+    layers: list[str] | None = None,
+) -> MultiLayerResult:
+    """Run the PIL-Fill flow on every routed layer (or ``layers``).
+
+    The same :class:`EngineConfig` is applied per layer; layers with no
+    routing are skipped. The input layout is not mutated.
+    """
+    result = MultiLayerResult()
+    targets = layers if layers is not None else layout.used_layers
+    for layer in targets:
+        if not layout.segments_on_layer(layer):
+            continue
+        engine = PILFillEngine(layout, layer, config)
+        run = engine.run()
+        result.per_layer[layer] = run
+        result.per_layer_impact[layer] = evaluate_impact(
+            layout, layer, run.features, config.fill_rules
+        )
+    return result

@@ -1,0 +1,319 @@
+"""Scan-line extraction of gap blocks and slack columns (paper Fig. 7).
+
+The sweep walks active lines in increasing cross-coordinate order
+(bottom-to-top for horizontal routing) maintaining the set of currently
+open *gap fragments* — maximal along-axis intervals whose next line below
+is known. Each arriving line closes the fragments it covers (emitting
+:class:`GapBlock` records with both neighbors resolved) and opens a new
+fragment above itself. Fragments surviving to the boundary close against
+it (``above = None``).
+
+Definitions I/II/III (paper §5.1) differ only in the sweep region and
+line clipping; :func:`extract_columns` then grids every block into legal
+fill-site columns per tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fillsynth.slack_sites import SiteLegality
+from repro.dissection.fixed import FixedDissection
+from repro.geometry import Interval, Rect
+from repro.layout.layout import RoutedLayout
+from repro.layout.rctree import LineTiming
+from repro.pilfill.columns import ColumnNeighbor, SlackColumn, SlackColumnDef
+from repro.tech.rules import FillRules
+
+
+@dataclass(frozen=True)
+class SweepLine:
+    """One active line participating in the sweep, possibly clipped.
+
+    ``timing`` is None for definition-II lines whose electrical data is
+    deliberately invisible (clipped foreign geometry) — they still block
+    space but contribute no delay model.
+    """
+
+    rect: Rect
+    timing: LineTiming | None
+
+    def neighbor_at(self, along_coord: int) -> ColumnNeighbor | None:
+        """Electrical view of this line at an along-axis coordinate."""
+        if self.timing is None:
+            return None
+        line = self.timing
+        return ColumnNeighbor(
+            net=line.segment.net,
+            line_index=line.segment.index,
+            sinks=line.downstream_sinks,
+            resistance_ohm=line.resistance_at(along_coord),
+        )
+
+
+@dataclass(frozen=True)
+class GapBlock:
+    """A maximal empty region between two lines (or a line and a boundary).
+
+    Coordinates are *canonical*: ``along`` is the routing axis, ``cross``
+    is perpendicular. ``cross_lo``/``cross_hi`` are the facing line edges,
+    so ``cross_hi - cross_lo`` is the capacitance model's distance ``d``.
+    """
+
+    along: Interval
+    cross_lo: int
+    cross_hi: int
+    below: SweepLine | None
+    above: SweepLine | None
+
+    @property
+    def gap(self) -> int:
+        return self.cross_hi - self.cross_lo
+
+
+@dataclass
+class _Fragment:
+    along: Interval
+    start_cross: int
+    below: SweepLine | None
+
+
+class _Axes:
+    """Maps real coordinates to canonical (along, cross) and back."""
+
+    def __init__(self, horizontal: bool):
+        self.horizontal = horizontal
+
+    def along_iv(self, rect: Rect) -> Interval:
+        return Interval(rect.xlo, rect.xhi) if self.horizontal else Interval(rect.ylo, rect.yhi)
+
+    def cross_iv(self, rect: Rect) -> Interval:
+        return Interval(rect.ylo, rect.yhi) if self.horizontal else Interval(rect.xlo, rect.xhi)
+
+    def rect(self, along: Interval, cross: Interval) -> Rect:
+        if self.horizontal:
+            return Rect(along.lo, cross.lo, along.hi, cross.hi)
+        return Rect(cross.lo, along.lo, cross.hi, along.hi)
+
+
+def sweep_gap_blocks(
+    lines: list[SweepLine],
+    region: Rect,
+    horizontal: bool,
+) -> list[GapBlock]:
+    """Run the Fig. 7 sweep over ``region`` and return all gap blocks.
+
+    ``lines`` must lie inside ``region`` (clip before calling). Lines may
+    overlap each other (same-net junction overlaps are tolerated); gaps of
+    non-positive extent are skipped.
+    """
+    axes = _Axes(horizontal)
+    region_along = axes.along_iv(region)
+    region_cross = axes.cross_iv(region)
+
+    events = sorted(
+        lines, key=lambda ln: (axes.cross_iv(ln.rect).lo, axes.along_iv(ln.rect).lo)
+    )
+    fragments: list[_Fragment] = [_Fragment(region_along, region_cross.lo, None)]
+    blocks: list[GapBlock] = []
+
+    for line in events:
+        span = axes.along_iv(line.rect)
+        band = axes.cross_iv(line.rect)
+        new_fragments: list[_Fragment] = []
+        replaced: list[_Fragment] = []
+        for frag in fragments:
+            overlap = frag.along.intersection(span)
+            if overlap is None:
+                new_fragments.append(frag)
+                continue
+            replaced.append(frag)
+            # Left remainder keeps the old gap open.
+            if frag.along.lo < overlap.lo:
+                new_fragments.append(
+                    _Fragment(Interval(frag.along.lo, overlap.lo), frag.start_cross, frag.below)
+                )
+            # Right remainder likewise.
+            if overlap.hi < frag.along.hi:
+                new_fragments.append(
+                    _Fragment(Interval(overlap.hi, frag.along.hi), frag.start_cross, frag.below)
+                )
+            # The covered part closes (emit block) and reopens above the line.
+            if frag.start_cross < band.lo:
+                blocks.append(
+                    GapBlock(
+                        along=overlap,
+                        cross_lo=frag.start_cross,
+                        cross_hi=band.lo,
+                        below=frag.below,
+                        above=line,
+                    )
+                )
+            if band.hi >= frag.start_cross:
+                new_fragments.append(_Fragment(overlap, band.hi, line))
+            else:
+                # The arriving line is entirely below the open gap (overlap
+                # with an earlier, taller line): the old gap stays open.
+                new_fragments.append(_Fragment(overlap, frag.start_cross, frag.below))
+        fragments = sorted(new_fragments, key=lambda f: f.along.lo)
+
+    for frag in fragments:
+        if frag.start_cross < region_cross.hi:
+            blocks.append(
+                GapBlock(
+                    along=frag.along,
+                    cross_lo=frag.start_cross,
+                    cross_hi=region_cross.hi,
+                    below=frag.below,
+                    above=None,
+                )
+            )
+    return blocks
+
+
+def layer_sweep_lines(layout: RoutedLayout, layer: str) -> tuple[list[SweepLine], bool]:
+    """Active lines of ``layer`` in their preferred routing direction, plus
+    whether that direction is horizontal. Wrong-direction lines are
+    excluded from the sweep (paper §5.2) — they still block fill sites via
+    the exact legality check."""
+    horizontal = layout.stack.layer(layer).direction == "h"
+    lines = [
+        SweepLine(rect=line.segment.rect, timing=line)
+        for _tree, line in layout.active_lines(layer)
+        if line.segment.is_horizontal == horizontal
+    ]
+    return lines, horizontal
+
+
+def extract_columns(
+    layout: RoutedLayout,
+    layer: str,
+    dissection: FixedDissection,
+    legality: SiteLegality,
+    rules: FillRules,
+    definition: SlackColumnDef = SlackColumnDef.FULL_LAYOUT,
+) -> dict[tuple[int, int], list[SlackColumn]]:
+    """Slack columns per tile under the chosen definition (paper §5.1).
+
+    Returns a mapping tile key → columns (possibly empty). Every site in
+    every returned column passed the exact legality test, so any placement
+    into these sites is design-rule clean.
+    """
+    lines, horizontal = layer_sweep_lines(layout, layer)
+    axes = _Axes(horizontal)
+    dbu = layout.stack.dbu_per_micron
+    out: dict[tuple[int, int], list[SlackColumn]] = {t.key: [] for t in dissection.tiles()}
+
+    if definition is SlackColumnDef.FULL_LAYOUT:
+        blocks = sweep_gap_blocks(lines, layout.die, horizontal)
+        for block in blocks:
+            _grid_block(block, None, layout, layer, dissection, legality, rules, axes, dbu, out)
+        return out
+
+    # Definitions I and II sweep each tile independently with clipped lines.
+    for tile in dissection.tiles():
+        clipped: list[SweepLine] = []
+        for line in lines:
+            inter = line.rect.intersection(tile.rect)
+            if inter is not None:
+                clipped.append(SweepLine(rect=inter, timing=line.timing))
+        blocks = sweep_gap_blocks(clipped, tile.rect, horizontal)
+        if definition is SlackColumnDef.WITHIN_TILE:
+            blocks = [b for b in blocks if b.below is not None and b.above is not None]
+        for block in blocks:
+            _grid_block(block, tile.key, layout, layer, dissection, legality, rules, axes, dbu, out)
+    return out
+
+
+def _grid_block(
+    block: GapBlock,
+    only_tile: tuple[int, int] | None,
+    layout: RoutedLayout,
+    layer: str,
+    dissection: FixedDissection,
+    legality: SiteLegality,
+    rules: FillRules,
+    axes: _Axes,
+    dbu: int,
+    out: dict[tuple[int, int], list[SlackColumn]],
+) -> None:
+    """Grid one gap block into per-tile slack columns, appending to ``out``."""
+    # Shrink the gap band by the buffer distance on line-adjacent sides.
+    cross_lo = block.cross_lo + (rules.buffer_distance if block.below is not None else 0)
+    cross_hi = block.cross_hi - (rules.buffer_distance if block.above is not None else 0)
+    if cross_hi - cross_lo < rules.fill_size:
+        return
+    usable = axes.rect(block.along, Interval(cross_lo, cross_hi))
+
+    grid = legality.grid
+    gap_um = block.gap / dbu if (block.below is not None and block.above is not None) else None
+
+    for tile in dissection.tiles_overlapping(usable):
+        if only_tile is not None and tile.key != only_tile:
+            continue
+        clip = usable.intersection(tile.rect)
+        if clip is None:
+            continue
+        along_clip = axes.along_iv(clip)
+        # Candidate along-axis columns: site center inside the block's
+        # along extent and owned by this tile. Centers (not full squares)
+        # decide membership so sites straddling block boundaries are not
+        # lost; the exact legality check still guarantees DRC cleanliness.
+        if axes.horizontal:
+            col_range = range(
+                grid.col_at(block.along.lo), grid.col_at(block.along.hi) + 2
+            )
+        else:
+            col_range = range(
+                grid.row_at(block.along.lo), grid.row_at(block.along.hi) + 2
+            )
+        for col in col_range:
+            if axes.horizontal:
+                site_along_lo = grid.origin_x + col * grid.pitch
+            else:
+                site_along_lo = grid.origin_y + col * grid.pitch
+            center_along = site_along_lo + grid.site_size // 2
+            if not along_clip.contains(center_along):
+                continue
+            sites = _column_sites(
+                grid, col, axes, cross_lo, cross_hi, tile.rect, legality
+            )
+            if not sites:
+                continue
+            below = block.below.neighbor_at(center_along) if block.below else None
+            above = block.above.neighbor_at(center_along) if block.above else None
+            out[tile.key].append(
+                SlackColumn(
+                    layer=layer,
+                    tile=tile.key,
+                    col=col,
+                    sites=tuple(sites),
+                    gap_um=gap_um,
+                    below=below,
+                    above=above,
+                )
+            )
+
+
+def _column_sites(
+    grid,
+    col: int,
+    axes: _Axes,
+    cross_lo: int,
+    cross_hi: int,
+    tile_rect: Rect,
+    legality: SiteLegality,
+) -> list[Rect]:
+    """Legal site rects of one column inside a tile, ordered by cross
+    coordinate."""
+    if axes.horizontal:
+        rows = grid.rows_fully_inside(cross_lo, cross_hi)
+        candidates = [grid.site_rect(col, row) for row in rows]
+    else:
+        cols = grid.cols_fully_inside(cross_lo, cross_hi)
+        candidates = [grid.site_rect(c, col) for c in cols]
+    return [
+        rect
+        for rect in candidates
+        if tile_rect.contains_point(rect.center) and legality.is_legal(rect)
+    ]

@@ -1,0 +1,29 @@
+"""Per-tile solution container shared by the MDFC methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TileSolution:
+    """Outcome of solving one tile's MDFC instance.
+
+    Attributes:
+        counts: features per slack column (parallel to the cost list).
+        model_objective_ps: the objective value *under the method's own
+            capacitance model* (ILP-I reports its linear estimate, which
+            can differ from the true impact — that gap is the paper's
+            point).
+        nodes: branch-and-bound nodes (ILP methods, bundled backend).
+        iterations: simplex iterations (ILP methods, bundled backend).
+    """
+
+    counts: list[int] = field(default_factory=list)
+    model_objective_ps: float = 0.0
+    nodes: int = 0
+    iterations: int = 0
+
+    @property
+    def total_features(self) -> int:
+        return sum(self.counts)

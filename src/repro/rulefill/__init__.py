@@ -1,0 +1,25 @@
+"""Rule-based fill baseline (paper §2's related work, Stine et al.)."""
+
+from repro.rulefill.rules import (
+    CandidateRule,
+    RuleScore,
+    enumerate_candidates,
+    score_rule,
+    select_rule,
+)
+from repro.rulefill.flow import (
+    RuleFillResult,
+    representative_line_spacing_um,
+    run_rule_fill,
+)
+
+__all__ = [
+    "CandidateRule",
+    "RuleScore",
+    "enumerate_candidates",
+    "score_rule",
+    "select_rule",
+    "RuleFillResult",
+    "representative_line_spacing_um",
+    "run_rule_fill",
+]

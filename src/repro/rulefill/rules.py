@@ -1,0 +1,146 @@
+"""Rule-based fill methodology (paper §2, Stine et al., ref [11]).
+
+The MIT approach the paper contrasts itself against: instead of optimizing
+each fill feature's position, derive *one* fill design rule — buffer
+distance ``buf``, block width ``w``, block space ``s`` — by modeling the
+capacitance effect of each candidate rule together with the density it can
+achieve, then apply that rule uniformly everywhere. The paper's critique:
+"the MIT methodology yields only a rule: the fill insertion is not driven
+by any context (e.g., per-net or per-wire-segment delay or slack
+considerations)."
+
+Implemented faithfully as a baseline:
+
+1. enumerate candidate ``(buf, w, s)`` rules,
+2. per rule, estimate (a) the worst-case per-unit-length capacitance
+   increment on a canonical parallel-line structure and (b) the maximum
+   pattern density the rule can realize,
+3. select the rule minimizing the capacitance estimate among rules whose
+   achievable density meets the density goal,
+4. fill every tile to its prescription with the selected rule's grid —
+   position-blind, like the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cap.fillimpact import exact_column_cap
+from repro.errors import FillError
+from repro.tech.rules import FillRules
+
+
+@dataclass(frozen=True)
+class CandidateRule:
+    """One fill design rule under evaluation (all DBU)."""
+
+    buffer_distance: int
+    fill_size: int
+    fill_gap: int
+
+    @property
+    def max_pattern_density(self) -> float:
+        """Density of an infinite fill array under this rule:
+        (w / (w + s))²."""
+        pitch = self.fill_size + self.fill_gap
+        return (self.fill_size / pitch) ** 2
+
+    def as_fill_rules(self) -> FillRules:
+        return FillRules(
+            fill_size=self.fill_size,
+            fill_gap=self.fill_gap,
+            buffer_distance=self.buffer_distance,
+        )
+
+
+@dataclass(frozen=True)
+class RuleScore:
+    """Evaluation of one candidate rule."""
+
+    rule: CandidateRule
+    cap_increment_ff: float
+    max_pattern_density: float
+    meets_density_goal: bool
+
+
+def score_rule(
+    rule: CandidateRule,
+    eps_r: float,
+    thickness_um: float,
+    line_spacing_um: float,
+    dbu_per_micron: int,
+    density_goal: float,
+) -> RuleScore:
+    """Score a rule on the canonical structure: two parallel lines at the
+    representative spacing, the gap packed as full as the rule allows."""
+    w_um = rule.fill_size / dbu_per_micron
+    buf_um = rule.buffer_distance / dbu_per_micron
+    pitch_um = (rule.fill_size + rule.fill_gap) / dbu_per_micron
+    usable = line_spacing_um - 2 * buf_um
+    if usable < w_um:
+        m = 0
+    else:
+        m = int((usable - w_um) / pitch_um) + 1
+    # Guard the capacitance model's validity: m·w < d.
+    while m > 0 and m * w_um >= line_spacing_um:
+        m -= 1
+    cap = (
+        exact_column_cap(eps_r, thickness_um, line_spacing_um, m, w_um) if m else 0.0
+    )
+    return RuleScore(
+        rule=rule,
+        cap_increment_ff=cap,
+        max_pattern_density=rule.max_pattern_density,
+        meets_density_goal=rule.max_pattern_density >= density_goal,
+    )
+
+
+def enumerate_candidates(
+    dbu_per_micron: int,
+    sizes_um: tuple[float, ...] = (0.4, 0.5, 0.8, 1.0),
+    gaps_um: tuple[float, ...] = (0.25, 0.5, 1.0),
+    buffers_um: tuple[float, ...] = (0.25, 0.5, 1.0),
+) -> list[CandidateRule]:
+    """The candidate rule grid (the ref [11] canonical parameters)."""
+    out = []
+    for size in sizes_um:
+        for gap in gaps_um:
+            for buf in buffers_um:
+                out.append(
+                    CandidateRule(
+                        buffer_distance=round(buf * dbu_per_micron),
+                        fill_size=round(size * dbu_per_micron),
+                        fill_gap=round(gap * dbu_per_micron),
+                    )
+                )
+    return out
+
+
+def select_rule(
+    eps_r: float,
+    thickness_um: float,
+    line_spacing_um: float,
+    dbu_per_micron: int,
+    density_goal: float,
+    candidates: list[CandidateRule] | None = None,
+) -> RuleScore:
+    """Pick the minimum-capacitance rule meeting the density goal
+    (the ref [11] selection step).
+
+    Raises :class:`FillError` when no candidate can reach the goal.
+    """
+    if candidates is None:
+        candidates = enumerate_candidates(dbu_per_micron)
+    if not candidates:
+        raise FillError("no candidate rules to select from")
+    scores = [
+        score_rule(rule, eps_r, thickness_um, line_spacing_um, dbu_per_micron, density_goal)
+        for rule in candidates
+    ]
+    feasible = [s for s in scores if s.meets_density_goal]
+    if not feasible:
+        raise FillError(
+            f"no candidate rule achieves pattern density {density_goal:.2f}; "
+            f"best is {max(s.max_pattern_density for s in scores):.2f}"
+        )
+    return min(feasible, key=lambda s: (s.cap_increment_ff, -s.max_pattern_density))

@@ -1,0 +1,27 @@
+"""Synthetic routed-layout generation and the T1/T2 testcase presets."""
+
+from repro.synth.generator import GeneratorSpec, Hotspot, generate_layout
+from repro.synth.testcases import (
+    R_VALUES,
+    WINDOW_SIZES_UM,
+    default_fill_rules,
+    density_rules_for,
+    make_t1,
+    make_t2,
+    t1_spec,
+    t2_spec,
+)
+
+__all__ = [
+    "GeneratorSpec",
+    "Hotspot",
+    "generate_layout",
+    "R_VALUES",
+    "WINDOW_SIZES_UM",
+    "default_fill_rules",
+    "density_rules_for",
+    "make_t1",
+    "make_t2",
+    "t1_spec",
+    "t2_spec",
+]

@@ -1,0 +1,240 @@
+"""Seeded synthetic routed-layout generator.
+
+Substitutes the paper's two industry LEF/DEF testcases. Nets follow a
+trunk-branch topology: a horizontal trunk on an h-layer driven from one
+end, with vertical branches on the v-layer above dropping to sink pins.
+Net positions are drawn from a mixture of uniform background and Gaussian
+hotspots, producing the density variation that makes the Min-Var fill
+step meaningful. All placement is rejection-sampled against already-drawn
+geometry so layouts are short-free by construction.
+
+Determinism: everything derives from the spec's seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.geometry import GridBinIndex, Point, Rect
+from repro.layout import Net, Pin, RoutedLayout, WireSegment
+from repro.tech.process import ProcessStack, default_stack
+from repro.units import um_to_dbu
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """A Gaussian congestion hotspot (coordinates relative to die, 0..1)."""
+
+    cx: float
+    cy: float
+    sigma: float
+    weight: float
+
+
+@dataclass
+class GeneratorSpec:
+    """Parameters of one synthetic testcase.
+
+    Lengths in microns; converted to DBU against the stack resolution.
+    """
+
+    name: str
+    die_um: float
+    n_nets: int
+    seed: int
+    trunk_layer: str = "metal3"
+    branch_layer: str = "metal4"
+    trunk_len_um: tuple[float, float] = (20.0, 80.0)
+    branch_len_um: tuple[float, float] = (2.0, 20.0)
+    sinks_per_net: tuple[int, int] = (1, 4)
+    wire_width_um: float = 0.4
+    driver_res_ohm: tuple[float, float] = (50.0, 200.0)
+    sink_cap_ff: tuple[float, float] = (2.0, 10.0)
+    margin_um: float = 2.0
+    hotspots: tuple[Hotspot, ...] = (Hotspot(0.3, 0.7, 0.12, 0.5),)
+    placement_attempts: int = 60
+    #: Fraction of nets that get a short wrong-direction jog on the trunk
+    #: layer (vertical metal on a horizontal layer). Jogs are excluded from
+    #: the scan-line's parallel-line model but still block fill sites —
+    #: exercising the exact legality path like real routing does.
+    jog_fraction: float = 0.0
+    jog_len_um: tuple[float, float] = (1.0, 3.0)
+
+
+def generate_layout(spec: GeneratorSpec, stack: ProcessStack | None = None) -> RoutedLayout:
+    """Generate a routed layout from ``spec``.
+
+    Nets that cannot be placed after ``placement_attempts`` tries are
+    skipped, so congested specs degrade gracefully rather than loop
+    forever; the returned layout may hold slightly fewer nets than asked.
+    """
+    if stack is None:
+        stack = default_stack()
+    dbu = stack.dbu_per_micron
+    die_side = um_to_dbu(spec.die_um, dbu)
+    die = Rect(0, 0, die_side, die_side)
+    layout = RoutedLayout(spec.name, die, stack)
+    rng = random.Random(spec.seed)
+
+    width = um_to_dbu(spec.wire_width_um, dbu)
+    margin = um_to_dbu(spec.margin_um, dbu)
+    spacing = max(
+        stack.layer(spec.trunk_layer).min_space_dbu,
+        stack.layer(spec.branch_layer).min_space_dbu,
+    )
+
+    bin_size = max(1, die_side // 32)
+    occupied: dict[str, GridBinIndex[int]] = {
+        spec.trunk_layer: GridBinIndex(bin_size),
+        spec.branch_layer: GridBinIndex(bin_size),
+    }
+    occupied_rects: dict[str, list[Rect]] = {spec.trunk_layer: [], spec.branch_layer: []}
+
+    def conflicts(layer: str, rect: Rect) -> bool:
+        grown = rect.expanded(spacing)
+        for idx in occupied[layer].query(grown):
+            if occupied_rects[layer][idx].overlaps(grown):
+                return True
+        return False
+
+    def claim(layer: str, rect: Rect) -> None:
+        occupied[layer].insert(rect, len(occupied_rects[layer]))
+        occupied_rects[layer].append(rect)
+
+    def sample_center() -> tuple[int, int]:
+        total_weight = sum(h.weight for h in spec.hotspots)
+        roll = rng.random()
+        if roll < total_weight and spec.hotspots:
+            # Pick a hotspot proportionally to weight.
+            pick = rng.random() * total_weight
+            acc = 0.0
+            chosen = spec.hotspots[-1]
+            for h in spec.hotspots:
+                acc += h.weight
+                if pick <= acc:
+                    chosen = h
+                    break
+            x = rng.gauss(chosen.cx, chosen.sigma) * die_side
+            y = rng.gauss(chosen.cy, chosen.sigma) * die_side
+        else:
+            x = rng.uniform(0, die_side)
+            y = rng.uniform(0, die_side)
+        return int(x), int(y)
+
+    placed = 0
+    for net_no in range(spec.n_nets):
+        net = _try_place_net(
+            f"net{net_no}", spec, rng, die, margin, width, dbu,
+            sample_center, conflicts,
+        )
+        if net is None:
+            continue
+        # Commit geometry to the occupancy structures.
+        for seg in net.segments:
+            claim(seg.layer, seg.rect)
+        layout.add_net(net)
+        placed += 1
+
+    if placed == 0:
+        raise LayoutError(f"{spec.name}: no nets could be placed; spec too congested")
+    return layout
+
+
+def _try_place_net(
+    name: str,
+    spec: GeneratorSpec,
+    rng: random.Random,
+    die: Rect,
+    margin: int,
+    width: int,
+    dbu: int,
+    sample_center,
+    conflicts,
+) -> Net | None:
+    """Attempt to place one trunk-branch net; None when space ran out."""
+    half = width // 2
+    lo = die.xlo + margin + half
+    hi = die.xhi - margin - half
+
+    for _attempt in range(spec.placement_attempts):
+        cx, cy = sample_center()
+        trunk_len = um_to_dbu(rng.uniform(*spec.trunk_len_um), dbu)
+        x0 = max(lo, min(cx - trunk_len // 2, hi - trunk_len))
+        x1 = x0 + trunk_len
+        y = max(lo, min(cy, hi))
+        if x1 > hi:
+            continue
+        trunk = WireSegment(name, 0, spec.trunk_layer, Point(x0, y), Point(x1, y), width)
+        if conflicts(spec.trunk_layer, trunk.rect):
+            continue
+
+        n_sinks = rng.randint(*spec.sinks_per_net)
+        # Branch tap positions strictly inside the trunk, sorted, distinct,
+        # and at least 2×width apart so junction rects stay manageable.
+        xs: list[int] = []
+        if n_sinks > 1:
+            candidates = list(range(x0 + 2 * width, x1 - 2 * width, max(2 * width, 1)))
+            want = min(n_sinks - 1, len(candidates))
+            if want > 0:
+                xs = sorted(rng.sample(candidates, want))
+        segments = [trunk]
+        pins = [
+            Pin("drv", Point(x0, y), spec.trunk_layer, is_driver=True,
+                driver_res_ohm=rng.uniform(*spec.driver_res_ohm))
+        ]
+        # Final sink at the trunk's far end.
+        pins.append(
+            Pin("s0", Point(x1, y), spec.trunk_layer,
+                load_cap_ff=rng.uniform(*spec.sink_cap_ff))
+        )
+        ok = True
+        for i, bx in enumerate(xs):
+            blen = um_to_dbu(rng.uniform(*spec.branch_len_um), dbu)
+            up = rng.random() < 0.5
+            by = y + blen if up else y - blen
+            by = max(lo, min(by, hi))
+            if abs(by - y) < width:
+                ok = False
+                break
+            branch = WireSegment(
+                name, i + 1, spec.branch_layer, Point(bx, y), Point(bx, by), width
+            )
+            if conflicts(spec.branch_layer, branch.rect):
+                ok = False
+                break
+            segments.append(branch)
+            pins.append(
+                Pin(f"s{i + 1}", Point(bx, by), spec.branch_layer,
+                    load_cap_ff=rng.uniform(*spec.sink_cap_ff))
+            )
+        if not ok:
+            continue
+
+        # Optional wrong-direction jog: replace the trunk-end sink with a
+        # short vertical hop on the SAME layer ending at the sink. The
+        # random draw is guarded so jog-free specs keep the exact RNG
+        # stream (and therefore the exact layouts) of earlier releases.
+        if spec.jog_fraction > 0 and rng.random() < spec.jog_fraction:
+            jog_len = um_to_dbu(rng.uniform(*spec.jog_len_um), dbu)
+            jy = y + jog_len if rng.random() < 0.5 else y - jog_len
+            jy = max(lo, min(jy, hi))
+            if abs(jy - y) >= width:
+                jog = WireSegment(
+                    name, len(segments), spec.trunk_layer, Point(x1, y), Point(x1, jy), width
+                )
+                if not conflicts(spec.trunk_layer, jog.rect):
+                    segments.append(jog)
+                    pins[1] = Pin(
+                        "s0", Point(x1, jy), spec.trunk_layer,
+                        load_cap_ff=pins[1].load_cap_ff,
+                    )
+
+        net = Net(name)
+        for pin in pins:
+            net.add_pin(pin)
+        for seg in segments:
+            net.add_segment(seg)
+        return net
+    return None

@@ -1,0 +1,31 @@
+"""Technology description: process stack (R/C parameters per layer) and
+foundry rules (fill pattern rules, CMP density rules)."""
+
+from repro.tech.process import ProcessLayer, ProcessStack, default_stack
+from repro.tech.rules import DensityRules, FillRules
+from repro.tech.corners import (
+    FAST,
+    SLOW,
+    STANDARD_CORNERS,
+    TYPICAL,
+    Corner,
+    corner_stacks,
+    derate_layer,
+    derate_stack,
+)
+
+__all__ = [
+    "ProcessLayer",
+    "ProcessStack",
+    "default_stack",
+    "DensityRules",
+    "FillRules",
+    "Corner",
+    "TYPICAL",
+    "SLOW",
+    "FAST",
+    "STANDARD_CORNERS",
+    "corner_stacks",
+    "derate_layer",
+    "derate_stack",
+]

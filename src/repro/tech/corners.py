@@ -1,0 +1,64 @@
+"""Process corners: derated views of a :class:`ProcessStack`.
+
+Interconnect R and C move with process/temperature; a fill flow signed off
+only at the typical corner can surprise at slow corners where every ps of
+fill-induced delay is multiplied. Corners here are simple multiplicative
+derates (the standard black-box abstraction): R×, C× on every layer, plus
+the via resistance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import TechError
+from repro.tech.process import ProcessLayer, ProcessStack
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One derate point."""
+
+    name: str
+    r_factor: float
+    c_factor: float
+
+    def __post_init__(self) -> None:
+        if self.r_factor <= 0 or self.c_factor <= 0:
+            raise TechError(f"corner {self.name}: derate factors must be positive")
+
+
+#: Conventional three-corner set.
+TYPICAL = Corner("typical", 1.0, 1.0)
+SLOW = Corner("slow", 1.35, 1.15)
+FAST = Corner("fast", 0.75, 0.9)
+STANDARD_CORNERS = (FAST, TYPICAL, SLOW)
+
+
+def derate_layer(layer: ProcessLayer, corner: Corner) -> ProcessLayer:
+    """A layer with R/C scaled to ``corner``.
+
+    Capacitance scaling is applied through the effective permittivity
+    (coupling) and the ground capacitance; geometry is unchanged.
+    """
+    return replace(
+        layer,
+        sheet_res_ohm=layer.sheet_res_ohm * corner.r_factor,
+        eps_r=layer.eps_r * corner.c_factor,
+        ground_cap_ff_per_um=layer.ground_cap_ff_per_um * corner.c_factor,
+    )
+
+
+def derate_stack(stack: ProcessStack, corner: Corner) -> ProcessStack:
+    """The whole stack at ``corner`` (named ``<stack>@<corner>``)."""
+    return ProcessStack(
+        layers=tuple(derate_layer(layer, corner) for layer in stack.layers),
+        dbu_per_micron=stack.dbu_per_micron,
+        name=f"{stack.name}@{corner.name}",
+        via_res_ohm=stack.via_res_ohm * corner.r_factor,
+    )
+
+
+def corner_stacks(stack: ProcessStack, corners: tuple[Corner, ...] = STANDARD_CORNERS) -> dict[str, ProcessStack]:
+    """All corner views keyed by corner name."""
+    return {corner.name: derate_stack(stack, corner) for corner in corners}

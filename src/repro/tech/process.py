@@ -1,0 +1,137 @@
+"""Process stack description: metal layers with electrical parameters.
+
+The capacitance model of the paper (Section 3) needs, per routing layer:
+
+* relative permittivity ``eps_r`` of the inter-metal dielectric,
+* metal thickness (the "overlapping area" ``a`` per unit length between two
+  parallel lines on the same layer is thickness × 1),
+* sheet resistance, from which per-unit-length wire resistance follows as
+  ``rho_sheet / width``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TechError
+from repro.units import DEFAULT_DBU_PER_MICRON, EPS0_FF_PER_UM
+
+
+@dataclass(frozen=True)
+class ProcessLayer:
+    """Electrical and geometric description of one routing layer.
+
+    Attributes:
+        name: layer name, e.g. ``"metal3"``.
+        direction: preferred routing direction, ``"h"`` or ``"v"``.
+        thickness_um: metal thickness in microns.
+        eps_r: relative permittivity of the same-layer dielectric.
+        sheet_res_ohm: sheet resistance in Ω/square.
+        min_width_dbu: minimum wire width in DBU.
+        min_space_dbu: minimum same-layer spacing in DBU.
+        ground_cap_ff_per_um: area+fringe capacitance to the reference plane
+            per micron of wire length (used for baseline Elmore delays; fill
+            insertion does not change it — paper Section 3).
+    """
+
+    name: str
+    direction: str
+    thickness_um: float
+    eps_r: float
+    sheet_res_ohm: float
+    min_width_dbu: int
+    min_space_dbu: int
+    ground_cap_ff_per_um: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("h", "v"):
+            raise TechError(f"layer {self.name}: direction must be 'h' or 'v', got {self.direction!r}")
+        if self.thickness_um <= 0:
+            raise TechError(f"layer {self.name}: thickness must be positive")
+        if self.eps_r <= 0:
+            raise TechError(f"layer {self.name}: eps_r must be positive")
+        if self.sheet_res_ohm <= 0:
+            raise TechError(f"layer {self.name}: sheet resistance must be positive")
+        if self.ground_cap_ff_per_um < 0:
+            raise TechError(f"layer {self.name}: ground capacitance must be non-negative")
+        if self.min_width_dbu <= 0 or self.min_space_dbu <= 0:
+            raise TechError(f"layer {self.name}: min width/space must be positive")
+
+    def unit_resistance(self, width_dbu: int, dbu_per_micron: int = DEFAULT_DBU_PER_MICRON) -> float:
+        """Resistance per micron of wire length for a wire of given width, Ω/µm."""
+        if width_dbu <= 0:
+            raise TechError(f"wire width must be positive, got {width_dbu}")
+        width_um = width_dbu / dbu_per_micron
+        return self.sheet_res_ohm / width_um
+
+    def coupling_cap_per_um(self, spacing_dbu: int, dbu_per_micron: int = DEFAULT_DBU_PER_MICRON) -> float:
+        """Parallel-plate lateral coupling capacitance per micron of overlap
+        length between two parallel wires at the given edge-to-edge spacing,
+        in fF/µm (paper Eq. 3 with ``a`` = thickness × unit length)."""
+        if spacing_dbu <= 0:
+            raise TechError(f"spacing must be positive, got {spacing_dbu}")
+        spacing_um = spacing_dbu / dbu_per_micron
+        return EPS0_FF_PER_UM * self.eps_r * self.thickness_um / spacing_um
+
+
+@dataclass(frozen=True)
+class ProcessStack:
+    """An ordered collection of :class:`ProcessLayer`, plus the database
+    resolution shared by all geometry.
+
+    ``via_res_ohm`` is the lumped resistance charged whenever a net's
+    routing changes layer (a via). Zero by default: the experiment tables
+    are published with ideal vias; set it per-stack for via-aware timing.
+    """
+
+    layers: tuple[ProcessLayer, ...]
+    dbu_per_micron: int = DEFAULT_DBU_PER_MICRON
+    name: str = "generic"
+    via_res_ohm: float = 0.0
+    _by_name: dict = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise TechError("ProcessStack requires at least one layer")
+        if self.dbu_per_micron <= 0:
+            raise TechError("dbu_per_micron must be positive")
+        if self.via_res_ohm < 0:
+            raise TechError("via resistance must be non-negative")
+        names = [layer.name for layer in self.layers]
+        if len(set(names)) != len(names):
+            raise TechError(f"duplicate layer names in stack: {names}")
+        object.__setattr__(self, "_by_name", {layer.name: layer for layer in self.layers})
+
+    def layer(self, name: str) -> ProcessLayer:
+        """Look a layer up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TechError(f"unknown layer {name!r}; stack has {sorted(self._by_name)}") from None
+
+    def has_layer(self, name: str) -> bool:
+        """True when the stack defines ``name``."""
+        return name in self._by_name
+
+    @property
+    def layer_names(self) -> tuple[str, ...]:
+        """Names in stack order."""
+        return tuple(layer.name for layer in self.layers)
+
+
+def default_stack(dbu_per_micron: int = DEFAULT_DBU_PER_MICRON) -> ProcessStack:
+    """A representative 180 nm-class back-end stack (the technology node of
+    the paper's 2001-2003 era industry testcases). Numbers follow published
+    ITRS-1999 interconnect parameters; they set realistic R/C magnitudes but
+    none of the algorithms depend on the exact values."""
+    make = lambda i, direction: ProcessLayer(  # noqa: E731 - tight local factory
+        name=f"metal{i}",
+        direction=direction,
+        thickness_um=0.5,
+        eps_r=3.9,
+        sheet_res_ohm=0.08,
+        min_width_dbu=round(0.28 * dbu_per_micron),
+        min_space_dbu=round(0.28 * dbu_per_micron),
+    )
+    layers = tuple(make(i, "h" if i % 2 == 1 else "v") for i in range(1, 7))
+    return ProcessStack(layers=layers, dbu_per_micron=dbu_per_micron, name="gsc180")

@@ -1,0 +1,88 @@
+"""Foundry rules: fill-pattern rules and density (CMP) rules.
+
+These encode the "leftmost column of Table 1" parameters of the paper:
+window size ``w``, dissection value ``r``, fill feature size, gap between
+fill features, and buffer distance from interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TechError
+
+
+@dataclass(frozen=True)
+class FillRules:
+    """Design rules for floating square fill features.
+
+    Attributes:
+        fill_size: side of the square fill feature, DBU.
+        fill_gap: minimum spacing between fill features, DBU.
+        buffer_distance: minimum spacing between any fill feature and any
+            active (signal) geometry, DBU.
+    """
+
+    fill_size: int
+    fill_gap: int
+    buffer_distance: int
+
+    def __post_init__(self) -> None:
+        if self.fill_size <= 0:
+            raise TechError(f"fill_size must be positive, got {self.fill_size}")
+        if self.fill_gap < 0:
+            raise TechError(f"fill_gap must be non-negative, got {self.fill_gap}")
+        if self.buffer_distance < 0:
+            raise TechError(f"buffer_distance must be non-negative, got {self.buffer_distance}")
+
+    @property
+    def pitch(self) -> int:
+        """Fill placement pitch."""
+        return self.fill_size + self.fill_gap
+
+    @property
+    def fill_area(self) -> int:
+        """Area of one fill feature, DBU²."""
+        return self.fill_size * self.fill_size
+
+
+@dataclass(frozen=True)
+class DensityRules:
+    """CMP density-control rules in the fixed r-dissection framework.
+
+    Attributes:
+        window_size: side ``w`` of the density window in DBU.
+        r: dissection value; tiles have side ``w / r`` and windows are
+            offset from each other by ``w / r``.
+        min_density: lower bound on window feature density (0..1).
+        max_density: upper bound on window feature density (0..1).
+    """
+
+    window_size: int
+    r: int
+    min_density: float = 0.0
+    max_density: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.window_size <= 0:
+            raise TechError(f"window_size must be positive, got {self.window_size}")
+        if self.r <= 0:
+            raise TechError(f"r must be positive, got {self.r}")
+        if self.window_size % self.r != 0:
+            raise TechError(
+                f"window_size {self.window_size} must be divisible by r {self.r} "
+                "so tiles have integral size"
+            )
+        if not 0.0 <= self.min_density <= 1.0:
+            raise TechError(f"min_density must be in [0, 1], got {self.min_density}")
+        if not 0.0 <= self.max_density <= 1.0:
+            raise TechError(f"max_density must be in [0, 1], got {self.max_density}")
+        if self.min_density > self.max_density:
+            raise TechError(
+                f"min_density {self.min_density} exceeds max_density {self.max_density}"
+            )
+
+    @property
+    def tile_size(self) -> int:
+        """Side of one tile: ``window_size / r``."""
+        return self.window_size // self.r

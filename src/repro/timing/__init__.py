@@ -1,0 +1,28 @@
+"""Static-timing aggregation: Elmore sink delays per net and before/after
+fill comparisons."""
+
+from repro.timing.sta import (
+    NetTiming,
+    TimingReport,
+    baseline_sink_delays,
+    timing_report,
+)
+from repro.timing.slacks import (
+    NetSlack,
+    SlackReport,
+    cap_budgets_from_slack,
+    post_fill_slack_report,
+    slack_report,
+)
+
+__all__ = [
+    "NetTiming",
+    "TimingReport",
+    "baseline_sink_delays",
+    "timing_report",
+    "NetSlack",
+    "SlackReport",
+    "cap_budgets_from_slack",
+    "post_fill_slack_report",
+    "slack_report",
+]

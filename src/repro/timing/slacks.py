@@ -1,0 +1,141 @@
+"""Slack computation against a clock period.
+
+The paper's future-work direction (Section 7) presumes "budgeted slacks
+(translated to budgeted capacitances), which are typically available
+within synthesis, place and route tools". This module provides the slack
+side: given a clock period (required arrival time at every sink), compute
+per-sink and per-net slacks before and after fill, and translate slack
+into per-net capacitance budgets more faithfully than the heuristic in
+:func:`repro.pilfill.budgeted.derive_net_cap_budgets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.layout.layout import FillFeature, RoutedLayout
+from repro.layout.rctree import OHM_FF_TO_PS
+from repro.pilfill.evaluate import evaluate_impact
+from repro.tech.rules import FillRules
+
+
+@dataclass(frozen=True)
+class NetSlack:
+    """Slack picture of one net against the clock."""
+
+    net: str
+    worst_sink: str
+    worst_delay_ps: float
+    slack_ps: float
+
+    @property
+    def is_violating(self) -> bool:
+        return self.slack_ps < 0
+
+
+@dataclass
+class SlackReport:
+    """Per-net slacks plus summary accessors."""
+
+    clock_ps: float
+    nets: dict[str, NetSlack] = field(default_factory=dict)
+
+    @property
+    def worst_slack_ps(self) -> float:
+        if not self.nets:
+            return self.clock_ps
+        return min(n.slack_ps for n in self.nets.values())
+
+    @property
+    def violations(self) -> list[NetSlack]:
+        """Nets with negative slack, worst first."""
+        return sorted(
+            (n for n in self.nets.values() if n.is_violating),
+            key=lambda n: n.slack_ps,
+        )
+
+    @property
+    def total_negative_slack_ps(self) -> float:
+        """Sum of negative slacks (TNS), ≤ 0."""
+        return sum(min(n.slack_ps, 0.0) for n in self.nets.values())
+
+
+def slack_report(layout: RoutedLayout, clock_ps: float) -> SlackReport:
+    """Baseline (pre-fill) slacks of every net against ``clock_ps``."""
+    if clock_ps <= 0:
+        raise ReproError(f"clock period must be positive, got {clock_ps}")
+    report = SlackReport(clock_ps=clock_ps)
+    for tree in layout.trees():
+        delays = tree.elmore_delays()
+        if not delays:
+            continue
+        worst_sink = max(delays, key=delays.get)
+        worst = delays[worst_sink]
+        report.nets[tree.net.name] = NetSlack(
+            net=tree.net.name,
+            worst_sink=worst_sink,
+            worst_delay_ps=worst,
+            slack_ps=clock_ps - worst,
+        )
+    return report
+
+
+def post_fill_slack_report(
+    layout: RoutedLayout,
+    layer: str,
+    features: list[FillFeature],
+    rules: FillRules,
+    clock_ps: float,
+) -> SlackReport:
+    """Slacks after accounting for the fill's per-net weighted delay
+    increments (the increments land on the worst path conservatively)."""
+    base = slack_report(layout, clock_ps)
+    impact = evaluate_impact(layout, layer, features, rules)
+    out = SlackReport(clock_ps=clock_ps)
+    for name, net_slack in base.nets.items():
+        increment = impact.per_net_weighted_ps.get(name, 0.0)
+        out.nets[name] = NetSlack(
+            net=name,
+            worst_sink=net_slack.worst_sink,
+            worst_delay_ps=net_slack.worst_delay_ps + increment,
+            slack_ps=net_slack.slack_ps - increment,
+        )
+    return out
+
+
+def cap_budgets_from_slack(
+    layout: RoutedLayout,
+    clock_ps: float,
+    consume_fraction: float = 0.5,
+) -> dict[str, float]:
+    """Per-net capacitance budgets that provably preserve positive slack.
+
+    Each net may spend ``consume_fraction`` of its positive slack on fill.
+    The conversion is conservative: the capacitance is charged at the
+    net's *maximum* upstream resistance (any actual fill position has less
+    or equal delay impact per fF), so keeping ΔC within the budget keeps
+    the net's slack non-negative. Nets with no positive slack get 0.
+    """
+    if not 0.0 <= consume_fraction <= 1.0:
+        raise ReproError(f"consume_fraction must be in [0, 1], got {consume_fraction}")
+    base = slack_report(layout, clock_ps)
+    budgets: dict[str, float] = {}
+    for tree in layout.trees():
+        name = tree.net.name
+        net_slack = base.nets.get(name)
+        if net_slack is None or net_slack.slack_ps <= 0:
+            budgets[name] = 0.0
+            continue
+        max_res = max(
+            (line.resistance_at(line.segment.high_coord) for line in tree.lines),
+            default=0.0,
+        )
+        if max_res <= 0:
+            budgets[name] = 0.0
+            continue
+        spendable_ps = net_slack.slack_ps * consume_fraction
+        # Weighted increments multiply by sink count; bound with the worst.
+        worst_weight = max((line.downstream_sinks for line in tree.lines), default=1)
+        budgets[name] = spendable_ps / (max_res * OHM_FF_TO_PS * max(worst_weight, 1))
+    return budgets

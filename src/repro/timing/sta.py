@@ -1,0 +1,94 @@
+"""Lightweight static timing views over a routed layout.
+
+The Elmore machinery lives in :class:`repro.layout.rctree.RCTree`; this
+module aggregates it across nets and combines baseline sink delays with
+fill-induced increments from the impact evaluator, giving the "before vs
+after fill" picture a timing-closure flow cares about (paper Section 1's
+motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.layout.layout import FillFeature, RoutedLayout
+from repro.pilfill.evaluate import evaluate_impact
+from repro.tech.rules import FillRules
+
+
+@dataclass
+class NetTiming:
+    """Baseline and post-fill timing of one net."""
+
+    net: str
+    sink_delays_ps: dict[str, float]
+    fill_increment_ps: float = 0.0
+
+    @property
+    def worst_sink_ps(self) -> float:
+        """Largest baseline sink delay."""
+        return max(self.sink_delays_ps.values()) if self.sink_delays_ps else 0.0
+
+    @property
+    def relative_increase(self) -> float:
+        """Fill increment relative to the worst baseline sink delay."""
+        worst = self.worst_sink_ps
+        return self.fill_increment_ps / worst if worst > 0 else 0.0
+
+
+@dataclass
+class TimingReport:
+    """Per-net timing with fill increments, plus totals."""
+
+    nets: dict[str, NetTiming] = field(default_factory=dict)
+
+    @property
+    def worst_net(self) -> NetTiming | None:
+        """Net with the largest baseline worst-sink delay."""
+        if not self.nets:
+            return None
+        return max(self.nets.values(), key=lambda n: n.worst_sink_ps)
+
+    @property
+    def total_increment_ps(self) -> float:
+        """Sum of fill increments over all nets (the paper's weighted τ
+        when increments are sink-weighted)."""
+        return sum(n.fill_increment_ps for n in self.nets.values())
+
+    def worst_relative_increase(self) -> tuple[str, float]:
+        """Net name and value of the largest relative delay increase."""
+        if not self.nets:
+            return ("", 0.0)
+        worst = max(self.nets.values(), key=lambda n: n.relative_increase)
+        return (worst.net, worst.relative_increase)
+
+
+def baseline_sink_delays(layout: RoutedLayout) -> dict[str, dict[str, float]]:
+    """Elmore sink delays (ps) for every net, before fill."""
+    return {tree.net.name: tree.elmore_delays() for tree in layout.trees()}
+
+
+def timing_report(
+    layout: RoutedLayout,
+    layer: str,
+    features: list[FillFeature],
+    rules: FillRules,
+    weighted: bool = True,
+) -> TimingReport:
+    """Baseline timing plus the per-net fill increment of a placement.
+
+    Args:
+        weighted: attribute sink-weighted increments (total sink delay
+            change) rather than per-segment increments.
+    """
+    report = TimingReport()
+    impact = evaluate_impact(layout, layer, features, rules)
+    per_net = impact.per_net_weighted_ps if weighted else impact.per_net_ps
+    for tree in layout.trees():
+        name = tree.net.name
+        report.nets[name] = NetTiming(
+            net=name,
+            sink_delays_ps=tree.elmore_delays(),
+            fill_increment_ps=per_net.get(name, 0.0),
+        )
+    return report

@@ -1,0 +1,68 @@
+"""Units and physical constants.
+
+The library works in integer *database units* (DBU) for geometry, and in
+SI-derived engineering units for electrical quantities:
+
+* geometry: DBU, with a layout-defined ``dbu_per_micron`` scale,
+* capacitance: femtofarads (fF),
+* resistance: ohms (Ω),
+* delay: picoseconds (ps) internally; the experiment tables report
+  nanoseconds (ns) to match the paper.
+
+Keeping geometry integral makes scan-line events, site grids and density
+accounting exact; electrical math is floating point.
+"""
+
+from __future__ import annotations
+
+#: Vacuum permittivity in fF/µm (8.854e-12 F/m == 8.854e-3 fF/µm).
+EPS0_FF_PER_UM = 8.854e-3
+
+#: Default database resolution: DBU per micron.
+DEFAULT_DBU_PER_MICRON = 1000
+
+#: Picoseconds per nanosecond.
+PS_PER_NS = 1000.0
+
+
+def dbu_to_um(value_dbu: float, dbu_per_micron: int = DEFAULT_DBU_PER_MICRON) -> float:
+    """Convert a length in DBU to microns."""
+    if dbu_per_micron <= 0:
+        raise ValueError(f"dbu_per_micron must be positive, got {dbu_per_micron}")
+    return value_dbu / dbu_per_micron
+
+
+def um_to_dbu(value_um: float, dbu_per_micron: int = DEFAULT_DBU_PER_MICRON) -> int:
+    """Convert a length in microns to the nearest integer DBU."""
+    if dbu_per_micron <= 0:
+        raise ValueError(f"dbu_per_micron must be positive, got {dbu_per_micron}")
+    return round(value_um * dbu_per_micron)
+
+
+def ps_to_ns(value_ps: float) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return value_ps / PS_PER_NS
+
+
+def ns_to_ps(value_ns: float) -> float:
+    """Convert nanoseconds to picoseconds."""
+    return value_ns * PS_PER_NS
+
+
+def format_si(value: float, unit: str, digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(1.2e-5, 's')``.
+
+    Supports prefixes from femto to giga; values outside that range fall
+    back to scientific notation.
+    """
+    prefixes = [
+        (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+    ]
+    if value == 0:
+        return f"0 {unit}"
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}"
+    return f"{value:.{digits}e} {unit}"

@@ -1,0 +1,145 @@
+"""Plain-text visualization and reporting.
+
+EDA debugging lives and dies by being able to *see* the layout; this
+module renders layouts, density maps, and fill placements as ASCII art and
+produces text reports — no plotting dependencies, terminal- and
+log-friendly, deterministic (so tests can assert on output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dissection.density import DensityMap
+from repro.dissection.fixed import FixedDissection
+from repro.geometry import Rect
+from repro.layout.layout import FillFeature, RoutedLayout
+from repro.pilfill.evaluate import ImpactReport
+
+#: Light-to-dark shade ramp used by all renderers.
+SHADES = " .:-=+*#%@"
+
+
+def shade(value: float, vmax: float) -> str:
+    """Map ``value`` in [0, vmax] to one shade character."""
+    if vmax <= 0:
+        return SHADES[0]
+    level = int(min(max(value / vmax, 0.0), 1.0) * (len(SHADES) - 1))
+    return SHADES[level]
+
+
+def render_grid(values: np.ndarray, vmax: float | None = None) -> str:
+    """Render a 2-D array with (0, 0) at the bottom-left."""
+    if vmax is None:
+        vmax = float(values.max()) if values.size else 1.0
+    rows = []
+    for iy in range(values.shape[1] - 1, -1, -1):
+        rows.append("".join(shade(values[ix, iy], vmax) for ix in range(values.shape[0])))
+    return "\n".join(rows)
+
+
+def render_density(density: DensityMap, vmax: float | None = None) -> str:
+    """ASCII tile-density map of a layer."""
+    d = density.dissection
+    values = np.array([
+        [density.tile_density(ix, iy) for iy in range(d.ny)] for ix in range(d.nx)
+    ])
+    return render_grid(values, vmax)
+
+
+def render_layout(
+    layout: RoutedLayout,
+    layer: str,
+    width: int = 64,
+    features: list[FillFeature] | None = None,
+) -> str:
+    """Coarse raster of a layer: ``#`` for active metal, ``o`` for fill,
+    ``.`` for empty. One character covers ``die_width / width`` DBU."""
+    die = layout.die
+    height = max(1, round(width * die.height / die.width))
+    cell_w = max(1, die.width // width)
+    cell_h = max(1, die.height // height)
+    grid = [["." for _ in range(width)] for _ in range(height)]
+
+    def paint(rect: Rect, char: str) -> None:
+        x0 = max(0, (rect.xlo - die.xlo) // cell_w)
+        x1 = min(width - 1, (rect.xhi - 1 - die.xlo) // cell_w)
+        y0 = max(0, (rect.ylo - die.ylo) // cell_h)
+        y1 = min(height - 1, (rect.yhi - 1 - die.ylo) // cell_h)
+        for y in range(y0, y1 + 1):
+            for x in range(x0, x1 + 1):
+                if char == "#" or grid[y][x] == ".":
+                    grid[y][x] = char
+
+    for feature in features or []:
+        if feature.layer == layer:
+            paint(feature.rect, "o")
+    for rect in layout.feature_rects(layer):
+        paint(rect, "#")
+    return "\n".join("".join(row) for row in reversed(grid))
+
+
+@dataclass
+class FillSummary:
+    """One-stop text summary of a fill run."""
+
+    method: str
+    features: int
+    tau_ps: float
+    weighted_tau_ps: float
+    free_features: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.method}: {self.features} features "
+            f"({self.free_features} impact-free), "
+            f"tau={self.tau_ps:.4f} ps, weighted tau={self.weighted_tau_ps:.4f} ps"
+        )
+
+
+def summarize(method: str, features: list[FillFeature], impact: ImpactReport) -> FillSummary:
+    """Build a :class:`FillSummary` from an evaluator report."""
+    return FillSummary(
+        method=method,
+        features=len(features),
+        tau_ps=impact.total_ps,
+        weighted_tau_ps=impact.weighted_total_ps,
+        free_features=impact.features_free,
+    )
+
+
+def impact_histogram(impact: ImpactReport, bins: int = 8, width: int = 40) -> str:
+    """ASCII histogram of per-net weighted delay increments.
+
+    Shows where the fill pain concentrates — a handful of victim nets or
+    spread thin.
+    """
+    values = sorted(impact.per_net_weighted_ps.values())
+    if not values:
+        return "(no per-net impact)"
+    lo, hi = values[0], values[-1]
+    if hi <= lo:
+        return f"{len(values)} nets, all at {lo:.5f} ps"
+    edges = [lo + (hi - lo) * i / bins for i in range(bins + 1)]
+    counts = [0] * bins
+    for v in values:
+        idx = min(int((v - lo) / (hi - lo) * bins), bins - 1)
+        counts[idx] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * (0 if peak == 0 else round(count / peak * width))
+        lines.append(f"{edges[i]:>10.5f}..{edges[i + 1]:<10.5f} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def budget_heatmap(
+    dissection: FixedDissection, budget: dict[tuple[int, int], int]
+) -> str:
+    """ASCII map of the per-tile fill budget."""
+    values = np.zeros((dissection.nx, dissection.ny))
+    for (ix, iy), count in budget.items():
+        values[ix, iy] = count
+    return render_grid(values)

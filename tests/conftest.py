@@ -1,0 +1,87 @@
+"""Shared fixtures: process stacks, hand-built layouts, generated testcases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.layout import Net, Pin, RoutedLayout, WireSegment
+from repro.synth import GeneratorSpec, generate_layout
+from repro.tech import DensityRules, FillRules, default_stack
+
+
+@pytest.fixture(scope="session")
+def stack():
+    """The default process stack (session-wide, immutable)."""
+    return default_stack()
+
+
+@pytest.fixture
+def fill_rules():
+    """Small fill features: 0.5 µm squares, 0.25 µm gap and buffer."""
+    return FillRules(fill_size=500, fill_gap=250, buffer_distance=250)
+
+
+@pytest.fixture
+def density_rules():
+    """Window 16 µm, r = 2 (tile 8 µm)."""
+    return DensityRules(window_size=16000, r=2, max_density=0.5)
+
+
+def build_two_line_layout(stack, gap_dbu: int = 4000, die_side: int = 40000):
+    """A die with two long parallel horizontal lines on metal3 separated by
+    ``gap_dbu`` (edge to edge) — the canonical geometry of the paper's
+    capacitance model."""
+    layout = RoutedLayout("two-line", Rect(0, 0, die_side, die_side), stack)
+    width = 400
+    y0 = die_side // 2 - gap_dbu // 2 - width // 2
+    y1 = die_side // 2 + gap_dbu // 2 + width // 2
+    for i, y in enumerate((y0, y1)):
+        net = Net(f"n{i}")
+        net.add_pin(Pin("drv", Point(2000, y), "metal3", is_driver=True, driver_res_ohm=100.0))
+        net.add_pin(Pin("s0", Point(die_side - 2000, y), "metal3", load_cap_ff=5.0))
+        net.add_segment(
+            WireSegment(f"n{i}", 0, "metal3", Point(2000, y), Point(die_side - 2000, y), width)
+        )
+        layout.add_net(net)
+    return layout
+
+
+@pytest.fixture
+def two_line_layout(stack):
+    """Two parallel metal3 lines, 4 µm apart edge-to-edge."""
+    return build_two_line_layout(stack)
+
+
+@pytest.fixture
+def branched_layout(stack):
+    """One net with a trunk and a vertical branch (T-junction), one sink on
+    each arm — exercises segment splitting, orientation and weights."""
+    layout = RoutedLayout("branched", Rect(0, 0, 100000, 100000), stack)
+    net = Net("n1")
+    net.add_pin(Pin("drv", Point(1000, 5000), "metal3", is_driver=True, driver_res_ohm=100.0))
+    net.add_pin(Pin("s1", Point(90000, 5000), "metal3", load_cap_ff=5.0))
+    net.add_pin(Pin("s2", Point(50000, 20000), "metal4", load_cap_ff=5.0))
+    net.add_segment(
+        WireSegment("n1", 0, "metal3", Point(1000, 5000), Point(90000, 5000), 280)
+    )
+    net.add_segment(
+        WireSegment("n1", 1, "metal4", Point(50000, 5000), Point(50000, 20000), 280)
+    )
+    layout.add_net(net)
+    return layout
+
+
+@pytest.fixture(scope="session")
+def small_generated_layout(stack):
+    """A small seeded synthetic layout for integration-style tests."""
+    spec = GeneratorSpec(
+        name="small",
+        die_um=48.0,
+        n_nets=24,
+        seed=7,
+        trunk_len_um=(8.0, 24.0),
+        branch_len_um=(2.0, 8.0),
+        sinks_per_net=(1, 3),
+    )
+    return generate_layout(spec, stack)

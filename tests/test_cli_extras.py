@@ -1,0 +1,56 @@
+"""CLI: ablation and report subcommands, plus render helpers not covered
+elsewhere."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestAblationCommand:
+    def test_capmodel(self, capsys):
+        assert main(["ablation", "capmodel"]) == 0
+        out = capsys.readouterr().out
+        assert "Capacitance models" in out
+        assert "exact/lin" in out
+
+    def test_unknown_study_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "nope"])
+
+    def test_parser_accepts_testcase(self):
+        args = build_parser().parse_args(["ablation", "columns", "--testcase", "T2"])
+        assert args.name == "columns" and args.testcase == "T2"
+
+
+class TestReportCommand:
+    def test_quick_report(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["report", "--quick", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "# PIL-Fill reproduction report" in text
+        assert "Table 1" in text and "Table 2" in text
+        assert "T1/32/2" in text
+        # quick mode skips ablations
+        assert "Ablation A" not in text
+
+
+class TestQuickstartCommand:
+    def test_quickstart_runs(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "weighted delay impact" in out
+
+
+class TestVizRenderDensity:
+    def test_render_density(self, small_generated_layout):
+        from repro import viz
+        from repro.dissection import DensityMap, FixedDissection
+        from repro.tech import DensityRules
+
+        dissection = FixedDissection(small_generated_layout.die, DensityRules(16000, 2))
+        density = DensityMap.from_layout(dissection, small_generated_layout, "metal3")
+        art = viz.render_density(density)
+        lines = art.splitlines()
+        assert len(lines) == dissection.ny
+        assert all(len(line) == dissection.nx for line in lines)
+        assert any(ch != " " for line in lines for ch in line)

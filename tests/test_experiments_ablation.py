@@ -1,0 +1,84 @@
+"""The programmatic ablation studies."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    STUDIES,
+    ablation_cap_models,
+    ablation_capacity_margin,
+    ablation_column_definitions,
+    run_study,
+)
+from repro.experiments.ablation import (
+    format_cap_models,
+    format_capacity_margin,
+    format_column_definitions,
+)
+from repro.pilfill import SlackColumnDef
+
+
+class TestCapModelStudy:
+    def test_rows_ordered_and_consistent(self):
+        rows = ablation_cap_models()
+        assert len(rows) >= 4
+        for row in rows:
+            assert row.grounded_ff > row.exact_ff > row.linear_ff > 0
+            assert row.exact_over_linear > 1.0
+            assert row.grounded_over_exact > 1.0
+
+    def test_narrow_gap_skipped(self):
+        # A gap narrower than one feature yields no row.
+        rows = ablation_cap_models(gaps_um=(0.4,))
+        assert rows == []
+
+    def test_format(self):
+        text = format_cap_models(ablation_cap_models(gaps_um=(4.0,)))
+        assert "exact/lin" in text and "4.0" in text
+
+
+class TestColumnDefStudy:
+    @pytest.fixture(scope="class")
+    def rows(self, small_generated_layout):
+        return ablation_column_definitions(
+            small_generated_layout, window_um=16, r=2
+        )
+
+    def test_three_definitions(self, rows):
+        assert [r.definition for r in rows] == [d.value for d in SlackColumnDef]
+
+    def test_def3_not_worse_than_def2(self, rows):
+        by_def = {r.definition: r for r in rows}
+        assert by_def["III"].weighted_tau_ps <= by_def["II"].weighted_tau_ps + 1e-12
+
+    def test_format(self, rows):
+        text = format_column_definitions(rows)
+        assert "III" in text
+
+
+class TestMarginStudy:
+    def test_margin_sweep_runs(self, small_generated_layout):
+        rows = ablation_capacity_margin(
+            small_generated_layout, margins=(1.0, 0.5), window_um=16, r=2
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.ilp2_wtau_ps <= row.normal_wtau_ps + 1e-12
+        text = format_capacity_margin(rows)
+        assert "reduction" in text
+
+
+class TestRunStudy:
+    def test_registry_covers_all(self):
+        assert set(STUDIES) == {"columns", "capmodel", "margin", "fillsize", "seeds"}
+
+    def test_capmodel_by_name(self):
+        assert "Capacitance models" in run_study("capmodel")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            run_study("nope")
+
+    def test_columns_by_name_with_layout(self, small_generated_layout):
+        text = run_study("columns", small_generated_layout)
+        assert "Slack-column definitions" in text

@@ -1,0 +1,118 @@
+"""Interval and IntervalSet boolean algebra."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Interval, IntervalSet
+
+
+class TestInterval:
+    def test_length_and_empty(self):
+        assert Interval(2, 7).length == 5
+        assert Interval(3, 3).is_empty()
+
+    def test_inverted_rejected(self):
+        with pytest.raises(GeometryError):
+            Interval(5, 2)
+
+    def test_contains_half_open(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2)
+        assert iv.contains(4)
+        assert not iv.contains(5)
+
+    def test_overlaps(self):
+        assert Interval(0, 5).overlaps(Interval(4, 8))
+        assert not Interval(0, 5).overlaps(Interval(5, 8))  # touching
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersection(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 5).intersection(Interval(5, 9)) is None
+
+    def test_shifted(self):
+        assert Interval(1, 3).shifted(10) == Interval(11, 13)
+
+    def test_expanded(self):
+        assert Interval(5, 7).expanded(2) == Interval(3, 9)
+        assert Interval(5, 7).expanded(-3).is_empty()
+
+
+class TestIntervalSetCanonical:
+    def test_merges_touching(self):
+        s = IntervalSet([Interval(0, 5), Interval(5, 10)])
+        assert s.intervals == (Interval(0, 10),)
+
+    def test_merges_overlapping(self):
+        s = IntervalSet([Interval(0, 6), Interval(4, 10)])
+        assert s.intervals == (Interval(0, 10),)
+
+    def test_drops_empty(self):
+        s = IntervalSet([Interval(3, 3), Interval(0, 1)])
+        assert s.intervals == (Interval(0, 1),)
+
+    def test_sorted_order(self):
+        s = IntervalSet([Interval(10, 12), Interval(0, 2)])
+        assert s.intervals == (Interval(0, 2), Interval(10, 12))
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([Interval(0, 5), Interval(5, 8)])
+        b = IntervalSet([Interval(0, 8)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_total_length(self):
+        s = IntervalSet([Interval(0, 3), Interval(10, 14)])
+        assert s.total_length == 7
+
+    def test_contains_binary_search(self):
+        s = IntervalSet([Interval(0, 3), Interval(10, 14)])
+        assert s.contains(0)
+        assert s.contains(13)
+        assert not s.contains(3)
+        assert not s.contains(5)
+        assert not s.contains(14)
+
+    def test_bool_and_len(self):
+        assert not IntervalSet()
+        assert len(IntervalSet([Interval(0, 1), Interval(5, 6)])) == 2
+
+
+class TestIntervalSetOps:
+    def test_union(self):
+        a = IntervalSet([Interval(0, 3)])
+        b = IntervalSet([Interval(5, 8)])
+        assert a.union(b).intervals == (Interval(0, 3), Interval(5, 8))
+
+    def test_union_with_single_interval(self):
+        a = IntervalSet([Interval(0, 3)])
+        assert a.union(Interval(2, 6)).intervals == (Interval(0, 6),)
+
+    def test_intersection(self):
+        a = IntervalSet([Interval(0, 10)])
+        b = IntervalSet([Interval(3, 5), Interval(8, 12)])
+        assert a.intersection(b).intervals == (Interval(3, 5), Interval(8, 10))
+
+    def test_subtract_middle(self):
+        a = IntervalSet([Interval(0, 10)])
+        out = a.subtract(Interval(3, 5))
+        assert out.intervals == (Interval(0, 3), Interval(5, 10))
+
+    def test_subtract_everything(self):
+        a = IntervalSet([Interval(2, 4), Interval(6, 8)])
+        assert not a.subtract(Interval(0, 10))
+
+    def test_subtract_nothing(self):
+        a = IntervalSet([Interval(2, 4)])
+        assert a.subtract(Interval(8, 10)) == a
+
+    def test_subtract_multiple_cuts(self):
+        a = IntervalSet([Interval(0, 20)])
+        cuts = IntervalSet([Interval(2, 4), Interval(10, 12), Interval(18, 25)])
+        out = a.subtract(cuts)
+        assert out.intervals == (
+            Interval(0, 2), Interval(4, 10), Interval(12, 18)
+        )
+
+    def test_clipped(self):
+        a = IntervalSet([Interval(0, 5), Interval(8, 12)])
+        assert a.clipped(Interval(3, 10)).intervals == (Interval(3, 5), Interval(8, 10))

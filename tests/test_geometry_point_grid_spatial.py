@@ -1,0 +1,112 @@
+"""Point, SiteGrid and GridBinIndex behaviour."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import GridBinIndex, Point, Rect, SiteGrid
+
+
+class TestPoint:
+    def test_ordering_lexicographic(self):
+        assert Point(1, 5) < Point(2, 0)
+        assert Point(1, 2) < Point(1, 3)
+
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -4) == Point(4, -2)
+
+    def test_manhattan(self):
+        assert Point(0, 0).manhattan_distance(Point(3, -4)) == 7
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(GeometryError):
+            Point(1.5, 0)
+
+    def test_as_tuple(self):
+        assert Point(7, 9).as_tuple() == (7, 9)
+
+
+class TestSiteGrid:
+    def test_pitch(self):
+        grid = SiteGrid(0, 0, site_size=500, site_gap=250)
+        assert grid.pitch == 750
+
+    def test_site_rect(self):
+        grid = SiteGrid(100, 200, 500, 250)
+        assert grid.site_rect(0, 0) == Rect(100, 200, 600, 700)
+        assert grid.site_rect(2, 1) == Rect(1600, 950, 2100, 1450)
+
+    def test_col_row_at(self):
+        grid = SiteGrid(0, 0, 500, 250)
+        assert grid.col_at(0) == 0
+        assert grid.col_at(749) == 0
+        assert grid.col_at(750) == 1
+        assert grid.col_at(-1) == -1
+        assert grid.row_at(1500) == 2
+
+    def test_cols_fully_inside(self):
+        grid = SiteGrid(0, 0, 500, 250)
+        # [0, 2000): sites at 0-500, 750-1250, 1500-2000 all fit
+        assert list(grid.cols_fully_inside(0, 2000)) == [0, 1, 2]
+        # [100, 2000): site 0 no longer fits
+        assert list(grid.cols_fully_inside(100, 2000)) == [1, 2]
+        # Too narrow for any site
+        assert list(grid.cols_fully_inside(0, 499)) == []
+
+    def test_sites_fully_inside(self):
+        grid = SiteGrid(0, 0, 500, 250)
+        # site (1,1) spans [750,1250)x[750,1250) which still fits in [0,1250)
+        sites = grid.sites_fully_inside(Rect(0, 0, 1250, 1250))
+        assert set(sites) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+        # shrinking by 1 DBU drops the (1, *) and (*, 1) sites
+        assert set(grid.sites_fully_inside(Rect(0, 0, 1249, 1249))) == {(0, 0)}
+
+    def test_invalid_params(self):
+        with pytest.raises(GeometryError):
+            SiteGrid(0, 0, 0, 10)
+        with pytest.raises(GeometryError):
+            SiteGrid(0, 0, 10, -1)
+
+
+class TestGridBinIndex:
+    def test_insert_and_query(self):
+        index = GridBinIndex(100)
+        index.insert(Rect(0, 0, 50, 50), "a")
+        index.insert(Rect(200, 200, 250, 250), "b")
+        assert index.query(Rect(10, 10, 20, 20)) == ["a"]
+        assert index.query(Rect(0, 0, 300, 300)) == ["a", "b"]
+        assert index.query(Rect(500, 500, 600, 600)) == []
+
+    def test_spanning_item_reported_once(self):
+        index = GridBinIndex(10)
+        index.insert(Rect(0, 0, 100, 100), "big")
+        assert index.query(Rect(0, 0, 100, 100)) == ["big"]
+
+    def test_touching_edges_not_reported(self):
+        index = GridBinIndex(50)
+        index.insert(Rect(0, 0, 10, 10), "a")
+        assert index.query(Rect(10, 0, 20, 10)) == []
+
+    def test_query_pairs(self):
+        index = GridBinIndex(50)
+        rect = Rect(0, 0, 10, 10)
+        index.insert(rect, 42)
+        assert index.query_pairs(Rect(5, 5, 6, 6)) == [(rect, 42)]
+
+    def test_negative_coordinates(self):
+        index = GridBinIndex(50)
+        index.insert(Rect(-100, -100, -10, -10), "neg")
+        assert index.query(Rect(-50, -50, -20, -20)) == ["neg"]
+
+    def test_len_counts_items_not_bins(self):
+        index = GridBinIndex(10)
+        index.insert(Rect(0, 0, 100, 100), "a")  # spans many bins
+        assert len(index) == 1
+
+    def test_insert_many(self):
+        index = GridBinIndex(100)
+        index.insert_many([(Rect(0, 0, 5, 5), 1), (Rect(20, 20, 30, 30), 2)])
+        assert len(index) == 2
+
+    def test_invalid_bin_size(self):
+        with pytest.raises(GeometryError):
+            GridBinIndex(0)

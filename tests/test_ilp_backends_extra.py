@@ -1,0 +1,113 @@
+"""Remaining solver-path coverage: scipy LP wrapper, auto dispatch at the
+threshold, infeasible/unbounded via scipy, MVDC trim path."""
+
+import pytest
+
+from repro.ilp import (
+    AUTO_VAR_THRESHOLD,
+    Model,
+    SolveStatus,
+    VarKind,
+    solve,
+    solve_scipy,
+    solve_scipy_lp,
+)
+
+
+class TestScipyLpWrapper:
+    def test_simple_lp(self):
+        m = Model()
+        x = m.add_var("x", ub=4)
+        y = m.add_var("y", ub=4)
+        m.add_constraint(x + y <= 6)
+        m.maximize(3 * x + 2 * y)
+        res = solve_scipy_lp(m)
+        assert res.status.is_optimal
+        assert res.objective == pytest.approx(16.0)
+        assert res.values["x"] == pytest.approx(4.0)
+
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.add_constraint(x >= 2)
+        m.minimize(x * 1.0)
+        assert solve_scipy_lp(m).status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        m = Model()
+        x = m.add_var("x")
+        m.minimize(-1 * x)
+        assert solve_scipy_lp(m).status is SolveStatus.UNBOUNDED
+
+
+class TestScipyMilpStatuses:
+    def test_infeasible(self):
+        m = Model()
+        x = m.add_var("x", ub=2, kind=VarKind.INTEGER)
+        m.add_constraint(x * 1.0 == 5)
+        assert solve_scipy(m).status is SolveStatus.INFEASIBLE
+
+    def test_free_variable_supported(self):
+        """scipy handles free variables the bundled engine rejects."""
+        m = Model()
+        x = m.add_var("x", lb=float("-inf"), ub=10)
+        m.add_constraint(x >= -3)
+        m.minimize(x * 1.0)
+        res = solve_scipy(m)
+        assert res.status.is_optimal
+        assert res.objective == pytest.approx(-3.0)
+
+
+class TestAutoDispatch:
+    def test_large_model_goes_to_scipy(self):
+        """Above the threshold 'auto' must still solve correctly (we can't
+        observe the backend directly, but bundled would also solve it — so
+        assert on size + correctness and trust the dispatch logic's unit
+        test below)."""
+        m = Model()
+        n = AUTO_VAR_THRESHOLD + 10
+        xs = [m.add_var(f"x{i}", ub=1, kind=VarKind.INTEGER) for i in range(n)]
+        m.add_constraint(sum((x * 1.0 for x in xs), start=0.0) == 7.0)
+        m.minimize(sum((float(i) * xs[i] for i in range(n)), start=0.0))
+        res = solve(m, backend="auto")
+        assert res.status.is_optimal
+        assert res.objective == pytest.approx(sum(range(7)))
+
+    def test_threshold_boundary(self):
+        m = Model()
+        for i in range(AUTO_VAR_THRESHOLD):
+            m.add_var(f"x{i}", ub=1)
+        m.minimize(0.0)
+        assert solve(m, backend="auto").status.is_optimal
+
+
+class TestMvdcTrim:
+    def test_trim_removes_most_expensive_first(self):
+        from repro.geometry import Rect
+        from repro.pilfill.columns import ColumnNeighbor, SlackColumn
+        from repro.pilfill.costs import ColumnCosts
+        from repro.pilfill.engine import PILFillEngine
+        from repro.pilfill.solution import TileSolution
+
+        neighbor = ColumnNeighbor("n", 0, 1, 1.0)
+
+        def cc(k, marginals):
+            sites = tuple(
+                Rect(k * 1000, n * 1000, k * 1000 + 500, n * 1000 + 500)
+                for n in range(len(marginals))
+            )
+            col = SlackColumn("metal3", (0, 0), k, sites, 4.0, neighbor, neighbor)
+            exact = [0.0]
+            for m in marginals:
+                exact.append(exact[-1] + m)
+            return ColumnCosts(col, tuple(exact), tuple(exact))
+
+        costs = [cc(0, [1.0, 5.0]), cc(1, [2.0])]
+        solution = TileSolution(counts=[2, 1], model_objective_ps=8.0)
+        trimmed = PILFillEngine._trim_to(costs, solution, want=2)
+        # the 5.0 marginal goes first
+        assert trimmed.counts == [1, 1]
+        assert trimmed.model_objective_ps == pytest.approx(3.0)
+        trimmed2 = PILFillEngine._trim_to(costs, solution, want=1)
+        assert sum(trimmed2.counts) == 1
+        assert trimmed2.model_objective_ps == pytest.approx(1.0)

@@ -1,0 +1,123 @@
+"""The two-phase simplex engine on hand-checked LPs."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import SolveStatus
+from repro.ilp.simplex import solve_lp
+
+
+def lp(c, a_ub=(), b_ub=(), a_eq=(), b_eq=()):
+    n = len(c)
+    return solve_lp(
+        np.array(c, dtype=float),
+        np.array(a_ub, dtype=float).reshape(-1, n),
+        np.array(b_ub, dtype=float),
+        np.array(a_eq, dtype=float).reshape(-1, n),
+        np.array(b_eq, dtype=float),
+    )
+
+
+class TestBasicLPs:
+    def test_textbook_max_as_min(self):
+        # max 3x+2y st x+y<=4, x+3y<=6  -> min -3x-2y, optimum (4,0), z=-12
+        res = lp([-3, -2], a_ub=[[1, 1], [1, 3]], b_ub=[4, 6])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-12.0)
+        np.testing.assert_allclose(res.x, [4, 0], atol=1e-9)
+
+    def test_equality_constraint(self):
+        # min x+y st x+y=3 -> any point on the line; objective 3
+        res = lp([1, 1], a_eq=[[1, 1]], b_eq=[3])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(3.0)
+
+    def test_negative_rhs_inequality(self):
+        # x >= 2 expressed as -x <= -2; min x -> 2
+        res = lp([1], a_ub=[[-1]], b_ub=[-2])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(2.0)
+
+    def test_infeasible(self):
+        # x <= 1 and x >= 3
+        res = lp([1], a_ub=[[1], [-1]], b_ub=[1, -3])
+        assert res.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        res = lp([-1], a_ub=[[-1]], b_ub=[0])  # min -x, x >= 0 unbounded
+        assert res.status is SolveStatus.UNBOUNDED
+
+    def test_no_constraints_zero_optimum(self):
+        res = lp([1, 2])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == 0.0
+
+    def test_no_constraints_unbounded(self):
+        res = lp([-1])
+        assert res.status is SolveStatus.UNBOUNDED
+
+    def test_degenerate_vertex(self):
+        # Three constraints through one vertex — classic degeneracy.
+        res = lp(
+            [-1, -1],
+            a_ub=[[1, 0], [0, 1], [1, 1]],
+            b_ub=[1, 1, 2],
+        )
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(-2.0)
+
+    def test_redundant_equalities(self):
+        # Same equality twice -> residual zero-level artificial.
+        res = lp([1, 1], a_eq=[[1, 1], [1, 1]], b_eq=[3, 3])
+        assert res.status is SolveStatus.OPTIMAL
+        assert res.objective == pytest.approx(3.0)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_feasible_lps(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        n, m = 6, 4
+        a_ub = rng.normal(size=(m, n))
+        x0 = rng.uniform(0.1, 1.0, size=n)  # feasible interior point
+        b_ub = a_ub @ x0 + rng.uniform(0.1, 1.0, size=m)
+        c = rng.normal(size=n)
+
+        ours = lp(c, a_ub=a_ub.tolist(), b_ub=b_ub.tolist())
+        ref = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=[(0, None)] * n, method="highs")
+        if ref.status == 3:
+            assert ours.status is SolveStatus.UNBOUNDED
+        else:
+            assert ref.status == 0
+            assert ours.status is SolveStatus.OPTIMAL
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-7)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_equality_lps(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(100 + seed)
+        n, m = 7, 3
+        a_eq = rng.normal(size=(m, n))
+        x0 = rng.uniform(0.1, 1.0, size=n)
+        b_eq = a_eq @ x0
+        c = rng.uniform(0.1, 2.0, size=n)  # positive costs keep it bounded
+
+        ours = lp(c, a_eq=a_eq.tolist(), b_eq=b_eq.tolist())
+        ref = linprog(c, A_eq=a_eq, b_eq=b_eq, bounds=[(0, None)] * n, method="highs")
+        assert ref.status == 0
+        assert ours.status is SolveStatus.OPTIMAL
+        assert ours.objective == pytest.approx(ref.fun, abs=1e-7)
+
+    def test_solution_satisfies_constraints(self):
+        rng = np.random.default_rng(42)
+        n, m = 8, 5
+        a_ub = rng.normal(size=(m, n))
+        b_ub = np.abs(rng.normal(size=m)) + 1
+        c = rng.uniform(0.1, 1.0, size=n)
+        res = lp(c, a_ub=a_ub.tolist(), b_ub=b_ub.tolist())
+        assert res.status is SolveStatus.OPTIMAL
+        assert np.all(a_ub @ res.x <= b_ub + 1e-8)
+        assert np.all(res.x >= -1e-10)

@@ -1,0 +1,103 @@
+"""Incremental impact model vs the batch evaluator."""
+
+import pytest
+
+from repro.errors import FillError
+from repro.geometry import Rect
+from repro.layout import FillFeature
+from repro.pilfill import EngineConfig, ImpactModel, PILFillEngine, evaluate_impact
+from repro.tech import DensityRules
+
+
+class TestAgainstBatchEvaluator:
+    def test_identical_on_engine_placement(self, small_generated_layout, fill_rules):
+        cfg = EngineConfig(
+            fill_rules=fill_rules,
+            density_rules=DensityRules(window_size=16000, r=2, max_density=0.6),
+            method="greedy",
+            backend="scipy",
+        )
+        result = PILFillEngine(small_generated_layout, "metal3", cfg).run()
+        batch = evaluate_impact(small_generated_layout, "metal3", result.features, fill_rules)
+        model = ImpactModel(small_generated_layout, "metal3", fill_rules)
+        incremental = model.score(result.features)
+        assert incremental.total_ps == pytest.approx(batch.total_ps)
+        assert incremental.weighted_total_ps == pytest.approx(batch.weighted_total_ps)
+        assert incremental.features_scored == batch.features_scored
+        assert incremental.features_free == batch.features_free
+        assert incremental.columns == batch.columns
+        for net, value in batch.per_net_weighted_ps.items():
+            assert incremental.per_net_weighted_ps[net] == pytest.approx(value)
+        for net, value in batch.per_net_ps.items():
+            assert incremental.per_net_ps[net] == pytest.approx(value)
+
+    def test_empty_placement(self, two_line_layout, fill_rules):
+        model = ImpactModel(two_line_layout, "metal3", fill_rules)
+        report = model.score([])
+        assert report.total_ps == 0.0
+
+    def test_model_reusable(self, two_line_layout, fill_rules):
+        segs = two_line_layout.segments_on_layer("metal3")
+        gap_lo = min(s.rect.yhi for s in segs)
+        f1 = FillFeature("metal3", Rect(10000, gap_lo + 1000, 10500, gap_lo + 1500))
+        f2 = FillFeature("metal3", Rect(30000, gap_lo + 1000, 30500, gap_lo + 1500))
+        model = ImpactModel(two_line_layout, "metal3", fill_rules)
+        a = model.score([f1])
+        b = model.score([f2])
+        both = model.score([f1, f2])
+        assert both.total_ps == pytest.approx(a.total_ps + b.total_ps)
+
+
+class TestMarginalCost:
+    def test_first_feature_cost(self, two_line_layout, fill_rules):
+        segs = two_line_layout.segments_on_layer("metal3")
+        gap_lo = min(s.rect.yhi for s in segs)
+        feature = FillFeature("metal3", Rect(20000, gap_lo + 1000, 20500, gap_lo + 1500))
+        model = ImpactModel(two_line_layout, "metal3", fill_rules)
+        marginal = model.marginal_cost_ps(feature)
+        assert marginal == pytest.approx(model.score([feature]).weighted_total_ps)
+
+    def test_marginal_respects_nonlinearity(self, two_line_layout, fill_rules):
+        """Second feature in the same column costs more than the first."""
+        segs = two_line_layout.segments_on_layer("metal3")
+        gap_lo = min(s.rect.yhi for s in segs)
+        pitch = fill_rules.pitch
+        f1 = FillFeature("metal3", Rect(20000, gap_lo + 500, 20500, gap_lo + 1000))
+        f2 = FillFeature(
+            "metal3", Rect(20000, gap_lo + 500 + pitch, 20500, gap_lo + 1000 + pitch)
+        )
+        model = ImpactModel(two_line_layout, "metal3", fill_rules)
+        first = model.marginal_cost_ps(f1)
+        second = model.marginal_cost_ps(f2, existing=[f1])
+        assert second > first
+
+    def test_marginals_sum_to_total(self, two_line_layout, fill_rules):
+        segs = two_line_layout.segments_on_layer("metal3")
+        gap_lo = min(s.rect.yhi for s in segs)
+        pitch = fill_rules.pitch
+        feats = [
+            FillFeature("metal3", Rect(20000, gap_lo + 500 + i * pitch,
+                                       20500, gap_lo + 1000 + i * pitch))
+            for i in range(3)
+        ]
+        model = ImpactModel(two_line_layout, "metal3", fill_rules)
+        total = 0.0
+        for i, f in enumerate(feats):
+            total += model.marginal_cost_ps(f, existing=feats[:i])
+        assert total == pytest.approx(model.score(feats).weighted_total_ps)
+
+    def test_free_feature_zero_marginal(self, two_line_layout, fill_rules):
+        feature = FillFeature("metal3", Rect(20000, 1000, 20500, 1500))
+        model = ImpactModel(two_line_layout, "metal3", fill_rules)
+        assert model.marginal_cost_ps(feature) == 0.0
+
+    def test_feature_on_active_rejected(self, two_line_layout, fill_rules):
+        rect = two_line_layout.segments_on_layer("metal3")[0].rect
+        bad = FillFeature("metal3", Rect(rect.xlo + 100, rect.ylo, rect.xlo + 600, rect.ylo + 500))
+        model = ImpactModel(two_line_layout, "metal3", fill_rules)
+        with pytest.raises(FillError):
+            model.locate(bad)
+
+    def test_block_count_positive(self, two_line_layout, fill_rules):
+        model = ImpactModel(two_line_layout, "metal3", fill_rules)
+        assert model.block_count >= 3

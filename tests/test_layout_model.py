@@ -1,0 +1,214 @@
+"""Segments, pins, nets, and the RoutedLayout container."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.geometry import Point, Rect
+from repro.layout import (
+    Direction,
+    FillFeature,
+    Net,
+    Pin,
+    RoutedLayout,
+    WireSegment,
+)
+
+
+def hseg(x0, x1, y, width=400, net="n", index=0, layer="metal3"):
+    return WireSegment(net, index, layer, Point(x0, y), Point(x1, y), width)
+
+
+class TestWireSegment:
+    def test_direction_east_west(self):
+        assert hseg(0, 100, 0).direction is Direction.EAST
+        assert hseg(100, 0, 0).direction is Direction.WEST
+
+    def test_direction_north_south(self):
+        up = WireSegment("n", 0, "metal4", Point(0, 0), Point(0, 100), 10)
+        down = WireSegment("n", 0, "metal4", Point(0, 100), Point(0, 0), 10)
+        assert up.direction is Direction.NORTH
+        assert down.direction is Direction.SOUTH
+        assert not up.is_horizontal
+
+    def test_length(self):
+        assert hseg(10, 110, 0).length == 100
+
+    def test_rect_expands_width_and_endcaps(self):
+        seg = hseg(100, 200, 50, width=20)
+        assert seg.rect == Rect(90, 40, 210, 60)
+
+    def test_low_high_cross_coords(self):
+        seg = hseg(200, 100, 50)
+        assert seg.low_coord == 100
+        assert seg.high_coord == 200
+        assert seg.cross_coord == 50
+
+    def test_reversed(self):
+        seg = hseg(0, 100, 0)
+        rev = seg.reversed()
+        assert rev.start == seg.end and rev.end == seg.start
+        assert rev.rect == seg.rect
+
+    def test_distance_from_start(self):
+        seg = hseg(100, 200, 0)
+        assert seg.distance_from_start(150) == 50
+        assert seg.distance_from_start(100) == 0
+        # clamped beyond extent
+        assert seg.distance_from_start(500) == 100
+        rev = seg.reversed()
+        assert rev.distance_from_start(150) == 50
+        assert rev.distance_from_start(200) == 0
+
+    def test_diagonal_rejected(self):
+        with pytest.raises(LayoutError):
+            WireSegment("n", 0, "metal3", Point(0, 0), Point(10, 10), 10)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(LayoutError):
+            WireSegment("n", 0, "metal3", Point(5, 5), Point(5, 5), 10)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(LayoutError):
+            hseg(0, 10, 0, width=0)
+
+
+class TestNet:
+    def test_driver_and_sinks(self):
+        net = Net("n")
+        net.add_pin(Pin("d", Point(0, 0), "metal3", is_driver=True))
+        net.add_pin(Pin("s1", Point(1, 0), "metal3"))
+        net.add_pin(Pin("s2", Point(2, 0), "metal3"))
+        assert net.driver.name == "d"
+        assert [p.name for p in net.sinks] == ["s1", "s2"]
+
+    def test_no_driver_raises(self):
+        net = Net("n")
+        net.add_pin(Pin("s", Point(0, 0), "metal3"))
+        with pytest.raises(LayoutError):
+            _ = net.driver
+
+    def test_two_drivers_raise(self):
+        net = Net("n")
+        net.add_pin(Pin("d1", Point(0, 0), "metal3", is_driver=True))
+        net.add_pin(Pin("d2", Point(1, 0), "metal3", is_driver=True))
+        with pytest.raises(LayoutError):
+            _ = net.driver
+
+    def test_duplicate_pin_name_rejected(self):
+        net = Net("n")
+        net.add_pin(Pin("p", Point(0, 0), "metal3"))
+        with pytest.raises(LayoutError):
+            net.add_pin(Pin("p", Point(1, 1), "metal3"))
+
+    def test_segment_net_mismatch_rejected(self):
+        net = Net("a")
+        with pytest.raises(LayoutError):
+            net.add_segment(hseg(0, 10, 0, net="b"))
+
+    def test_duplicate_segment_index_rejected(self):
+        net = Net("n")
+        net.add_segment(hseg(0, 10, 0, index=0))
+        with pytest.raises(LayoutError):
+            net.add_segment(hseg(20, 30, 0, index=0))
+
+    def test_total_wirelength(self):
+        net = Net("n")
+        net.add_segment(hseg(0, 100, 0, index=0))
+        net.add_segment(hseg(0, 50, 10, index=1))
+        assert net.total_wirelength == 150
+
+    def test_segment_by_index(self):
+        net = Net("n")
+        seg = hseg(0, 10, 0, index=3)
+        net.add_segment(seg)
+        assert net.segment_by_index(3) is seg
+        with pytest.raises(LayoutError):
+            net.segment_by_index(0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(LayoutError):
+            Net("")
+
+    def test_negative_pin_values_rejected(self):
+        with pytest.raises(LayoutError):
+            Pin("p", Point(0, 0), "m", load_cap_ff=-1.0)
+        with pytest.raises(LayoutError):
+            Pin("p", Point(0, 0), "m", driver_res_ohm=-1.0)
+
+
+class TestRoutedLayout:
+    def _net(self, name="n1"):
+        net = Net(name)
+        net.add_pin(Pin("d", Point(1000, 1000), "metal3", is_driver=True, driver_res_ohm=10))
+        net.add_pin(Pin("s", Point(5000, 1000), "metal3", load_cap_ff=1))
+        net.add_segment(WireSegment(name, 0, "metal3", Point(1000, 1000), Point(5000, 1000), 280))
+        return net
+
+    def test_add_and_query(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 10000, 10000), stack)
+        layout.add_net(self._net())
+        assert layout.used_layers == ["metal3"]
+        assert len(layout.segments_on_layer("metal3")) == 1
+        assert layout.segments_on_layer("metal4") == []
+
+    def test_duplicate_net_rejected(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 10000, 10000), stack)
+        layout.add_net(self._net())
+        with pytest.raises(LayoutError):
+            layout.add_net(self._net())
+
+    def test_segment_outside_die_rejected(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 3000, 3000), stack)
+        with pytest.raises(LayoutError):
+            layout.add_net(self._net())
+
+    def test_unknown_layer_rejected(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 10000, 10000), stack)
+        net = Net("x")
+        net.add_pin(Pin("d", Point(1000, 1000), "poly", is_driver=True))
+        net.add_pin(Pin("s", Point(2000, 1000), "poly", load_cap_ff=1))
+        net.add_segment(WireSegment("x", 0, "poly", Point(1000, 1000), Point(2000, 1000), 100))
+        with pytest.raises(LayoutError):
+            layout.add_net(net)
+
+    def test_fill_outside_die_rejected(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 1000, 1000), stack)
+        with pytest.raises(LayoutError):
+            layout.add_fill(FillFeature("metal3", Rect(900, 900, 1400, 1400)))
+
+    def test_fill_must_be_square(self, stack):
+        with pytest.raises(LayoutError):
+            FillFeature("metal3", Rect(0, 0, 100, 200))
+
+    def test_feature_rects_include_fill_flag(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 10000, 10000), stack)
+        layout.add_net(self._net())
+        layout.add_fill(FillFeature("metal3", Rect(7000, 7000, 7500, 7500)))
+        assert len(layout.feature_rects("metal3")) == 1
+        assert len(layout.feature_rects("metal3", include_fill=True)) == 2
+
+    def test_stats(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 10000, 10000), stack)
+        layout.add_net(self._net())
+        stats = layout.stats()
+        assert stats["nets"] == 1
+        assert stats["segments"] == 1
+        assert stats["sinks"] == 1
+        assert stats["wirelength_dbu"] == 4000
+
+    def test_timing_views_rebuilt_after_add(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 10000, 10000), stack)
+        layout.add_net(self._net("n1"))
+        assert len(list(layout.trees())) == 1
+        layout.add_net(self._net("n2"))
+        assert len(list(layout.trees())) == 2
+
+    def test_unknown_net_tree_raises(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 10000, 10000), stack)
+        layout.add_net(self._net())
+        with pytest.raises(LayoutError):
+            layout.tree("nope")
+
+    def test_empty_die_rejected(self, stack):
+        with pytest.raises(LayoutError):
+            RoutedLayout("t", Rect(0, 0, 0, 100), stack)

@@ -1,0 +1,96 @@
+"""Layout and fill validation."""
+
+from repro.geometry import Point, Rect
+from repro.layout import (
+    FillFeature,
+    Net,
+    Pin,
+    RoutedLayout,
+    WireSegment,
+    validate_fill,
+    validate_layout,
+)
+from repro.tech import FillRules
+
+
+def make_net(name, y, x0=1000, x1=9000, layer="metal3", width=400):
+    net = Net(name)
+    net.add_pin(Pin("d", Point(x0, y), layer, is_driver=True, driver_res_ohm=10))
+    net.add_pin(Pin("s", Point(x1, y), layer, load_cap_ff=1))
+    net.add_segment(WireSegment(name, 0, layer, Point(x0, y), Point(x1, y), width))
+    return net
+
+
+class TestValidateLayout:
+    def test_clean_layout_ok(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 20000, 20000), stack)
+        layout.add_net(make_net("a", 5000))
+        layout.add_net(make_net("b", 10000))
+        assert validate_layout(layout).ok
+
+    def test_short_detected(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 20000, 20000), stack)
+        layout.add_net(make_net("a", 5000))
+        layout.add_net(make_net("b", 5100))  # overlaps net a's 400-wide rect
+        report = validate_layout(layout)
+        assert not report.ok
+        assert any("short" in v for v in report.violations)
+
+    def test_missing_sink_detected(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 20000, 20000), stack)
+        net = Net("a")
+        net.add_pin(Pin("d", Point(1000, 5000), "metal3", is_driver=True))
+        net.add_segment(
+            WireSegment("a", 0, "metal3", Point(1000, 5000), Point(9000, 5000), 400)
+        )
+        layout.nets["a"] = net  # bypass add_net (tree build would fail too)
+        report = validate_layout(layout)
+        assert any("no sinks" in v for v in report.violations)
+
+    def test_multiple_drivers_detected(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 20000, 20000), stack)
+        net = make_net("a", 5000)
+        net.pins.append(Pin("d2", Point(9000, 5000), "metal3", is_driver=True))
+        layout.nets["a"] = net
+        report = validate_layout(layout)
+        assert any("drivers" in v for v in report.violations)
+
+    def test_report_str(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 20000, 20000), stack)
+        layout.add_net(make_net("a", 5000))
+        assert str(validate_layout(layout)) == "OK"
+
+
+class TestValidateFill:
+    def test_clean_fill_ok(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 20000, 20000), stack)
+        layout.add_net(make_net("a", 5000))
+        # Fill far from the line, far from other fill.
+        layout.add_fill(FillFeature("metal3", Rect(1000, 10000, 1500, 10500)))
+        layout.add_fill(FillFeature("metal3", Rect(3000, 10000, 3500, 10500)))
+        rules = FillRules(fill_size=500, fill_gap=250, buffer_distance=250)
+        assert validate_fill(layout, rules).ok
+
+    def test_buffer_violation_detected(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 20000, 20000), stack)
+        layout.add_net(make_net("a", 5000))
+        # Line rect spans y in [4800, 5200]; fill 100 DBU above it.
+        layout.add_fill(FillFeature("metal3", Rect(4000, 5300, 4500, 5800)))
+        rules = FillRules(fill_size=500, fill_gap=250, buffer_distance=250)
+        report = validate_fill(layout, rules)
+        assert any("buffer" in v for v in report.violations)
+
+    def test_gap_violation_detected(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 20000, 20000), stack)
+        layout.add_fill(FillFeature("metal3", Rect(1000, 10000, 1500, 10500)))
+        layout.add_fill(FillFeature("metal3", Rect(1600, 10000, 2100, 10500)))  # 100 apart
+        rules = FillRules(fill_size=500, fill_gap=250, buffer_distance=250)
+        report = validate_fill(layout, rules)
+        assert any("gap" in v for v in report.violations)
+
+    def test_fill_on_other_layer_ignored(self, stack):
+        layout = RoutedLayout("t", Rect(0, 0, 20000, 20000), stack)
+        layout.add_net(make_net("a", 5000))
+        layout.add_fill(FillFeature("metal5", Rect(4000, 5300, 4500, 5800)))
+        rules = FillRules(fill_size=500, fill_gap=250, buffer_distance=250)
+        assert validate_fill(layout, rules).ok

@@ -1,0 +1,69 @@
+"""Multi-layer fill orchestration."""
+
+import pytest
+
+from repro.layout import validate_fill
+from repro.pilfill import EngineConfig, run_all_layers
+from repro.tech import DensityRules
+
+
+@pytest.fixture
+def config(fill_rules):
+    return EngineConfig(
+        fill_rules=fill_rules,
+        density_rules=DensityRules(window_size=16000, r=2, max_density=0.6),
+        method="greedy",
+        backend="scipy",
+    )
+
+
+class TestRunAllLayers:
+    def test_covers_used_layers(self, small_generated_layout, config):
+        result = run_all_layers(small_generated_layout, config)
+        assert set(result.per_layer) == set(small_generated_layout.used_layers)
+        assert set(result.per_layer_impact) == set(result.per_layer)
+
+    def test_totals_are_sums(self, small_generated_layout, config):
+        result = run_all_layers(small_generated_layout, config)
+        assert result.total_features == sum(
+            r.total_features for r in result.per_layer.values()
+        )
+        assert result.weighted_total_ps == pytest.approx(
+            sum(i.weighted_total_ps for i in result.per_layer_impact.values())
+        )
+        assert result.total_ps == pytest.approx(
+            sum(i.total_ps for i in result.per_layer_impact.values())
+        )
+
+    def test_features_on_correct_layers(self, small_generated_layout, config):
+        result = run_all_layers(small_generated_layout, config)
+        for layer, run in result.per_layer.items():
+            assert all(f.layer == layer for f in run.features)
+
+    def test_layer_subset(self, small_generated_layout, config):
+        result = run_all_layers(small_generated_layout, config, layers=["metal3"])
+        assert set(result.per_layer) == {"metal3"}
+
+    def test_empty_layer_skipped(self, small_generated_layout, config):
+        result = run_all_layers(small_generated_layout, config, layers=["metal5"])
+        assert result.per_layer == {}
+        assert result.total_features == 0
+
+    def test_combined_fill_drc_clean(self, small_generated_layout, config, fill_rules):
+        result = run_all_layers(small_generated_layout, config)
+        for feature in result.features:
+            small_generated_layout.add_fill(feature)
+        try:
+            assert validate_fill(small_generated_layout, fill_rules).ok
+        finally:
+            small_generated_layout.fills.clear()
+
+    def test_per_net_aggregation(self, small_generated_layout, config):
+        result = run_all_layers(small_generated_layout, config)
+        per_net = result.per_net_weighted_ps
+        assert sum(per_net.values()) == pytest.approx(result.weighted_total_ps)
+
+    def test_input_not_mutated(self, small_generated_layout, config):
+        before = small_generated_layout.stats()
+        run_all_layers(small_generated_layout, config)
+        assert small_generated_layout.stats() == before

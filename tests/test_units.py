@@ -1,0 +1,55 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestDbuConversions:
+    def test_dbu_to_um_default_scale(self):
+        assert units.dbu_to_um(1000) == 1.0
+
+    def test_dbu_to_um_custom_scale(self):
+        assert units.dbu_to_um(200, dbu_per_micron=100) == 2.0
+
+    def test_um_to_dbu_rounds_to_nearest(self):
+        assert units.um_to_dbu(1.2345) == 1234  # 1234.5 banker-rounds to 1234
+        assert units.um_to_dbu(1.2346) == 1235
+
+    def test_um_to_dbu_roundtrip(self):
+        assert units.dbu_to_um(units.um_to_dbu(3.5)) == 3.5
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            units.dbu_to_um(1, dbu_per_micron=0)
+        with pytest.raises(ValueError):
+            units.um_to_dbu(1.0, dbu_per_micron=-5)
+
+
+class TestDelayConversions:
+    def test_ps_ns_roundtrip(self):
+        assert units.ns_to_ps(units.ps_to_ns(1234.0)) == pytest.approx(1234.0)
+
+    def test_ps_to_ns(self):
+        assert units.ps_to_ns(2500.0) == 2.5
+
+
+class TestFormatSi:
+    def test_zero(self):
+        assert units.format_si(0.0, "s") == "0 s"
+
+    def test_milli(self):
+        assert units.format_si(0.0042, "s") == "4.2 ms"
+
+    def test_kilo(self):
+        assert units.format_si(4200.0, "Hz") == "4.2 kHz"
+
+    def test_femto(self):
+        assert "f" in units.format_si(3e-15, "F")
+
+    def test_below_femto_falls_back_to_scientific(self):
+        assert "e" in units.format_si(1e-20, "F")
+
+    def test_constants_consistent(self):
+        # eps0 = 8.854e-12 F/m = 8.854e-3 fF/um
+        assert units.EPS0_FF_PER_UM == pytest.approx(8.854e-3)

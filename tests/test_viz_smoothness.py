@@ -1,0 +1,163 @@
+"""ASCII visualization helpers and the ref [4] smoothness metrics."""
+
+import numpy as np
+import pytest
+
+from repro import viz
+from repro.dissection import DensityMap, FixedDissection, smoothness
+from repro.geometry import Rect
+from repro.layout import FillFeature
+from repro.pilfill.evaluate import ImpactReport
+from repro.tech import DensityRules
+from tests.conftest import build_two_line_layout
+
+
+class TestShade:
+    def test_bounds(self):
+        assert viz.shade(0.0, 1.0) == " "
+        assert viz.shade(1.0, 1.0) == "@"
+        assert viz.shade(2.0, 1.0) == "@"  # clamped
+
+    def test_zero_vmax(self):
+        assert viz.shade(5.0, 0.0) == " "
+
+
+class TestRenderGrid:
+    def test_orientation_bottom_left_origin(self):
+        values = np.zeros((2, 2))
+        values[0, 0] = 1.0  # bottom-left
+        art = viz.render_grid(values, vmax=1.0)
+        lines = art.splitlines()
+        assert lines[1][0] == "@"  # last printed row = y==0
+        assert lines[0] == "  "
+
+    def test_shape(self):
+        art = viz.render_grid(np.zeros((5, 3)))
+        lines = art.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 5 for line in lines)
+
+
+class TestRenderLayout:
+    def test_active_metal_visible(self, stack):
+        layout = build_two_line_layout(stack)
+        art = viz.render_layout(layout, "metal3", width=32)
+        assert "#" in art
+        assert len(art.splitlines()) == 32  # square die
+
+    def test_fill_rendered_under_metal(self, stack):
+        layout = build_two_line_layout(stack)
+        features = [FillFeature("metal3", Rect(2000, 2000, 2500, 2500))]
+        art = viz.render_layout(layout, "metal3", width=32, features=features)
+        assert "o" in art
+
+    def test_deterministic(self, stack):
+        layout = build_two_line_layout(stack)
+        assert viz.render_layout(layout, "metal3") == viz.render_layout(layout, "metal3")
+
+
+class TestImpactHistogram:
+    def test_empty(self):
+        assert "no per-net" in viz.impact_histogram(ImpactReport())
+
+    def test_uniform(self):
+        report = ImpactReport(per_net_weighted_ps={"a": 1.0, "b": 1.0})
+        assert "2 nets" in viz.impact_histogram(report)
+
+    def test_bins_count_all_nets(self):
+        report = ImpactReport(
+            per_net_weighted_ps={f"n{i}": float(i) for i in range(10)}
+        )
+        text = viz.impact_histogram(report, bins=4)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == 10
+
+
+class TestSummaryAndBudgetMap:
+    def test_summary_str(self):
+        report = ImpactReport(total_ps=1.0, weighted_total_ps=2.0, features_free=3)
+        summary = viz.summarize("ilp2", [None] * 7, report)
+        text = str(summary)
+        assert "ilp2" in text and "7 features" in text and "3 impact-free" in text
+
+    def test_budget_heatmap_shape(self):
+        d = FixedDissection(Rect(0, 0, 32000, 32000), DensityRules(16000, 2))
+        art = viz.budget_heatmap(d, {(0, 0): 5, (3, 3): 10})
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert lines[-1][0] != " "   # (0,0) visible at bottom-left
+        assert lines[0][3] == "@"    # (3,3) is the max
+
+
+def uniform_density(dissection, value):
+    areas = np.full((dissection.nx, dissection.ny), value * dissection.tile_size ** 2)
+    return DensityMap(dissection, areas)
+
+
+class TestSmoothness:
+    def make(self, r=2):
+        d = FixedDissection(Rect(0, 0, 64000, 64000), DensityRules(16000, r))
+        return d
+
+    def test_uniform_layout_all_zero(self):
+        d = self.make()
+        report = smoothness(uniform_density(d, 0.3))
+        assert report.variation == pytest.approx(0.0)
+        assert report.smoothness_type1 == pytest.approx(0.0)
+        assert report.smoothness_type2 == pytest.approx(0.0)
+        assert report.gradient == pytest.approx(0.0)
+
+    def test_single_hot_tile(self):
+        d = self.make()
+        areas = np.zeros((d.nx, d.ny))
+        areas[0, 0] = d.tile_size ** 2  # one full tile
+        report = smoothness(DensityMap(d, areas))
+        assert report.variation == pytest.approx(0.25)
+        # overlapping windows (0,0) vs (1,1): 0.25 vs 0 difference
+        assert report.smoothness_type1 == pytest.approx(0.25)
+        assert report.smoothness_type2 > 0
+        assert report.gradient == pytest.approx(0.25)
+
+    def test_variation_bounds_both_metrics(self):
+        """Variation (global max-min) dominates any pairwise difference —
+        overlapping (type-I) or same-phase adjacent (gradient). Note the
+        gradient pairs do NOT overlap (they sit r apart), so type-I does
+        not bound the gradient."""
+        d = self.make()
+        rng = np.random.default_rng(0)
+        areas = rng.uniform(0, d.tile_size ** 2, size=(d.nx, d.ny))
+        report = smoothness(DensityMap(d, areas))
+        assert report.variation >= report.smoothness_type1 - 1e-12
+        assert report.variation >= report.gradient - 1e-12
+
+    def test_fill_improves_smoothness(self, stack, fill_rules):
+        """PIL-Fill output must not worsen (and typically improves) the
+        smoothness metrics."""
+        from repro.pilfill import EngineConfig, PILFillEngine
+        from repro.synth import GeneratorSpec, generate_layout
+
+        layout = generate_layout(
+            GeneratorSpec(name="s", die_um=48.0, n_nets=24, seed=7,
+                          trunk_len_um=(8.0, 24.0), branch_len_um=(2.0, 8.0)),
+            stack,
+        )
+        rules = DensityRules(window_size=16000, r=2, max_density=0.6)
+        dissection = FixedDissection(layout.die, rules)
+        before = smoothness(DensityMap.from_layout(dissection, layout, "metal3"))
+        cfg = EngineConfig(fill_rules=fill_rules, density_rules=rules,
+                           method="greedy", backend="scipy")
+        result = PILFillEngine(layout, "metal3", cfg).run()
+        for f in result.features:
+            layout.add_fill(f)
+        try:
+            after = smoothness(
+                DensityMap.from_layout(dissection, layout, "metal3", include_fill=True)
+            )
+        finally:
+            layout.fills.clear()
+        assert after.variation <= before.variation + 1e-9
+
+    def test_str(self):
+        d = self.make()
+        text = str(smoothness(uniform_density(d, 0.1)))
+        assert "variation" in text and "gradient" in text
