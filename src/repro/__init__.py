@@ -86,9 +86,11 @@ from repro.pilfill import (
     ImpactReport,
     METHODS,
     PILFillEngine,
+    PreparedInstance,
     SlackColumn,
     SlackColumnDef,
     evaluate_impact,
+    prepare,
     refine_placement,
     run_all_layers,
 )
@@ -134,7 +136,7 @@ __all__ = [
     # pilfill
     "METHODS", "EngineConfig", "PILFillEngine", "FillResult", "ImpactReport",
     "ImpactModel", "SlackColumn", "SlackColumnDef", "evaluate_impact",
-    "refine_placement", "run_all_layers",
+    "PreparedInstance", "prepare", "refine_placement", "run_all_layers",
     # rulefill
     "run_rule_fill", "select_rule",
     # synth

@@ -36,9 +36,11 @@ def _layout_for(name: str):
 
 
 def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
-    spec = TableSpec()
+    spec = TableSpec(workers=args.workers)
     if args.quick:
-        spec = TableSpec(testcases=("T1",), windows_um=(32,), r_values=(2,))
+        spec = TableSpec(
+            testcases=("T1",), windows_um=(32,), r_values=(2,), workers=args.workers
+        )
     table = run_table(
         weighted=weighted, spec=spec, progress=lambda label: print(f"  done {label}")
     )
@@ -74,15 +76,27 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         method=args.method,
         weighted=not args.unweighted,
         seed=args.seed,
+        workers=args.workers,
     )
     engine = PILFillEngine(layout, args.layer, cfg)
     result = engine.run()
     impact = evaluate_impact(layout, args.layer, result.features, fill_rules)
-    print(f"{args.testcase}/{args.window}/{args.r} method={args.method}")
+    print(f"{args.testcase}/{args.window}/{args.r} method={args.method} "
+          f"workers={args.workers}")
     print(f"  features placed: {result.total_features} (shortfall {result.shortfall})")
     print(f"  delay impact: tau={impact.total_ps:.4f} ps, "
           f"weighted tau={impact.weighted_total_ps:.4f} ps")
     print(f"  solve time: {result.solve_seconds:.2f} s")
+    phases = "  ".join(
+        f"{name}={seconds:.3f}s" for name, seconds in result.phase_seconds.items()
+    )
+    print(f"  phases: {phases}")
+    if result.tile_seconds:
+        slowest = sorted(
+            result.tile_seconds.items(), key=lambda kv: kv[1], reverse=True
+        )[:3]
+        shown = ", ".join(f"{key}: {sec:.3f}s" for key, sec in slowest)
+        print(f"  slowest tiles ({len(result.tile_seconds)} solved): {shown}")
     if args.out:
         for feature in result.features:
             layout.add_fill(feature)
@@ -119,6 +133,8 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(table_name, help=f"regenerate paper {table_name}")
         p.add_argument("--quick", action="store_true", help="single-config smoke run")
         p.add_argument("--csv", help="also write CSV to this path")
+        p.add_argument("--workers", type=int, default=1,
+                       help="per-tile solver threads (1 = serial)")
 
     p = sub.add_parser("density", help="density analysis of a testcase")
     p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
@@ -134,6 +150,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", default="ilp2", choices=METHODS)
     p.add_argument("--unweighted", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="per-tile solver threads (1 = serial)")
     p.add_argument("--out", help="write filled DEF-lite to this path")
 
     sub.add_parser("quickstart", help="tiny end-to-end demo")

@@ -4,8 +4,13 @@ Mirrors the paper's Section 6 protocol: the density-control step fixes a
 per-tile fill budget once per configuration, then every method places the
 same budget (identical density-control quality) and is scored by the
 common evaluator. CPU time per method covers its per-tile optimization
-phase, which is what distinguishes the methods (setup/scan-line/budget are
-shared preprocessing).
+phase, which is what distinguishes the methods.
+
+The setup/scan-line/cost-table preprocessing is method-independent, so
+the harness builds one :class:`~repro.pilfill.prepare.PreparedInstance`
+per configuration and hands it to every method's engine — the dissection,
+legality map, density map, slack columns, cost tables, and budget are
+each computed exactly once per configuration instead of once per method.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from repro.layout.layout import RoutedLayout
 from repro.pilfill.columns import SlackColumnDef
 from repro.pilfill.engine import EngineConfig, PILFillEngine
 from repro.pilfill.evaluate import evaluate_impact
+from repro.pilfill.prepare import PreparedInstance, prepare
 from repro.tech.rules import FillRules
 from repro.synth.testcases import default_fill_rules, density_rules_for
 
@@ -44,6 +50,9 @@ class ConfigResult:
     r: int
     budget_total: int
     outcomes: dict[str, MethodOutcome] = field(default_factory=dict)
+    #: Shared preprocessing phase timings (setup/scanline/density/costs/
+    #: budget), paid once for the whole configuration.
+    prepare_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
@@ -73,11 +82,21 @@ def run_config(
     column_def: SlackColumnDef = SlackColumnDef.FULL_LAYOUT,
     backend: str = "scipy",
     seed: int = 0,
+    workers: int = 1,
+    prepared: PreparedInstance | None = None,
 ) -> ConfigResult:
-    """Run every method on one configuration with a shared budget."""
+    """Run every method on one configuration with a shared budget.
+
+    Args:
+        workers: per-tile solver parallelism, forwarded to every method's
+            engine (see :class:`EngineConfig`).
+        prepared: preprocessing to reuse; built once here when omitted.
+    """
     if fill_rules is None:
         fill_rules = default_fill_rules(layout.stack)
     density_rules = density_rules_for(window_um, r, layout.stack)
+    if prepared is None:
+        prepared = prepare(layout, layer, fill_rules, density_rules, column_def)
 
     result = ConfigResult(testcase=testcase, window_um=window_um, r=r, budget_total=0)
     budget = None
@@ -90,8 +109,9 @@ def run_config(
             column_def=column_def,
             backend=backend,
             seed=seed,
+            workers=workers,
         )
-        engine = PILFillEngine(layout, layer, cfg)
+        engine = PILFillEngine(layout, layer, cfg, prepared=prepared)
         run = engine.run(budget=budget)
         if budget is None:
             budget = run.requested_budget
@@ -105,4 +125,5 @@ def run_config(
             features=run.total_features,
             model_objective_ps=run.model_objective_ps,
         )
+    result.prepare_seconds = dict(prepared.phase_seconds)
     return result

@@ -30,6 +30,8 @@ class TableSpec:
     layer: str = "metal3"
     backend: str = "scipy"
     seed: int = 0
+    #: Per-tile solver parallelism forwarded to every engine run.
+    workers: int = 1
 
 
 @dataclass
@@ -110,6 +112,7 @@ def run_table(
                     weighted=weighted,
                     backend=spec.backend,
                     seed=spec.seed,
+                    workers=spec.workers,
                 )
                 table.rows.append(row)
                 if progress is not None:

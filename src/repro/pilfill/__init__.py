@@ -4,6 +4,9 @@ core contribution.
 Public surface:
 
 * :class:`PILFillEngine` / :class:`EngineConfig` — the end-to-end flow,
+* :func:`prepare` / :class:`PreparedInstance` — the shared, reusable
+  preprocessing (dissection, legality, scan-line columns, cost tables),
+* :func:`dispatch_tiles` — the parallel per-tile solve dispatcher,
 * :func:`evaluate_impact` — the common delay-impact scorer,
 * the per-tile methods (ILP-I, ILP-II, Greedy, marginal greedy, DP),
 * the scan-line slack-column extraction (paper Fig. 7).
@@ -26,6 +29,8 @@ from repro.pilfill.impact_model import ImpactModel
 from repro.pilfill.localsearch import RefineResult, refine_placement
 from repro.pilfill.multilayer import MultiLayerResult, run_all_layers
 from repro.pilfill.mvdc import derive_tile_delay_budgets, solve_tile_mvdc
+from repro.pilfill.parallel import TileOutcome, dispatch_tiles, tile_rng
+from repro.pilfill.prepare import PreparedInstance, prepare
 from repro.pilfill.ilp1 import solve_tile_ilp1
 from repro.pilfill.ilp2 import solve_tile_ilp2
 from repro.pilfill.scanline import (
@@ -61,6 +66,11 @@ __all__ = [
     "solve_tile_budgeted_ilp",
     "derive_tile_delay_budgets",
     "solve_tile_mvdc",
+    "TileOutcome",
+    "dispatch_tiles",
+    "tile_rng",
+    "PreparedInstance",
+    "prepare",
     "MultiLayerResult",
     "run_all_layers",
     "ImpactModel",

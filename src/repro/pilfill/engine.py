@@ -2,7 +2,7 @@
 
 Pipeline per layer:
 
-1. build the fixed r-dissection and the pre-fill density map,
+1. build the fixed r-dissection and (lazily) the pre-fill density map,
 2. compute per-tile fill budgets with the density-control baseline
    (Min-Var LP or Monte-Carlo, ref [3]),
 3. run the scan-line to extract slack columns (definition I/II/III),
@@ -11,7 +11,16 @@ Pipeline per layer:
 5. solve each tile's MDFC instance with the chosen method and place the
    features into column sites,
 6. return the placement plus bookkeeping (budgets, per-tile solutions,
-   phase runtimes).
+   phase and per-tile runtimes).
+
+Steps 1 and 3 (plus cost-table construction) depend only on the layout
+geometry and rules, not on the method: they live in a
+:class:`~repro.pilfill.prepare.PreparedInstance` that is built once and
+shared across runs — pass one to the constructor to reuse it (the
+experiment harness does this so every method of a configuration shares a
+single preprocessing pass). Step 5 is embarrassingly parallel across
+tiles; ``EngineConfig.workers`` fans it out over a thread pool with a
+deterministic merge, so ``workers=N`` output is bit-identical to serial.
 
 The engine never mutates the input layout; callers evaluate placements
 with :func:`repro.pilfill.evaluate.evaluate_impact` and may attach the
@@ -24,15 +33,10 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from repro.cap.lut import LUTCache
-from repro.dissection.density import DensityMap
-from repro.dissection.fixed import FixedDissection
 from repro.errors import FillError
-from repro.fillsynth.budget import hybrid_budget, lp_minvar_budget, montecarlo_budget
-from repro.fillsynth.slack_sites import SiteLegality
 from repro.layout.layout import FillFeature, RoutedLayout
 from repro.pilfill.columns import SlackColumnDef
-from repro.pilfill.costs import build_costs
+from repro.pilfill.costs import ColumnCosts
 from repro.pilfill.dp import allocate_dp, allocation_cost
 from repro.pilfill.greedy import solve_tile_greedy, solve_tile_greedy_marginal
 from repro.pilfill.budgeted import (
@@ -43,12 +47,17 @@ from repro.pilfill.budgeted import (
 from repro.pilfill.ilp1 import solve_tile_ilp1
 from repro.pilfill.ilp2 import solve_tile_ilp2
 from repro.pilfill.mvdc import derive_tile_delay_budgets, solve_tile_mvdc
-from repro.pilfill.scanline import extract_columns
+from repro.pilfill.parallel import dispatch_tiles, tile_rng
+from repro.pilfill.prepare import PreparedInstance, prepare
 from repro.pilfill.solution import TileSolution
 from repro.tech.rules import DensityRules, FillRules
 
 #: The method names the engine accepts.
 METHODS = ("normal", "ilp1", "ilp2", "greedy", "greedy_marginal", "dp")
+
+#: Phase keys every run reports (per-tile solve times live in
+#: ``FillResult.tile_seconds``).
+PHASES = ("setup", "scanline", "density", "costs", "budget", "solve")
 
 
 @dataclass
@@ -62,7 +71,9 @@ class EngineConfig:
         weighted: sink-weighted (True, Table 2) or per-segment (False,
             Table 1) objective.
         column_def: slack-column definition (paper §5.1); III by default.
-        budget_mode: ``"lp"`` (Min-Var LP) or ``"montecarlo"``.
+        budget_mode: ``"lp"`` (Min-Var LP), ``"montecarlo"`` (randomized
+            greedy), or ``"hybrid"`` (LP first, Monte-Carlo top-up of the
+            rounding shortfall — the iterated back-end of ref [3]).
         target_density: density floor the budget step aims for. A float is
             used directly; ``"mean"`` resolves to the pre-fill mean window
             density; None maximizes uniformity with no cap (can consume all
@@ -73,7 +84,13 @@ class EngineConfig:
             budgeted tile retains site choice, so methods stay
             distinguishable at fine dissections.
         backend: ILP backend for the ILP methods.
-        seed: seed for the Normal placement / Monte-Carlo budget.
+        seed: seed for the Normal placement / Monte-Carlo budget. Each
+            tile derives its own RNG from ``(seed, tile key)``, so
+            stochastic methods are reproducible regardless of tile
+            iteration order or worker count.
+        workers: per-tile solver parallelism. 1 (default) solves tiles
+            serially; N > 1 fans tiles out over N threads with a
+            deterministic merge that is bit-identical to the serial path.
     """
 
     fill_rules: FillRules
@@ -86,6 +103,7 @@ class EngineConfig:
     capacity_margin: float = 0.7
     backend: str = "auto"
     seed: int = 0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -100,11 +118,20 @@ class EngineConfig:
             raise FillError(
                 f"capacity_margin must be in (0, 1], got {self.capacity_margin}"
             )
+        if self.workers < 1:
+            raise FillError(f"workers must be >= 1, got {self.workers}")
 
 
 @dataclass
 class FillResult:
-    """Outcome of one engine run."""
+    """Outcome of one engine run.
+
+    ``phase_seconds`` covers every phase in :data:`PHASES`; preprocessing
+    phases report the (once-paid) cost recorded on the shared
+    :class:`PreparedInstance`, so a run that reuses preparation still
+    shows what that preparation cost. ``tile_seconds`` breaks the solve
+    phase down per tile.
+    """
 
     features: list[FillFeature] = field(default_factory=list)
     requested_budget: dict[tuple[int, int], int] = field(default_factory=dict)
@@ -112,6 +139,7 @@ class FillResult:
     tile_solutions: dict[tuple[int, int], TileSolution] = field(default_factory=dict)
     model_objective_ps: float = 0.0
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    tile_seconds: dict[tuple[int, int], float] = field(default_factory=dict)
 
     @property
     def total_features(self) -> int:
@@ -131,73 +159,104 @@ class FillResult:
 
 
 class PILFillEngine:
-    """Runs the full PIL-Fill flow on one layer of a layout."""
+    """Runs the full PIL-Fill flow on one layer of a layout.
 
-    def __init__(self, layout: RoutedLayout, layer: str, config: EngineConfig):
+    Args:
+        layout: the routed design (never mutated).
+        layer: routing layer to fill.
+        config: run configuration.
+        prepared: shared preprocessing to reuse. When omitted, it is
+            built on first use (and exposed as :attr:`prepared` so a
+            caller can hand it to further engines). A prepared instance
+            whose geometry keys disagree with ``config`` is rejected.
+    """
+
+    def __init__(
+        self,
+        layout: RoutedLayout,
+        layer: str,
+        config: EngineConfig,
+        prepared: PreparedInstance | None = None,
+    ):
         if not layout.stack.has_layer(layer):
             raise FillError(f"layout stack has no layer {layer!r}")
+        if prepared is not None:
+            if prepared.layout is not layout or prepared.layer != layer:
+                raise FillError("prepared instance belongs to a different layout/layer")
+            prepared.check_config(config)
         self.layout = layout
         self.layer = layer
         self.config = config
+        self._prepared = prepared
+
+    @property
+    def prepared(self) -> PreparedInstance:
+        """The shared preprocessing, building it on first access."""
+        if self._prepared is None:
+            self._prepared = self.prepare()
+        return self._prepared
+
+    def prepare(self) -> PreparedInstance:
+        """Build a fresh :class:`PreparedInstance` for this engine's key."""
+        cfg = self.config
+        return prepare(
+            self.layout, self.layer, cfg.fill_rules, cfg.density_rules, cfg.column_def
+        )
+
+    def _finish_phases(self, result: FillResult, solve_seconds: float) -> None:
+        """Fill ``phase_seconds`` from the shared preparation + this solve."""
+        for phase in PHASES:
+            result.phase_seconds[phase] = self.prepared.phase_seconds.get(phase, 0.0)
+        result.phase_seconds["solve"] = solve_seconds
+
+    def _place(self, costs: list[ColumnCosts], solution: TileSolution,
+               features: list[FillFeature]) -> None:
+        """Append the solution's placements (explicit sampled sites when
+        the method recorded them, column-prefix sites otherwise)."""
+        for k, cc in enumerate(costs):
+            for s in solution.sites_for(k):
+                features.append(FillFeature(layer=self.layer, rect=cc.column.sites[s]))
 
     def run(self, budget: dict[tuple[int, int], int] | None = None) -> FillResult:
         """Execute the flow. ``budget`` overrides the density step when
-        given (used to hold density control identical across methods)."""
+        given (used to hold density control identical across methods);
+        the override also skips building the density map entirely."""
         cfg = self.config
+        prep = self.prepared
         result = FillResult()
-        clock = time.perf_counter
 
-        t0 = clock()
-        dissection = FixedDissection(self.layout.die, cfg.density_rules)
-        legality = SiteLegality(self.layout, self.layer, cfg.fill_rules)
-        density = DensityMap.from_layout(dissection, self.layout, self.layer)
-        result.phase_seconds["setup"] = clock() - t0
-
-        t0 = clock()
-        columns_by_tile = extract_columns(
-            self.layout, self.layer, dissection, legality, cfg.fill_rules, cfg.column_def
-        )
-        result.phase_seconds["scanline"] = clock() - t0
-
-        t0 = clock()
         if budget is None:
-            # The density step sees the true placeable capacity (column
-            # sites) scaled by the headroom margin, so its prescription is
-            # achievable by every method with room to choose.
-            capacity = {
-                key: int(sum(c.capacity for c in cols) * cfg.capacity_margin)
-                for key, cols in columns_by_tile.items()
-            }
-            budget = self.compute_budget(density, capacity)
+            budget = prep.budget_for(cfg)
         result.requested_budget = dict(budget)
-        result.phase_seconds["budget"] = clock() - t0
 
-        t0 = clock()
-        layer_proc = self.layout.stack.layer(self.layer)
-        dbu = self.layout.stack.dbu_per_micron
-        lut_cache = LUTCache(
-            layer_proc.eps_r, layer_proc.thickness_um, cfg.fill_rules.fill_size / dbu
-        )
-        rng = random.Random(cfg.seed)
+        t0 = time.perf_counter()
+        costs_by_tile = prep.costs_for(cfg.weighted)
 
-        for tile in dissection.tiles():
+        solve_keys = []
+        for tile in prep.dissection.tiles():
             want = budget.get(tile.key, 0)
-            columns = columns_by_tile.get(tile.key, [])
-            capacity = sum(c.capacity for c in columns)
+            capacity = sum(c.capacity for c in costs_by_tile.get(tile.key, []))
             effective = min(want, capacity)
             result.effective_budget[tile.key] = effective
-            if effective == 0:
-                continue
-            costs = build_costs(
-                columns, layer_proc, cfg.fill_rules, dbu, lut_cache, cfg.weighted
+            if effective > 0:
+                solve_keys.append(tile.key)
+
+        effective_budget = result.effective_budget
+
+        def solve_one(key: tuple[int, int]) -> TileSolution:
+            return self._solve_tile(
+                costs_by_tile[key], effective_budget[key], tile_rng(cfg.seed, key)
             )
-            solution = self._solve_tile(costs, effective, rng)
-            result.tile_solutions[tile.key] = solution
+
+        outcomes = dispatch_tiles(solve_keys, solve_one, workers=cfg.workers)
+        for key in solve_keys:
+            outcome = outcomes[key]
+            solution = outcome.value
+            result.tile_solutions[key] = solution
+            result.tile_seconds[key] = outcome.seconds
             result.model_objective_ps += solution.model_objective_ps
-            for cc, count in zip(costs, solution.counts):
-                for rect in cc.column.sites[:count]:
-                    result.features.append(FillFeature(layer=self.layer, rect=rect))
-        result.phase_seconds["solve"] = clock() - t0
+            self._place(costs_by_tile[key], solution, result.features)
+        self._finish_phases(result, time.perf_counter() - t0)
         return result
 
     def run_mvdc(self, slack_fraction: float = 0.25) -> FillResult:
@@ -213,52 +272,43 @@ class PILFillEngine:
         stop early — trading density uniformity for timing safety.
         """
         cfg = self.config
+        prep = self.prepared
         result = FillResult()
-        clock = time.perf_counter
 
-        t0 = clock()
-        dissection = FixedDissection(self.layout.die, cfg.density_rules)
-        legality = SiteLegality(self.layout, self.layer, cfg.fill_rules)
-        density = DensityMap.from_layout(dissection, self.layout, self.layer)
-        columns_by_tile = extract_columns(
-            self.layout, self.layer, dissection, legality, cfg.fill_rules, cfg.column_def
-        )
-        capacity = {
-            key: int(sum(c.capacity for c in cols) * cfg.capacity_margin)
-            for key, cols in columns_by_tile.items()
-        }
-        budget = self.compute_budget(density, capacity)
+        budget = prep.budget_for(cfg)
         result.requested_budget = dict(budget)
-        result.phase_seconds["setup"] = clock() - t0
 
-        t0 = clock()
-        layer_proc = self.layout.stack.layer(self.layer)
-        dbu = self.layout.stack.dbu_per_micron
-        lut_cache = LUTCache(
-            layer_proc.eps_r, layer_proc.thickness_um, cfg.fill_rules.fill_size / dbu
-        )
-        costs_by_tile = {
-            key: build_costs(cols, layer_proc, cfg.fill_rules, dbu, lut_cache, cfg.weighted)
-            for key, cols in columns_by_tile.items()
-        }
+        t0 = time.perf_counter()
+        costs_by_tile = prep.costs_for(cfg.weighted)
         delay_budgets = derive_tile_delay_budgets(budget, costs_by_tile, slack_fraction)
-        for tile in dissection.tiles():
-            costs = costs_by_tile.get(tile.key, [])
+
+        solve_keys = []
+        for tile in prep.dissection.tiles():
             want = budget.get(tile.key, 0)
-            if want == 0 or not costs:
+            if want == 0 or not costs_by_tile.get(tile.key):
                 result.effective_budget[tile.key] = 0
-                continue
-            solution = solve_tile_mvdc(costs, delay_budgets[tile.key])
+            else:
+                solve_keys.append(tile.key)
+
+        def solve_one(key: tuple[int, int]) -> TileSolution:
+            costs = costs_by_tile[key]
+            solution = solve_tile_mvdc(costs, delay_budgets[key])
             # MVDC may not *need* the whole prescription; cap at it.
+            want = budget.get(key, 0)
             if solution.total_features > want:
                 solution = self._trim_to(costs, solution, want)
-            result.effective_budget[tile.key] = solution.total_features
-            result.tile_solutions[tile.key] = solution
+            return solution
+
+        outcomes = dispatch_tiles(solve_keys, solve_one, workers=cfg.workers)
+        for key in solve_keys:
+            outcome = outcomes[key]
+            solution = outcome.value
+            result.effective_budget[key] = solution.total_features
+            result.tile_solutions[key] = solution
+            result.tile_seconds[key] = outcome.seconds
             result.model_objective_ps += solution.model_objective_ps
-            for cc, count in zip(costs, solution.counts):
-                for rect in cc.column.sites[:count]:
-                    result.features.append(FillFeature(layer=self.layer, rect=rect))
-        result.phase_seconds["solve"] = clock() - t0
+            self._place(costs_by_tile[key], solution, result.features)
+        self._finish_phases(result, time.perf_counter() - t0)
         return result
 
     def run_budgeted(
@@ -273,7 +323,9 @@ class PILFillEngine:
         are consumed tile by tile: each tile solve sees the remaining
         budget of every net it touches and what it uses is deducted before
         the next tile. Tiles are visited in increasing total-capacity
-        order so constrained tiles claim budget before generous ones.
+        order so constrained tiles claim budget before generous ones —
+        this sequential budget hand-off is inherently serial, so the
+        ``workers`` knob does not apply here.
 
         Args:
             net_budgets_ff: ΔC budget per net name, fF (see
@@ -284,46 +336,28 @@ class PILFillEngine:
                 visible via ``FillResult.shortfall``).
         """
         cfg = self.config
+        prep = self.prepared
         result = FillResult()
-        clock = time.perf_counter
 
-        t0 = clock()
-        dissection = FixedDissection(self.layout.die, cfg.density_rules)
-        legality = SiteLegality(self.layout, self.layer, cfg.fill_rules)
-        density = DensityMap.from_layout(dissection, self.layout, self.layer)
-        columns_by_tile = extract_columns(
-            self.layout, self.layer, dissection, legality, cfg.fill_rules, cfg.column_def
-        )
-        capacity = {
-            key: int(sum(c.capacity for c in cols) * cfg.capacity_margin)
-            for key, cols in columns_by_tile.items()
-        }
-        budget = self.compute_budget(density, capacity)
+        budget = prep.budget_for(cfg)
         result.requested_budget = dict(budget)
-        result.phase_seconds["setup"] = clock() - t0
 
-        t0 = clock()
-        layer_proc = self.layout.stack.layer(self.layer)
-        dbu = self.layout.stack.dbu_per_micron
-        lut_cache = LUTCache(
-            layer_proc.eps_r, layer_proc.thickness_um, cfg.fill_rules.fill_size / dbu
-        )
+        t0 = time.perf_counter()
+        costs_by_tile = prep.costs_for(cfg.weighted)
         remaining = dict(net_budgets_ff)
         order = sorted(
-            dissection.tiles(),
-            key=lambda t: sum(c.capacity for c in columns_by_tile.get(t.key, [])),
+            prep.dissection.tiles(),
+            key=lambda t: sum(c.capacity for c in prep.columns_by_tile.get(t.key, [])),
         )
         for tile in order:
+            tick = time.perf_counter()
             want = budget.get(tile.key, 0)
-            columns = columns_by_tile.get(tile.key, [])
-            cap_total = sum(c.capacity for c in columns)
+            costs = costs_by_tile.get(tile.key, [])
+            cap_total = sum(c.capacity for c in costs)
             effective = min(want, cap_total)
             if effective == 0:
                 result.effective_budget[tile.key] = 0
                 continue
-            costs = build_costs(
-                columns, layer_proc, cfg.fill_rules, dbu, lut_cache, cfg.weighted
-            )
             cap_tables = build_cap_tables(costs)
             if exact:
                 outcome = solve_tile_budgeted_ilp(
@@ -344,11 +378,10 @@ class PILFillEngine:
             solution = outcome.solution
             result.effective_budget[tile.key] = solution.total_features
             result.tile_solutions[tile.key] = solution
+            result.tile_seconds[tile.key] = time.perf_counter() - tick
             result.model_objective_ps += solution.model_objective_ps
-            for cc, count in zip(costs, solution.counts):
-                for rect in cc.column.sites[:count]:
-                    result.features.append(FillFeature(layer=self.layer, rect=rect))
-        result.phase_seconds["solve"] = clock() - t0
+            self._place(costs, solution, result.features)
+        self._finish_phases(result, time.perf_counter() - t0)
         return result
 
     @staticmethod
@@ -364,38 +397,22 @@ class PILFillEngine:
                     marginal = cc.exact[counts[k]] - cc.exact[counts[k] - 1]
                     if marginal > worst_marginal:
                         worst_k, worst_marginal = k, marginal
+            if worst_k < 0:
+                # No column has a positive count yet sum(counts) > want:
+                # the solution and cost tables disagree (e.g. counts longer
+                # than costs). Refuse rather than corrupt counts[-1].
+                raise FillError(
+                    "cannot trim solution: no column with a positive count "
+                    f"(counts={counts}, want={want})"
+                )
             counts[worst_k] -= 1
             spent -= worst_marginal
         return TileSolution(counts=counts, model_objective_ps=spent)
 
-    def compute_budget(
-        self,
-        density: DensityMap,
-        capacity: dict[tuple[int, int], int],
-    ) -> dict[tuple[int, int], int]:
-        """Per-tile feature budgets from the density-control baseline."""
-        target = self.config.target_density
-        if target == "mean":
-            target = float(density.window_density().mean())
-        if self.config.budget_mode == "lp":
-            return lp_minvar_budget(
-                density, capacity, self.config.fill_rules, target_density=target
-            )
-        if self.config.budget_mode == "hybrid":
-            return hybrid_budget(
-                density,
-                capacity,
-                self.config.fill_rules,
-                target_density=target,
-                seed=self.config.seed,
-            )
-        return montecarlo_budget(
-            density,
-            capacity,
-            self.config.fill_rules,
-            target_density=target,
-            seed=self.config.seed,
-        )
+    def compute_budget(self) -> dict[tuple[int, int], int]:
+        """Per-tile feature budgets from the density-control baseline
+        (thin wrapper over :meth:`PreparedInstance.budget_for`)."""
+        return self.prepared.budget_for(self.config)
 
     def _solve_tile(self, costs, effective: int, rng: random.Random) -> TileSolution:
         """Dispatch one tile to the configured method."""
@@ -416,11 +433,19 @@ class PILFillEngine:
             return TileSolution(counts=counts, model_objective_ps=allocation_cost(tables, counts))
         # Normal: timing-oblivious random spread over the tile's column
         # sites (same site universe as the other methods so density control
-        # quality is identical — paper Section 6).
+        # quality is identical — paper Section 6). The sampled site indices
+        # are recorded so the placement uses the exact sites that were
+        # drawn, not a column-prefix approximation of them.
         slots = [(k, s) for k, cc in enumerate(costs) for s in range(cc.capacity)]
         chosen = rng.sample(slots, effective)
         counts = [0] * len(costs)
-        for k, _s in chosen:
+        picked: list[list[int]] = [[] for _ in costs]
+        for k, s in chosen:
             counts[k] += 1
+            picked[k].append(s)
         tables = [c.exact for c in costs]
-        return TileSolution(counts=counts, model_objective_ps=allocation_cost(tables, counts))
+        return TileSolution(
+            counts=counts,
+            model_objective_ps=allocation_cost(tables, counts),
+            site_indices=tuple(tuple(sorted(p)) for p in picked),
+        )

@@ -1,0 +1,229 @@
+"""Shared preprocessing for the PIL-Fill flow.
+
+The engine's per-run pipeline starts with work that depends only on the
+``(layout, layer, fill_rules, density_rules, column_def)`` tuple — the
+fixed r-dissection, the site-legality oracle, the pre-fill density map,
+the scan-line slack-column extraction, and the per-column cost tables.
+None of it depends on the *method*, so rebuilding it per method (as the
+experiment harness would otherwise do, once per table cell) is pure
+redundancy: 4 methods × 12 configurations = 48 rebuilds of identical
+state.
+
+:class:`PreparedInstance` captures that state once. It is:
+
+* **reusable** — pass it to any number of :class:`~repro.pilfill.engine.
+  PILFillEngine` runs (``run`` / ``run_mvdc`` / ``run_budgeted``) whose
+  config matches its key; mismatches raise :class:`~repro.errors.FillError`
+  rather than silently mixing geometries,
+* **lazy** — the density map is only built when a budget actually has to
+  be derived (an explicit budget override skips it entirely), and cost
+  tables are built per ``weighted`` flag on first use,
+* **memoizing** — budgets are cached by the budget-relevant config knobs
+  so e.g. four methods sharing one configuration derive the budget once.
+
+``PreparedInstance.build_count`` counts full preprocessing builds
+(process-wide) so tests and benchmarks can assert the sharing actually
+happens.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cap.lut import LUTCache
+from repro.dissection.density import DensityMap
+from repro.dissection.fixed import FixedDissection
+from repro.errors import FillError
+from repro.fillsynth.budget import hybrid_budget, lp_minvar_budget, montecarlo_budget
+from repro.fillsynth.slack_sites import SiteLegality
+from repro.layout.layout import RoutedLayout
+from repro.pilfill.columns import SlackColumn, SlackColumnDef
+from repro.pilfill.costs import ColumnCosts, build_costs
+from repro.pilfill.scanline import extract_columns
+from repro.tech.rules import DensityRules, FillRules
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.pilfill.engine import EngineConfig
+
+TileKey = tuple[int, int]
+
+
+@dataclass
+class PreparedInstance:
+    """Method-independent preprocessing of one ``(layout, layer)`` pair.
+
+    Build via :func:`prepare` (or :meth:`PILFillEngine.prepare`); the
+    constructor itself performs no work. ``phase_seconds`` records the
+    time spent in each preprocessing phase (``setup``, ``scanline``, and
+    lazily ``density`` / ``costs`` / ``budget``) — each is paid once per
+    instance no matter how many engine runs reuse it.
+    """
+
+    layout: RoutedLayout
+    layer: str
+    fill_rules: FillRules
+    density_rules: DensityRules
+    column_def: SlackColumnDef
+    dissection: FixedDissection
+    legality: SiteLegality
+    columns_by_tile: dict[TileKey, list[SlackColumn]]
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    _density: DensityMap | None = field(default=None, repr=False)
+    _costs: dict[bool, dict[TileKey, list[ColumnCosts]]] = field(
+        default_factory=dict, repr=False
+    )
+    _budgets: dict[tuple, dict[TileKey, int]] = field(default_factory=dict, repr=False)
+
+    #: Process-wide count of full preprocessing builds (see :func:`prepare`).
+    build_count = 0
+
+    @property
+    def density(self) -> DensityMap:
+        """The pre-fill density map, built on first access only.
+
+        Runs that receive an explicit budget override never touch this,
+        so they skip the density scan entirely.
+        """
+        if self._density is None:
+            t0 = time.perf_counter()
+            self._density = DensityMap.from_layout(self.dissection, self.layout, self.layer)
+            self.phase_seconds["density"] = time.perf_counter() - t0
+        return self._density
+
+    def capacity(self, margin: float = 1.0) -> dict[TileKey, int]:
+        """Placeable capacity per tile (column sites × headroom margin)."""
+        return {
+            key: int(sum(c.capacity for c in cols) * margin)
+            for key, cols in self.columns_by_tile.items()
+        }
+
+    def costs_for(self, weighted: bool) -> dict[TileKey, list[ColumnCosts]]:
+        """Per-tile cost tables under the given objective weighting.
+
+        Built once per ``weighted`` flag and shared by every run; the
+        tables are immutable so concurrent tile solvers may read them
+        freely.
+        """
+        cached = self._costs.get(weighted)
+        if cached is not None:
+            return cached
+        t0 = time.perf_counter()
+        layer_proc = self.layout.stack.layer(self.layer)
+        dbu = self.layout.stack.dbu_per_micron
+        lut_cache = LUTCache(
+            layer_proc.eps_r, layer_proc.thickness_um, self.fill_rules.fill_size / dbu
+        )
+        costs = {
+            key: build_costs(cols, layer_proc, self.fill_rules, dbu, lut_cache, weighted)
+            for key, cols in self.columns_by_tile.items()
+        }
+        self._costs[weighted] = costs
+        self.phase_seconds["costs"] = (
+            self.phase_seconds.get("costs", 0.0) + time.perf_counter() - t0
+        )
+        return costs
+
+    def budget_for(self, config: "EngineConfig") -> dict[TileKey, int]:
+        """Per-tile feature budgets from the density-control baseline.
+
+        Cached by the budget-relevant knobs (mode, target, seed, margin),
+        so methods sharing a configuration derive the budget once.
+        """
+        self.check_config(config)
+        key = (
+            config.budget_mode,
+            config.target_density,
+            config.seed,
+            config.capacity_margin,
+        )
+        cached = self._budgets.get(key)
+        if cached is not None:
+            return dict(cached)
+        t0 = time.perf_counter()
+        capacity = self.capacity(config.capacity_margin)
+        target = config.target_density
+        if target == "mean":
+            target = float(self.density.window_density().mean())
+        if config.budget_mode == "lp":
+            budget = lp_minvar_budget(
+                self.density, capacity, self.fill_rules, target_density=target
+            )
+        elif config.budget_mode == "hybrid":
+            budget = hybrid_budget(
+                self.density,
+                capacity,
+                self.fill_rules,
+                target_density=target,
+                seed=config.seed,
+            )
+        else:
+            budget = montecarlo_budget(
+                self.density,
+                capacity,
+                self.fill_rules,
+                target_density=target,
+                seed=config.seed,
+            )
+        self._budgets[key] = budget
+        self.phase_seconds["budget"] = (
+            self.phase_seconds.get("budget", 0.0) + time.perf_counter() - t0
+        )
+        return dict(budget)
+
+    def check_config(self, config: "EngineConfig") -> None:
+        """Raise :class:`FillError` if ``config`` disagrees with the
+        geometry this instance was prepared under."""
+        if config.fill_rules != self.fill_rules:
+            raise FillError("prepared instance was built with different fill rules")
+        if config.density_rules != self.density_rules:
+            raise FillError("prepared instance was built with different density rules")
+        if config.column_def is not self.column_def:
+            raise FillError(
+                f"prepared instance uses column definition {self.column_def}, "
+                f"config asks for {config.column_def}"
+            )
+
+
+def prepare(
+    layout: RoutedLayout,
+    layer: str,
+    fill_rules: FillRules,
+    density_rules: DensityRules,
+    column_def: SlackColumnDef = SlackColumnDef.FULL_LAYOUT,
+) -> PreparedInstance:
+    """Run the shared preprocessing once and capture it.
+
+    Performs the dissection, legality indexing, and scan-line column
+    extraction eagerly (timed under ``setup`` / ``scanline``); the density
+    map, cost tables, and budgets are derived lazily on first use.
+    """
+    if not layout.stack.has_layer(layer):
+        raise FillError(f"layout stack has no layer {layer!r}")
+    clock = time.perf_counter
+    phase_seconds: dict[str, float] = {}
+
+    t0 = clock()
+    dissection = FixedDissection(layout.die, density_rules)
+    legality = SiteLegality(layout, layer, fill_rules)
+    phase_seconds["setup"] = clock() - t0
+
+    t0 = clock()
+    columns_by_tile = extract_columns(
+        layout, layer, dissection, legality, fill_rules, column_def
+    )
+    phase_seconds["scanline"] = clock() - t0
+
+    PreparedInstance.build_count += 1
+    return PreparedInstance(
+        layout=layout,
+        layer=layer,
+        fill_rules=fill_rules,
+        density_rules=density_rules,
+        column_def=column_def,
+        dissection=dissection,
+        legality=legality,
+        columns_by_tile=columns_by_tile,
+        phase_seconds=phase_seconds,
+    )

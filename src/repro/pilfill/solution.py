@@ -17,13 +17,27 @@ class TileSolution:
             point).
         nodes: branch-and-bound nodes (ILP methods, bundled backend).
         iterations: simplex iterations (ILP methods, bundled backend).
+        site_indices: per-column site indices to place, parallel to
+            ``counts`` (each inner tuple has ``counts[k]`` entries).
+            None means "any sites" — the column cost model is
+            count-based, so optimizing methods are free to take the
+            first ``counts[k]`` sites. Methods that *sample* specific
+            sites (the Normal baseline) must record them here so the
+            placement matches what was drawn.
     """
 
     counts: list[int] = field(default_factory=list)
     model_objective_ps: float = 0.0
     nodes: int = 0
     iterations: int = 0
+    site_indices: tuple[tuple[int, ...], ...] | None = None
 
     @property
     def total_features(self) -> int:
         return sum(self.counts)
+
+    def sites_for(self, k: int) -> tuple[int, ...]:
+        """Site indices to fill in column ``k`` (explicit or prefix)."""
+        if self.site_indices is not None:
+            return self.site_indices[k]
+        return tuple(range(self.counts[k]))

@@ -250,8 +250,14 @@ class TestEngine:
         result = PILFillEngine(
             small_generated_layout, "metal3", self.make_config(fill_rules)
         ).run()
-        assert set(result.phase_seconds) == {"setup", "scanline", "budget", "solve"}
+        assert set(result.phase_seconds) == {
+            "setup", "scanline", "density", "costs", "budget", "solve"
+        }
         assert all(v >= 0 for v in result.phase_seconds.values())
+        # Per-tile breakdown: one entry per solved tile, summing to no more
+        # than the solve phase's wall clock (serial path).
+        assert set(result.tile_seconds) == set(result.tile_solutions)
+        assert all(v >= 0 for v in result.tile_seconds.values())
 
     def test_column_def_ablation_runs(self, small_generated_layout, fill_rules):
         for definition in SlackColumnDef:

@@ -1,0 +1,230 @@
+"""Shared preprocessing (PreparedInstance) and the parallel tile solver.
+
+Regression targets of the shared-preprocessing/parallel-solve PR:
+
+* serial vs parallel engine runs are bit-identical for every method,
+* the Normal baseline places exactly the sites it sampled (not a
+  column-prefix approximation) and is order-independent,
+* ``run_config`` builds the preprocessing exactly once per configuration,
+* an explicit budget override skips the density-map build,
+* ``_trim_to`` refuses to underflow instead of corrupting counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dissection import density as density_module
+from repro.errors import FillError
+from repro.experiments import run_config
+from repro.geometry import Rect
+from repro.pilfill import (
+    METHODS,
+    EngineConfig,
+    PILFillEngine,
+    PreparedInstance,
+    TileSolution,
+    dispatch_tiles,
+    prepare,
+    tile_rng,
+)
+from repro.pilfill.columns import ColumnNeighbor, SlackColumn
+from repro.pilfill.costs import ColumnCosts
+from repro.synth import default_fill_rules, density_rules_for, make_t1
+from repro.tech import DensityRules
+
+
+@pytest.fixture(scope="module")
+def t1_layout():
+    return make_t1()
+
+
+@pytest.fixture(scope="module")
+def t1_setup(t1_layout):
+    fill_rules = default_fill_rules(t1_layout.stack)
+    density_rules = density_rules_for(32, 2, t1_layout.stack)
+    prepared = prepare(t1_layout, "metal3", fill_rules, density_rules)
+    return t1_layout, fill_rules, density_rules, prepared
+
+
+def _config(fill_rules, density_rules, **kwargs):
+    kwargs.setdefault("backend", "scipy")
+    return EngineConfig(fill_rules=fill_rules, density_rules=density_rules, **kwargs)
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("method", METHODS)
+    @pytest.mark.parametrize("seed", (0, 3))
+    def test_bit_identical_features(self, t1_setup, method, seed):
+        """workers=4 must reproduce the serial run exactly: same feature
+        list (order included), budgets, solutions, and objective."""
+        layout, fill_rules, density_rules, prepared = t1_setup
+        runs = {}
+        for workers in (1, 4):
+            cfg = _config(
+                fill_rules, density_rules, method=method, seed=seed, workers=workers
+            )
+            engine = PILFillEngine(layout, "metal3", cfg, prepared=prepared)
+            runs[workers] = engine.run()
+        serial, parallel = runs[1], runs[4]
+        assert serial.features == parallel.features
+        assert serial.requested_budget == parallel.requested_budget
+        assert serial.effective_budget == parallel.effective_budget
+        assert serial.model_objective_ps == parallel.model_objective_ps
+        assert {k: s.counts for k, s in serial.tile_solutions.items()} == {
+            k: s.counts for k, s in parallel.tile_solutions.items()
+        }
+
+    def test_mvdc_parallel_matches_serial(self, t1_setup):
+        layout, fill_rules, density_rules, prepared = t1_setup
+        runs = {}
+        for workers in (1, 3):
+            cfg = _config(
+                fill_rules, density_rules, method="greedy", workers=workers
+            )
+            engine = PILFillEngine(layout, "metal3", cfg, prepared=prepared)
+            runs[workers] = engine.run_mvdc(slack_fraction=0.3)
+        assert runs[1].features == runs[3].features
+        assert runs[1].effective_budget == runs[3].effective_budget
+
+
+class TestNormalSiteSampling:
+    def test_places_exactly_the_sampled_sites(self, t1_setup):
+        """The placement must be the drawn (column, site) slots — not the
+        first ``count`` sites of each column (the pre-fix bug)."""
+        layout, fill_rules, density_rules, prepared = t1_setup
+        cfg = _config(fill_rules, density_rules, method="normal", seed=1)
+        result = PILFillEngine(layout, "metal3", cfg, prepared=prepared).run()
+        costs_by_tile = prepared.costs_for(cfg.weighted)
+
+        expected = []
+        non_prefix_columns = 0
+        for tile in prepared.dissection.tiles():
+            solution = result.tile_solutions.get(tile.key)
+            if solution is None:
+                continue
+            assert solution.site_indices is not None
+            costs = costs_by_tile[tile.key]
+            for k, cc in enumerate(costs):
+                picked = solution.sites_for(k)
+                assert len(picked) == solution.counts[k]
+                assert all(0 <= s < cc.capacity for s in picked)
+                if picked and picked != tuple(range(len(picked))):
+                    non_prefix_columns += 1
+                for s in picked:
+                    expected.append(cc.column.sites[s])
+        assert [f.rect for f in result.features] == expected
+        # With 1000+ random slots the sample is essentially never a pure
+        # column prefix everywhere; this is what the old code collapsed to.
+        assert non_prefix_columns > 0
+
+    def test_reproducible_regardless_of_tile_order(self, t1_setup):
+        """Per-tile RNGs make each tile's draw a function of (seed, key)
+        only, so visiting tiles in any order yields the same solution."""
+        layout, fill_rules, density_rules, prepared = t1_setup
+        cfg = _config(fill_rules, density_rules, method="normal", seed=5)
+        engine = PILFillEngine(layout, "metal3", cfg, prepared=prepared)
+        baseline = engine.run()
+        budget = baseline.requested_budget
+        costs_by_tile = prepared.costs_for(cfg.weighted)
+
+        keys = sorted(baseline.tile_solutions)
+        for order in (keys, list(reversed(keys))):
+            outcomes = dispatch_tiles(
+                order,
+                lambda key: engine._solve_tile(
+                    costs_by_tile[key],
+                    baseline.effective_budget[key],
+                    tile_rng(cfg.seed, key),
+                ),
+                workers=1,
+            )
+            for key in keys:
+                assert outcomes[key].value.counts == baseline.tile_solutions[key].counts
+                assert (
+                    outcomes[key].value.site_indices
+                    == baseline.tile_solutions[key].site_indices
+                )
+        assert sum(budget.values()) > 0
+
+    def test_tile_rng_is_stable(self):
+        a = tile_rng(7, (3, 4)).random()
+        b = tile_rng(7, (3, 4)).random()
+        c = tile_rng(7, (4, 3)).random()
+        assert a == b
+        assert a != c
+
+
+class TestPreparedSharing:
+    def test_run_config_builds_preprocessing_once(self, t1_layout):
+        before = PreparedInstance.build_count
+        result = run_config(t1_layout, "T1", 32, 2, backend="scipy")
+        assert PreparedInstance.build_count == before + 1
+        assert set(result.outcomes) == {"normal", "ilp1", "ilp2", "greedy"}
+        # The shared preprocessing timings surface on the row.
+        assert {"setup", "scanline"} <= set(result.prepare_seconds)
+
+    def test_budget_override_skips_density_map(
+        self, small_generated_layout, fill_rules, monkeypatch
+    ):
+        def boom(*args, **kwargs):  # pragma: no cover - fails the test if hit
+            raise AssertionError("density map must not be built with a budget override")
+
+        cfg = _config(
+            fill_rules, DensityRules(window_size=16000, r=2, max_density=0.6),
+            method="greedy",
+        )
+        baseline = PILFillEngine(small_generated_layout, "metal3", cfg).run()
+        monkeypatch.setattr(density_module.DensityMap, "from_layout", boom)
+        engine = PILFillEngine(small_generated_layout, "metal3", cfg)
+        result = engine.run(budget=baseline.requested_budget)
+        assert result.effective_budget == baseline.effective_budget
+        assert result.phase_seconds["density"] == 0.0
+
+    def test_budget_for_is_cached(self, t1_setup):
+        layout, fill_rules, density_rules, prepared = t1_setup
+        cfg = _config(fill_rules, density_rules)
+        first = prepared.budget_for(cfg)
+        second = prepared.budget_for(cfg)
+        assert first == second
+        assert first is not second  # defensive copies
+
+    def test_mismatched_prepared_rejected(self, t1_setup):
+        layout, fill_rules, density_rules, prepared = t1_setup
+        other_rules = density_rules_for(20, 2, layout.stack)
+        cfg = _config(fill_rules, other_rules)
+        with pytest.raises(FillError, match="density rules"):
+            PILFillEngine(layout, "metal3", cfg, prepared=prepared)
+
+    def test_prepared_wrong_layer_rejected(self, t1_setup):
+        layout, fill_rules, density_rules, prepared = t1_setup
+        cfg = _config(fill_rules, density_rules)
+        with pytest.raises(FillError, match="layout/layer"):
+            PILFillEngine(layout, "metal4", cfg, prepared=prepared)
+
+
+class TestGuards:
+    def test_workers_validated(self, t1_setup):
+        _, fill_rules, density_rules, _ = t1_setup
+        with pytest.raises(FillError, match="workers"):
+            _config(fill_rules, density_rules, workers=0)
+
+    def test_dispatch_workers_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            dispatch_tiles([], lambda key: None, workers=0)
+
+    def test_trim_to_underflow_raises(self):
+        """A zero-count solution asked to shrink further must raise, not
+        decrement counts[-1] into the negatives."""
+        neighbor = ColumnNeighbor(net="n", line_index=0, sinks=1, resistance_ohm=1.0)
+        sites = tuple(Rect(0, n * 1000, 500, n * 1000 + 500) for n in range(2))
+        col = SlackColumn(
+            layer="metal3", tile=(0, 0), col=0, sites=sites,
+            gap_um=4.0, below=neighbor, above=neighbor,
+        )
+        costs = [ColumnCosts(col, (0.0, 1.0, 2.0), (0.0, 1.0, 2.0))]
+        # counts disagree with the cost tables: total 2 but no positive
+        # entry the trimmer can take a feature from.
+        bad = TileSolution(counts=[0, 2], model_objective_ps=2.0)
+        with pytest.raises(FillError, match="trim"):
+            PILFillEngine._trim_to(costs, bad, want=1)
