@@ -1,0 +1,201 @@
+"""Trajectory benchmark: kernel throughput + backend sweep → BENCH_<date>.json.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--workers 4] [--out PATH]
+
+Measures, on the T1 testcase:
+
+* **Kernels** — ops/sec of the vectorized cost/allocator/evaluator hot
+  paths against their scalar references (columns/sec for ``build_costs``,
+  allocations/sec for the marginal-greedy selector, features/sec for the
+  impact evaluator and model),
+* **Solve sweep** — wall-clock of the full engine solve for Greedy and DP
+  under serial, thread-pool, and process-pool dispatch, asserting the
+  placements stay bit-identical across backends.
+
+Results append a dated JSON file (``BENCH_YYYY-MM-DD.json`` by default)
+so the repo accumulates a perf trajectory across PRs. Absolute numbers
+are host-dependent; the scalar-vs-vector and serial-vs-parallel ratios
+are the signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cap.lut import LUTCache
+from repro.pilfill import (
+    EngineConfig,
+    ImpactModel,
+    PILFillEngine,
+    evaluate_impact,
+    prepare,
+)
+from repro.pilfill.costs import build_costs, build_costs_scalar
+from repro.pilfill.dp import allocate_marginal_greedy, allocate_marginal_greedy_scalar
+from repro.synth import default_fill_rules, density_rules_for, make_t1
+
+
+def _time(fn, *, repeats: int = 3) -> float:
+    """Best-of wall-clock seconds of ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_kernels(layout, fill_rules, density_rules, prepared) -> dict:
+    proc = layout.stack.layer("metal3")
+    dbu = layout.stack.dbu_per_micron
+    tiles = list(prepared.columns_by_tile.items())
+    n_columns = sum(len(cols) for _, cols in tiles)
+
+    def fresh_cache() -> LUTCache:
+        return LUTCache(
+            eps_r=proc.eps_r,
+            thickness_um=proc.thickness_um,
+            fill_width_um=fill_rules.fill_size / dbu,
+        )
+
+    def run_costs(builder) -> None:
+        cache = fresh_cache()
+        for _, cols in tiles:
+            builder(cols, proc, fill_rules, dbu, cache, True)
+
+    t_vec = _time(lambda: run_costs(build_costs))
+    t_scalar = _time(lambda: run_costs(build_costs_scalar))
+
+    # Marginal-greedy allocator on a large synthetic instance.
+    rng = np.random.default_rng(7)
+    tables = []
+    for _ in range(2000):
+        marginals = np.sort(rng.uniform(0.0, 5.0, size=8))
+        tables.append(tuple(np.concatenate([[0.0], np.cumsum(marginals)])))
+    capacity = sum(len(t) - 1 for t in tables)
+    budget = capacity // 2
+    t_alloc_vec = _time(lambda: allocate_marginal_greedy(tables, budget))
+    t_alloc_scalar = _time(lambda: allocate_marginal_greedy_scalar(tables, budget))
+
+    # Evaluator + incremental model on a real placement.
+    cfg = EngineConfig(
+        fill_rules=fill_rules, density_rules=density_rules,
+        method="greedy", backend="scipy",
+    )
+    features = PILFillEngine(layout, "metal3", cfg, prepared=prepared).run().features
+    t_eval = _time(lambda: evaluate_impact(layout, "metal3", features, fill_rules))
+    model = ImpactModel(layout, "metal3", fill_rules)
+    model.score(features)  # warm the locate cache once, like a what-if loop
+    t_score = _time(lambda: model.score(features))
+
+    return {
+        "build_costs": {
+            "columns": n_columns,
+            "vector_s": round(t_vec, 6),
+            "scalar_s": round(t_scalar, 6),
+            "vector_columns_per_s": round(n_columns / t_vec, 1),
+            "scalar_columns_per_s": round(n_columns / t_scalar, 1),
+            "speedup": round(t_scalar / t_vec, 2),
+        },
+        "allocate_marginal_greedy": {
+            "columns": len(tables),
+            "budget": budget,
+            "vector_s": round(t_alloc_vec, 6),
+            "scalar_s": round(t_alloc_scalar, 6),
+            "speedup": round(t_alloc_scalar / t_alloc_vec, 2),
+        },
+        "evaluate_impact": {
+            "features": len(features),
+            "seconds": round(t_eval, 6),
+            "features_per_s": round(len(features) / t_eval, 1),
+        },
+        "impact_model_score": {
+            "features": len(features),
+            "seconds": round(t_score, 6),
+            "features_per_s": round(len(features) / t_score, 1),
+        },
+    }
+
+
+def bench_solve_sweep(layout, fill_rules, density_rules, prepared, workers: int) -> dict:
+    """Serial vs thread vs process engine solves; placements must agree."""
+    out: dict = {"workers": workers, "methods": {}}
+    for method in ("greedy", "dp"):
+        entry: dict = {}
+        baseline_features = None
+        for label, w, backend in (
+            ("serial", 1, "thread"),
+            ("thread", workers, "thread"),
+            ("process", workers, "process"),
+        ):
+            cfg = EngineConfig(
+                fill_rules=fill_rules, density_rules=density_rules,
+                method=method, backend="scipy", seed=0,
+                workers=w, parallel_backend=backend,
+            )
+            engine = PILFillEngine(layout, "metal3", cfg, prepared=prepared)
+            t0 = time.perf_counter()
+            result = engine.run()
+            entry[f"{label}_s"] = round(time.perf_counter() - t0, 4)
+            if baseline_features is None:
+                baseline_features = result.features
+            elif result.features != baseline_features:
+                raise AssertionError(
+                    f"{method}/{label}: placement diverged from serial"
+                )
+        entry["bit_identical"] = True
+        entry["thread_speedup"] = round(entry["serial_s"] / entry["thread_s"], 2)
+        entry["process_speedup"] = round(entry["serial_s"] / entry["process_s"], 2)
+        out["methods"][method] = entry
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=max(1, min(4, os.cpu_count() or 1)))
+    parser.add_argument("--window", type=int, default=32)
+    parser.add_argument("-r", type=int, default=2, dest="r")
+    parser.add_argument("--out", help="output JSON path (default BENCH_<date>.json)")
+    args = parser.parse_args(argv)
+
+    layout = make_t1()
+    fill_rules = default_fill_rules(layout.stack)
+    density_rules = density_rules_for(args.window, args.r, layout.stack)
+    prepared = prepare(layout, "metal3", fill_rules, density_rules)
+
+    print("benchmarking kernels ...")
+    kernels = bench_kernels(layout, fill_rules, density_rules, prepared)
+    print("benchmarking solve backends ...")
+    sweep = bench_solve_sweep(layout, fill_rules, density_rules, prepared, args.workers)
+
+    payload = {
+        "date": datetime.date.today().isoformat(),
+        "testcase": {"name": "T1", "window_um": args.window, "r": args.r},
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "kernels": kernels,
+        "solve_sweep": sweep,
+    }
+    out_path = Path(args.out or f"BENCH_{payload['date']}.json")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwritten to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,9 +13,19 @@ capacitance increment attached to each line at the column position is
 
 ILP-I uses the linear form; ILP-II and the evaluator use the exact form
 (via :class:`repro.cap.lut.CapacitanceLUT`).
+
+Both models also come in array form (:func:`exact_column_cap_array`,
+:func:`linear_column_cap_array`): one vectorized evaluation over the whole
+``m = 0 .. capacity`` range. The array variants apply the identical IEEE
+operation sequence elementwise, so every entry is bit-identical to the
+scalar function at the same ``m`` — the cost-table builder and the LUT
+cache rely on this to swap in the batched kernels without perturbing any
+result.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.errors import FillError
 from repro.units import EPS0_FF_PER_UM
@@ -63,6 +73,38 @@ def linear_column_cap(eps_r: float, thickness_um: float, spacing_um: float,
     _check(eps_r, thickness_um, spacing_um, m, fill_width_um)
     base = EPS0_FF_PER_UM * eps_r * thickness_um * fill_width_um
     return base * m * fill_width_um / (spacing_um * spacing_um)
+
+
+def exact_column_cap_array(eps_r: float, thickness_um: float, spacing_um: float,
+                           capacity: int, fill_width_um: float) -> np.ndarray:
+    """Vectorized :func:`exact_column_cap` over ``m = 0 .. capacity``, fF.
+
+    Entry ``m`` is bit-identical to ``exact_column_cap(..., m, ...)``; the
+    whole table is one numpy pass instead of ``capacity + 1`` Python calls.
+    """
+    _check(eps_r, thickness_um, spacing_um, capacity, fill_width_um)
+    n = np.arange(capacity + 1, dtype=np.float64)
+    remaining = spacing_um - n * fill_width_um
+    if capacity > 0 and remaining[-1] <= 0:
+        raise FillError(
+            f"{capacity} features of width {fill_width_um} do not fit in gap {spacing_um}"
+        )
+    base = EPS0_FF_PER_UM * eps_r * thickness_um * fill_width_um
+    out = base * (1.0 / remaining - 1.0 / spacing_um)
+    out[0] = 0.0
+    return out
+
+
+def linear_column_cap_array(eps_r: float, thickness_um: float, spacing_um: float,
+                            capacity: int, fill_width_um: float) -> np.ndarray:
+    """Vectorized :func:`linear_column_cap` over ``m = 0 .. capacity``, fF.
+
+    Entry ``m`` is bit-identical to ``linear_column_cap(..., m, ...)``.
+    """
+    _check(eps_r, thickness_um, spacing_um, capacity, fill_width_um)
+    n = np.arange(capacity + 1, dtype=np.float64)
+    base = EPS0_FF_PER_UM * eps_r * thickness_um * fill_width_um
+    return base * n * fill_width_um / (spacing_um * spacing_um)
 
 
 def _check(eps_r: float, thickness_um: float, spacing_um: float,

@@ -4,13 +4,25 @@ For each distinct (gap distance, capacity) the exact column capacitance
 ``f(n, d)`` is tabulated once for ``n = 0 .. capacity``. Tables are cached
 by quantized key so the thousands of columns in a layout share a handful
 of tables — exactly the pre-building the paper describes.
+
+Tables are built with the vectorized capacitance kernel
+(:func:`repro.cap.fillimpact.exact_column_cap_array`), so one cache miss
+costs one numpy pass regardless of capacity, and the cache itself is
+thread-safe: the engine shares a single :class:`LUTCache` across worker
+threads, so the get-or-build is guarded by a lock (two workers asking for
+the same key get the same table object, built once).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Sequence
 
-from repro.cap.fillimpact import exact_column_cap
+import numpy as np
+
+from repro.cap.fillimpact import exact_column_cap_array
 from repro.errors import FillError
 
 
@@ -27,6 +39,14 @@ class CapacitanceLUT:
     def max_features(self) -> int:
         """Largest tabulated feature count."""
         return len(self.table) - 1
+
+    @cached_property
+    def table_array(self) -> np.ndarray:
+        """The table as a read-only float64 array (cached; shared by the
+        vectorized cost-table builder)."""
+        arr = np.asarray(self.table, dtype=np.float64)
+        arr.setflags(write=False)
+        return arr
 
     def cap(self, n: int) -> float:
         """ΔC for ``n`` features."""
@@ -45,7 +65,9 @@ class LUTCache:
     """Builds and caches :class:`CapacitanceLUT` instances.
 
     Keys quantize the gap distance to a DBU so physically identical columns
-    share one table.
+    share one table. Safe for concurrent readers and builders: lookups are
+    lock-free on the hit path, and misses take a lock around the build so
+    racing workers cannot build the same table twice.
     """
 
     def __init__(self, eps_r: float, thickness_um: float, fill_width_um: float):
@@ -55,6 +77,7 @@ class LUTCache:
         self.thickness_um = thickness_um
         self.fill_width_um = fill_width_um
         self._cache: dict[tuple[int, int], CapacitanceLUT] = {}
+        self._lock = threading.Lock()
 
     def get(self, spacing_um: float, capacity: int, quantum_um: float = 1e-3) -> CapacitanceLUT:
         """LUT for a column with gap ``spacing_um`` and up to ``capacity``
@@ -62,16 +85,51 @@ class LUTCache:
         if capacity < 0:
             raise FillError(f"capacity must be non-negative, got {capacity}")
         key = (round(spacing_um / quantum_um), capacity)
+        # dict reads are atomic under the GIL; only the build is locked.
         hit = self._cache.get(key)
         if hit is not None:
             return hit
-        table = tuple(
-            exact_column_cap(self.eps_r, self.thickness_um, spacing_um, n, self.fill_width_um)
-            for n in range(capacity + 1)
+        with self._lock:
+            hit = self._cache.get(key)
+            if hit is not None:
+                return hit
+            lut = self._build(spacing_um, capacity)
+            self._cache[key] = lut
+            return lut
+
+    def get_batch(
+        self,
+        specs: Sequence[tuple[float, int]] | Iterable[tuple[float, int]],
+        quantum_um: float = 1e-3,
+    ) -> list[CapacitanceLUT]:
+        """LUTs for many ``(spacing_um, capacity)`` columns at once.
+
+        Deduplicates by quantized key, builds every missing table in one
+        locked pass, and returns the tables in input order — the batched
+        entry point the vectorized cost-table builder uses.
+        """
+        specs = list(specs)
+        keys = []
+        for spacing_um, capacity in specs:
+            if capacity < 0:
+                raise FillError(f"capacity must be non-negative, got {capacity}")
+            keys.append((round(spacing_um / quantum_um), capacity))
+        missing: dict[tuple[int, int], tuple[float, int]] = {}
+        for key, spec in zip(keys, specs):
+            if key not in self._cache and key not in missing:
+                missing[key] = spec
+        if missing:
+            with self._lock:
+                for key, (spacing_um, capacity) in missing.items():
+                    if key not in self._cache:
+                        self._cache[key] = self._build(spacing_um, capacity)
+        return [self._cache[key] for key in keys]
+
+    def _build(self, spacing_um: float, capacity: int) -> CapacitanceLUT:
+        table = exact_column_cap_array(
+            self.eps_r, self.thickness_um, spacing_um, capacity, self.fill_width_um
         )
-        lut = CapacitanceLUT(spacing_um, self.fill_width_um, table)
-        self._cache[key] = lut
-        return lut
+        return CapacitanceLUT(spacing_um, self.fill_width_um, tuple(table.tolist()))
 
     def __len__(self) -> int:
         return len(self._cache)

@@ -18,7 +18,13 @@ from repro.dissection import DensityMap, FixedDissection
 from repro.experiments.ablation import STUDIES, run_study
 from repro.experiments.tables import TableSpec, run_table
 from repro.io import write_def
-from repro.pilfill import EngineConfig, METHODS, PILFillEngine, evaluate_impact
+from repro.pilfill import (
+    EngineConfig,
+    METHODS,
+    PARALLEL_BACKENDS,
+    PILFillEngine,
+    evaluate_impact,
+)
 from repro.synth import (
     default_fill_rules,
     density_rules_for,
@@ -36,10 +42,11 @@ def _layout_for(name: str):
 
 
 def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
-    spec = TableSpec(workers=args.workers)
+    spec = TableSpec(workers=args.workers, parallel_backend=args.backend)
     if args.quick:
         spec = TableSpec(
-            testcases=("T1",), windows_um=(32,), r_values=(2,), workers=args.workers
+            testcases=("T1",), windows_um=(32,), r_values=(2,),
+            workers=args.workers, parallel_backend=args.backend,
         )
     table = run_table(
         weighted=weighted, spec=spec, progress=lambda label: print(f"  done {label}")
@@ -77,12 +84,13 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         weighted=not args.unweighted,
         seed=args.seed,
         workers=args.workers,
+        parallel_backend=args.backend,
     )
     engine = PILFillEngine(layout, args.layer, cfg)
     result = engine.run()
     impact = evaluate_impact(layout, args.layer, result.features, fill_rules)
     print(f"{args.testcase}/{args.window}/{args.r} method={args.method} "
-          f"workers={args.workers}")
+          f"workers={args.workers} backend={args.backend}")
     print(f"  features placed: {result.total_features} (shortfall {result.shortfall})")
     print(f"  delay impact: tau={impact.total_ps:.4f} ps, "
           f"weighted tau={impact.weighted_total_ps:.4f} ps")
@@ -134,7 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--quick", action="store_true", help="single-config smoke run")
         p.add_argument("--csv", help="also write CSV to this path")
         p.add_argument("--workers", type=int, default=1,
-                       help="per-tile solver threads (1 = serial)")
+                       help="per-tile solver parallelism (1 = serial)")
+        p.add_argument("--backend", default="thread", choices=PARALLEL_BACKENDS,
+                       help="worker pool kind: thread (shared memory) or "
+                            "process (ships compact tile payloads)")
 
     p = sub.add_parser("density", help="density analysis of a testcase")
     p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
@@ -151,7 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--unweighted", action="store_true")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
-                   help="per-tile solver threads (1 = serial)")
+                   help="per-tile solver parallelism (1 = serial)")
+    p.add_argument("--backend", default="thread", choices=PARALLEL_BACKENDS,
+                   help="worker pool kind: thread (shared memory) or "
+                        "process (ships compact tile payloads)")
     p.add_argument("--out", help="write filled DEF-lite to this path")
 
     sub.add_parser("quickstart", help="tiny end-to-end demo")

@@ -83,6 +83,7 @@ def run_config(
     backend: str = "scipy",
     seed: int = 0,
     workers: int = 1,
+    parallel_backend: str = "thread",
     prepared: PreparedInstance | None = None,
 ) -> ConfigResult:
     """Run every method on one configuration with a shared budget.
@@ -90,6 +91,8 @@ def run_config(
     Args:
         workers: per-tile solver parallelism, forwarded to every method's
             engine (see :class:`EngineConfig`).
+        parallel_backend: ``"thread"`` or ``"process"`` (see
+            :class:`EngineConfig`); only meaningful with ``workers > 1``.
         prepared: preprocessing to reuse; built once here when omitted.
     """
     if fill_rules is None:
@@ -110,6 +113,7 @@ def run_config(
             backend=backend,
             seed=seed,
             workers=workers,
+            parallel_backend=parallel_backend,
         )
         engine = PILFillEngine(layout, layer, cfg, prepared=prepared)
         run = engine.run(budget=budget)

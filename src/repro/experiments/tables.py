@@ -32,6 +32,8 @@ class TableSpec:
     seed: int = 0
     #: Per-tile solver parallelism forwarded to every engine run.
     workers: int = 1
+    #: ``"thread"`` or ``"process"`` — how workers run (see EngineConfig).
+    parallel_backend: str = "thread"
 
 
 @dataclass
@@ -113,6 +115,7 @@ def run_table(
                     backend=spec.backend,
                     seed=spec.seed,
                     workers=spec.workers,
+                    parallel_backend=spec.parallel_backend,
                 )
                 table.rows.append(row)
                 if progress is not None:

@@ -13,9 +13,15 @@ Public surface:
 """
 
 from repro.pilfill.columns import ColumnNeighbor, SlackColumn, SlackColumnDef
-from repro.pilfill.costs import ColumnCosts, build_costs
-from repro.pilfill.dp import allocate_dp, allocate_marginal_greedy, allocation_cost
+from repro.pilfill.costs import ColumnCosts, build_costs, build_costs_scalar
+from repro.pilfill.dp import (
+    allocate_dp,
+    allocate_marginal_greedy,
+    allocate_marginal_greedy_scalar,
+    allocation_cost,
+)
 from repro.pilfill.engine import METHODS, EngineConfig, FillResult, PILFillEngine
+from repro.pilfill.methods import solve_tile_method, solve_tile_normal, trim_to
 from repro.pilfill.evaluate import ImpactReport, evaluate_impact
 from repro.pilfill.budgeted import (
     BudgetedOutcome,
@@ -29,7 +35,16 @@ from repro.pilfill.impact_model import ImpactModel
 from repro.pilfill.localsearch import RefineResult, refine_placement
 from repro.pilfill.multilayer import MultiLayerResult, run_all_layers
 from repro.pilfill.mvdc import derive_tile_delay_budgets, solve_tile_mvdc
-from repro.pilfill.parallel import TileOutcome, dispatch_tiles, tile_rng
+from repro.pilfill.parallel import (
+    PARALLEL_BACKENDS,
+    TileOutcome,
+    TilePayload,
+    dispatch_tile_payloads,
+    dispatch_tiles,
+    make_tile_payload,
+    solve_tile_payload,
+    tile_rng,
+)
 from repro.pilfill.prepare import PreparedInstance, prepare
 from repro.pilfill.ilp1 import solve_tile_ilp1
 from repro.pilfill.ilp2 import solve_tile_ilp2
@@ -48,9 +63,14 @@ __all__ = [
     "SlackColumnDef",
     "ColumnCosts",
     "build_costs",
+    "build_costs_scalar",
     "allocate_dp",
     "allocate_marginal_greedy",
+    "allocate_marginal_greedy_scalar",
     "allocation_cost",
+    "solve_tile_method",
+    "solve_tile_normal",
+    "trim_to",
     "METHODS",
     "EngineConfig",
     "FillResult",
@@ -66,8 +86,13 @@ __all__ = [
     "solve_tile_budgeted_ilp",
     "derive_tile_delay_budgets",
     "solve_tile_mvdc",
+    "PARALLEL_BACKENDS",
     "TileOutcome",
+    "TilePayload",
+    "dispatch_tile_payloads",
     "dispatch_tiles",
+    "make_tile_payload",
+    "solve_tile_payload",
     "tile_rng",
     "PreparedInstance",
     "prepare",

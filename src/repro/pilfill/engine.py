@@ -19,8 +19,12 @@ geometry and rules, not on the method: they live in a
 shared across runs — pass one to the constructor to reuse it (the
 experiment harness does this so every method of a configuration shares a
 single preprocessing pass). Step 5 is embarrassingly parallel across
-tiles; ``EngineConfig.workers`` fans it out over a thread pool with a
+tiles; ``EngineConfig.workers`` fans it out over a worker pool with a
 deterministic merge, so ``workers=N`` output is bit-identical to serial.
+``EngineConfig.parallel_backend`` picks the pool flavor: ``"thread"``
+(shared read-only cost tables; right for GIL-releasing numeric solvers)
+or ``"process"`` (compact picklable tile payloads shipped to worker
+processes; right for the pure-Python methods, which hold the GIL).
 
 The engine never mutates the input layout; callers evaluate placements
 with :func:`repro.pilfill.evaluate.evaluate_impact` and may attach the
@@ -37,17 +41,20 @@ from repro.errors import FillError
 from repro.layout.layout import FillFeature, RoutedLayout
 from repro.pilfill.columns import SlackColumnDef
 from repro.pilfill.costs import ColumnCosts
-from repro.pilfill.dp import allocate_dp, allocation_cost
-from repro.pilfill.greedy import solve_tile_greedy, solve_tile_greedy_marginal
 from repro.pilfill.budgeted import (
     build_cap_tables,
     solve_tile_budgeted_greedy,
     solve_tile_budgeted_ilp,
 )
-from repro.pilfill.ilp1 import solve_tile_ilp1
-from repro.pilfill.ilp2 import solve_tile_ilp2
+from repro.pilfill.methods import solve_tile_method, trim_to
 from repro.pilfill.mvdc import derive_tile_delay_budgets, solve_tile_mvdc
-from repro.pilfill.parallel import dispatch_tiles, tile_rng
+from repro.pilfill.parallel import (
+    PARALLEL_BACKENDS,
+    dispatch_tile_payloads,
+    dispatch_tiles,
+    make_tile_payload,
+    tile_rng,
+)
 from repro.pilfill.prepare import PreparedInstance, prepare
 from repro.pilfill.solution import TileSolution
 from repro.tech.rules import DensityRules, FillRules
@@ -89,8 +96,13 @@ class EngineConfig:
             stochastic methods are reproducible regardless of tile
             iteration order or worker count.
         workers: per-tile solver parallelism. 1 (default) solves tiles
-            serially; N > 1 fans tiles out over N threads with a
+            serially; N > 1 fans tiles out over N workers with a
             deterministic merge that is bit-identical to the serial path.
+        parallel_backend: ``"thread"`` (default) or ``"process"``. The
+            process backend ships each tile as a compact picklable
+            payload (cost tables + budget + seed, no layout objects) so
+            the pure-Python methods scale across cores; results are
+            bit-identical to serial for every method.
     """
 
     fill_rules: FillRules
@@ -104,6 +116,7 @@ class EngineConfig:
     backend: str = "auto"
     seed: int = 0
     workers: int = 1
+    parallel_backend: str = "thread"
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -120,6 +133,11 @@ class EngineConfig:
             )
         if self.workers < 1:
             raise FillError(f"workers must be >= 1, got {self.workers}")
+        if self.parallel_backend not in PARALLEL_BACKENDS:
+            raise FillError(
+                f"unknown parallel backend {self.parallel_backend!r}; "
+                f"expected one of {PARALLEL_BACKENDS}"
+            )
 
 
 @dataclass
@@ -243,12 +261,27 @@ class PILFillEngine:
 
         effective_budget = result.effective_budget
 
-        def solve_one(key: tuple[int, int]) -> TileSolution:
-            return self._solve_tile(
-                costs_by_tile[key], effective_budget[key], tile_rng(cfg.seed, key)
-            )
+        if cfg.parallel_backend == "process":
+            payloads = [
+                make_tile_payload(
+                    key,
+                    costs_by_tile[key],
+                    effective_budget[key],
+                    method=cfg.method,
+                    weighted=cfg.weighted,
+                    ilp_backend=cfg.backend,
+                    seed=cfg.seed,
+                )
+                for key in solve_keys
+            ]
+            outcomes = dispatch_tile_payloads(payloads, workers=cfg.workers)
+        else:
+            def solve_one(key: tuple[int, int]) -> TileSolution:
+                return self._solve_tile(
+                    costs_by_tile[key], effective_budget[key], tile_rng(cfg.seed, key)
+                )
 
-        outcomes = dispatch_tiles(solve_keys, solve_one, workers=cfg.workers)
+            outcomes = dispatch_tiles(solve_keys, solve_one, workers=cfg.workers)
         for key in solve_keys:
             outcome = outcomes[key]
             solution = outcome.value
@@ -290,16 +323,35 @@ class PILFillEngine:
             else:
                 solve_keys.append(tile.key)
 
-        def solve_one(key: tuple[int, int]) -> TileSolution:
-            costs = costs_by_tile[key]
-            solution = solve_tile_mvdc(costs, delay_budgets[key])
-            # MVDC may not *need* the whole prescription; cap at it.
-            want = budget.get(key, 0)
-            if solution.total_features > want:
-                solution = self._trim_to(costs, solution, want)
-            return solution
+        if cfg.parallel_backend == "process":
+            # MVDC in a worker: the payload's budget is the prescription
+            # ceiling; delay_budget_ps switches the worker to the MVDC
+            # solve (plus the same trim the in-process path applies).
+            payloads = [
+                make_tile_payload(
+                    key,
+                    costs_by_tile[key],
+                    budget.get(key, 0),
+                    method=cfg.method,
+                    weighted=cfg.weighted,
+                    ilp_backend=cfg.backend,
+                    seed=cfg.seed,
+                    delay_budget_ps=delay_budgets[key],
+                )
+                for key in solve_keys
+            ]
+            outcomes = dispatch_tile_payloads(payloads, workers=cfg.workers)
+        else:
+            def solve_one(key: tuple[int, int]) -> TileSolution:
+                costs = costs_by_tile[key]
+                solution = solve_tile_mvdc(costs, delay_budgets[key])
+                # MVDC may not *need* the whole prescription; cap at it.
+                want = budget.get(key, 0)
+                if solution.total_features > want:
+                    solution = self._trim_to(costs, solution, want)
+                return solution
 
-        outcomes = dispatch_tiles(solve_keys, solve_one, workers=cfg.workers)
+            outcomes = dispatch_tiles(solve_keys, solve_one, workers=cfg.workers)
         for key in solve_keys:
             outcome = outcomes[key]
             solution = outcome.value
@@ -387,27 +439,8 @@ class PILFillEngine:
     @staticmethod
     def _trim_to(costs, solution: TileSolution, want: int) -> TileSolution:
         """Drop the most expensive granted features until only ``want``
-        remain (marginals are convex, so trimming from the top is optimal)."""
-        counts = list(solution.counts)
-        spent = solution.model_objective_ps
-        while sum(counts) > want:
-            worst_k, worst_marginal = -1, -1.0
-            for k, cc in enumerate(costs):
-                if counts[k] > 0:
-                    marginal = cc.exact[counts[k]] - cc.exact[counts[k] - 1]
-                    if marginal > worst_marginal:
-                        worst_k, worst_marginal = k, marginal
-            if worst_k < 0:
-                # No column has a positive count yet sum(counts) > want:
-                # the solution and cost tables disagree (e.g. counts longer
-                # than costs). Refuse rather than corrupt counts[-1].
-                raise FillError(
-                    "cannot trim solution: no column with a positive count "
-                    f"(counts={counts}, want={want})"
-                )
-            counts[worst_k] -= 1
-            spent -= worst_marginal
-        return TileSolution(counts=counts, model_objective_ps=spent)
+        remain (see :func:`repro.pilfill.methods.trim_to`)."""
+        return trim_to(costs, solution, want)
 
     def compute_budget(self) -> dict[tuple[int, int], int]:
         """Per-tile feature budgets from the density-control baseline
@@ -415,37 +448,9 @@ class PILFillEngine:
         return self.prepared.budget_for(self.config)
 
     def _solve_tile(self, costs, effective: int, rng: random.Random) -> TileSolution:
-        """Dispatch one tile to the configured method."""
-        method = self.config.method
-        if method == "ilp1":
-            return solve_tile_ilp1(
-                costs, effective, self.config.weighted, backend=self.config.backend
-            )
-        if method == "ilp2":
-            return solve_tile_ilp2(costs, effective, backend=self.config.backend)
-        if method == "greedy":
-            return solve_tile_greedy(costs, effective)
-        if method == "greedy_marginal":
-            return solve_tile_greedy_marginal(costs, effective)
-        if method == "dp":
-            tables = [c.exact for c in costs]
-            counts = allocate_dp(tables, effective)
-            return TileSolution(counts=counts, model_objective_ps=allocation_cost(tables, counts))
-        # Normal: timing-oblivious random spread over the tile's column
-        # sites (same site universe as the other methods so density control
-        # quality is identical — paper Section 6). The sampled site indices
-        # are recorded so the placement uses the exact sites that were
-        # drawn, not a column-prefix approximation of them.
-        slots = [(k, s) for k, cc in enumerate(costs) for s in range(cc.capacity)]
-        chosen = rng.sample(slots, effective)
-        counts = [0] * len(costs)
-        picked: list[list[int]] = [[] for _ in costs]
-        for k, s in chosen:
-            counts[k] += 1
-            picked[k].append(s)
-        tables = [c.exact for c in costs]
-        return TileSolution(
-            counts=counts,
-            model_objective_ps=allocation_cost(tables, counts),
-            site_indices=tuple(tuple(sorted(p)) for p in picked),
+        """Dispatch one tile to the configured method (see
+        :func:`repro.pilfill.methods.solve_tile_method`)."""
+        cfg = self.config
+        return solve_tile_method(
+            costs, cfg.method, effective, cfg.weighted, cfg.backend, rng
         )

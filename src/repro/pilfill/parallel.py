@@ -3,19 +3,22 @@
 The per-tile MDFC instances are independent — the paper's tiled
 formulation (and follow-ups such as the timing-aware fill flow of
 arXiv:1711.01407) exploits exactly this. This module fans the tile
-solves out over a thread pool and merges the outcomes deterministically:
+solves out over a worker pool and merges the outcomes deterministically:
 
 * **Determinism.** Tiles carry their own RNG (seeded from the run seed
   and the tile key, see :func:`tile_rng`), so a stochastic method like
   the Normal baseline draws the same samples no matter which worker
   solves the tile or in which order tiles finish. The caller merges
-  outcomes in dissection order, so ``workers=N`` is bit-identical to the
-  serial path.
-* **Threads, not processes.** Tile inputs (cost tables) are shared
-  read-only structures; threads avoid pickling them per task. The
-  numeric backends (scipy/HiGHS) release the GIL during their solves,
-  which is where the wall-clock time goes; the pure-Python methods stay
-  correct but gain less.
+  outcomes in dissection order, so any worker count / backend is
+  bit-identical to the serial path.
+* **Two backends.** ``backend="thread"`` shares the read-only cost
+  tables across a thread pool — right for the numeric solvers
+  (scipy/HiGHS) that release the GIL during their solves.
+  ``backend="process"`` ships each tile as a compact picklable
+  :class:`TilePayload` (cost arrays + budget + seed, *not* layout
+  objects) to a process pool — right for the pure-Python methods
+  (Greedy, DP, Normal, bundled branch-and-bound) whose hot loops hold
+  the GIL and gain nothing from threads.
 * **Per-tile timing.** Every outcome records its solve seconds so the
   hot tiles are visible from the CLI and harness.
 """
@@ -24,12 +27,19 @@ from __future__ import annotations
 
 import random
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
+from repro.errors import FillError
+from repro.pilfill.columns import ColumnNeighbor
+from repro.pilfill.methods import solve_tile_method, trim_to
+
 TileKey = tuple[int, int]
 T = TypeVar("T")
+
+#: Accepted values of the ``backend`` knob.
+PARALLEL_BACKENDS = ("thread", "process")
 
 
 def tile_rng(seed: int, key: TileKey) -> random.Random:
@@ -51,19 +61,170 @@ class TileOutcome:
     seconds: float
 
 
+@dataclass(frozen=True)
+class PayloadColumn:
+    """Electrical view of one slack column, without layout geometry.
+
+    Mirrors the parts of :class:`~repro.pilfill.columns.SlackColumn` the
+    per-tile solvers read (neighbors, gap, r̂) — site rectangles stay in
+    the parent process, which places the returned counts itself.
+    """
+
+    gap_um: float | None
+    below: ColumnNeighbor | None
+    above: ColumnNeighbor | None
+
+    @property
+    def has_impact(self) -> bool:
+        return self.below is not None and self.above is not None and self.gap_um is not None
+
+    def resistance_weight(self, weighted: bool) -> float:
+        total = 0.0
+        for neighbor in (self.below, self.above):
+            if neighbor is not None:
+                w = neighbor.sinks if weighted else 1
+                total += w * neighbor.resistance_ohm
+        return total
+
+
+@dataclass(frozen=True)
+class PayloadColumnCosts:
+    """Picklable stand-in for :class:`~repro.pilfill.costs.ColumnCosts`."""
+
+    column: PayloadColumn
+    exact: tuple[float, ...]
+    linear: tuple[float, ...]
+
+    @property
+    def capacity(self) -> int:
+        return len(self.exact) - 1
+
+
+@dataclass(frozen=True)
+class TilePayload:
+    """Everything a worker process needs to solve one tile.
+
+    Built from the engine's prepared cost tables by
+    :func:`make_tile_payload`; deliberately contains no layout, engine,
+    or dissection objects so pickling stays cheap. ``delay_budget_ps``
+    switches the worker to the MVDC solve (budget then acts as the
+    feature-count cap).
+    """
+
+    key: TileKey
+    method: str
+    budget: int
+    weighted: bool
+    ilp_backend: str
+    seed: int
+    columns: tuple[PayloadColumnCosts, ...]
+    delay_budget_ps: float | None = None
+
+
+def make_tile_payload(
+    key: TileKey,
+    costs: Sequence,
+    budget: int,
+    *,
+    method: str,
+    weighted: bool,
+    ilp_backend: str,
+    seed: int,
+    delay_budget_ps: float | None = None,
+) -> TilePayload:
+    """Compact payload for one tile from its :class:`ColumnCosts` list."""
+    columns = tuple(
+        PayloadColumnCosts(
+            column=PayloadColumn(
+                gap_um=cc.column.gap_um,
+                below=cc.column.below,
+                above=cc.column.above,
+            ),
+            exact=tuple(cc.exact),
+            linear=tuple(cc.linear),
+        )
+        for cc in costs
+    )
+    return TilePayload(
+        key=key,
+        method=method,
+        budget=budget,
+        weighted=weighted,
+        ilp_backend=ilp_backend,
+        seed=seed,
+        columns=columns,
+        delay_budget_ps=delay_budget_ps,
+    )
+
+
+def solve_tile_payload(payload: TilePayload) -> TileOutcome:
+    """Solve one shipped tile (runs inside a worker process).
+
+    Produces the same :class:`TileSolution` the in-process path would:
+    the cost tables are bit-identical copies and the RNG is re-derived
+    from ``(seed, key)``, so the solve is order- and host-independent.
+    """
+    t0 = time.perf_counter()
+    costs = list(payload.columns)
+    if payload.delay_budget_ps is not None:
+        from repro.pilfill.mvdc import solve_tile_mvdc
+
+        solution = solve_tile_mvdc(costs, payload.delay_budget_ps)
+        if solution.total_features > payload.budget:
+            solution = trim_to(costs, solution, payload.budget)
+    else:
+        solution = solve_tile_method(
+            costs,
+            payload.method,
+            payload.budget,
+            payload.weighted,
+            payload.ilp_backend,
+            tile_rng(payload.seed, payload.key),
+        )
+    return TileOutcome(key=payload.key, value=solution, seconds=time.perf_counter() - t0)
+
+
+def dispatch_tile_payloads(
+    payloads: Sequence[TilePayload],
+    workers: int = 1,
+) -> dict[TileKey, TileOutcome]:
+    """Solve shipped tiles, serially or on a process pool.
+
+    ``workers=1`` (or a single payload) solves in-process — same code
+    path as the pool workers, so results never depend on the worker
+    count. The returned mapping is ordered by ``payloads`` regardless of
+    completion order, giving a deterministic merge.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(payloads) <= 1:
+        return {p.key: solve_tile_payload(p) for p in payloads}
+    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+        chunk = max(1, len(payloads) // (workers * 4))
+        outcomes = pool.map(solve_tile_payload, payloads, chunksize=chunk)
+        return {outcome.key: outcome for outcome in outcomes}
+
+
 def dispatch_tiles(
     keys: Sequence[TileKey],
     solve_one: Callable[[TileKey], T],
     workers: int = 1,
+    backend: str = "thread",
 ) -> dict[TileKey, TileOutcome]:
-    """Solve every tile, serially or on a thread pool.
+    """Solve every tile, serially or on a worker pool.
 
     Args:
         keys: tile keys to solve (each must be independent of the others).
         solve_one: maps a tile key to its solve result; must not mutate
             shared state. Stochastic solvers should draw from
             :func:`tile_rng` so results are order-independent.
-        workers: 1 → plain loop (no executor overhead); >1 → thread pool.
+        workers: 1 → plain loop (no executor overhead); >1 → worker pool.
+        backend: ``"thread"`` shares ``solve_one`` across a thread pool;
+            ``"process"`` requires a *picklable* ``solve_one`` (a
+            module-level function or :func:`functools.partial` over one —
+            closures will not pickle). Engine callers use the payload
+            path (:func:`dispatch_tile_payloads`) instead, which ships
+            compact per-tile data rather than pickling shared state.
 
     Returns:
         Outcomes keyed by tile. The mapping is insertion-ordered by
@@ -72,6 +233,10 @@ def dispatch_tiles(
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if backend not in PARALLEL_BACKENDS:
+        raise FillError(
+            f"unknown parallel backend {backend!r}; expected one of {PARALLEL_BACKENDS}"
+        )
 
     def timed(key: TileKey) -> TileOutcome:
         t0 = time.perf_counter()
@@ -80,6 +245,13 @@ def dispatch_tiles(
 
     if workers == 1 or len(keys) <= 1:
         return {key: timed(key) for key in keys}
+    if backend == "process":
+        with ProcessPoolExecutor(max_workers=min(workers, len(keys))) as pool:
+            values = pool.map(solve_one, keys)
+            return {
+                key: TileOutcome(key=key, value=value, seconds=0.0)
+                for key, value in zip(keys, values)
+            }
     with ThreadPoolExecutor(max_workers=workers) as pool:
         # map() preserves input order, giving the deterministic merge.
         return {outcome.key: outcome for outcome in pool.map(timed, keys)}

@@ -7,7 +7,9 @@ Regression targets of the shared-preprocessing/parallel-solve PR:
   column-prefix approximation) and is order-independent,
 * ``run_config`` builds the preprocessing exactly once per configuration,
 * an explicit budget override skips the density-map build,
-* ``_trim_to`` refuses to underflow instead of corrupting counts.
+* ``_trim_to`` refuses to underflow instead of corrupting counts,
+* the process-pool backend ships picklable payloads and reproduces the
+  serial run bit-for-bit for every method (including MVDC).
 """
 
 from __future__ import annotations
@@ -25,7 +27,9 @@ from repro.pilfill import (
     PreparedInstance,
     TileSolution,
     dispatch_tiles,
+    make_tile_payload,
     prepare,
+    solve_tile_payload,
     tile_rng,
 )
 from repro.pilfill.columns import ColumnNeighbor, SlackColumn
@@ -86,6 +90,73 @@ class TestSerialParallelEquivalence:
             runs[workers] = engine.run_mvdc(slack_fraction=0.3)
         assert runs[1].features == runs[3].features
         assert runs[1].effective_budget == runs[3].effective_budget
+
+
+class TestProcessBackend:
+    @pytest.mark.parametrize("method", METHODS)
+    def test_bit_identical_to_serial(self, t1_setup, method):
+        """backend="process" must reproduce the serial run exactly: the
+        payloads carry bit-identical cost tables and the per-tile RNG is
+        re-derived from (seed, key) inside the worker."""
+        layout, fill_rules, density_rules, prepared = t1_setup
+        runs = {}
+        for workers, backend in ((1, "thread"), (2, "process")):
+            cfg = _config(
+                fill_rules, density_rules, method=method, seed=2,
+                workers=workers, parallel_backend=backend,
+            )
+            engine = PILFillEngine(layout, "metal3", cfg, prepared=prepared)
+            runs[backend] = engine.run()
+        serial, process = runs["thread"], runs["process"]
+        assert serial.features == process.features
+        assert serial.effective_budget == process.effective_budget
+        assert serial.model_objective_ps == process.model_objective_ps
+        assert {k: s.counts for k, s in serial.tile_solutions.items()} == {
+            k: s.counts for k, s in process.tile_solutions.items()
+        }
+
+    def test_mvdc_process_matches_serial(self, t1_setup):
+        layout, fill_rules, density_rules, prepared = t1_setup
+        runs = {}
+        for workers, backend in ((1, "thread"), (2, "process")):
+            cfg = _config(
+                fill_rules, density_rules, method="greedy",
+                workers=workers, parallel_backend=backend,
+            )
+            engine = PILFillEngine(layout, "metal3", cfg, prepared=prepared)
+            runs[backend] = engine.run_mvdc(slack_fraction=0.3)
+        assert runs["thread"].features == runs["process"].features
+        assert runs["thread"].effective_budget == runs["process"].effective_budget
+
+    def test_payloads_are_picklable_and_compact(self, t1_setup):
+        """Payloads must pickle standalone (no layout/engine references)."""
+        import pickle
+
+        layout, fill_rules, density_rules, prepared = t1_setup
+        cfg = _config(fill_rules, density_rules, method="greedy")
+        engine = PILFillEngine(layout, "metal3", cfg, prepared=prepared)
+        baseline = engine.run()
+        costs_by_tile = prepared.costs_for(cfg.weighted)
+        key = next(iter(baseline.tile_solutions))
+        payload = make_tile_payload(
+            key, costs_by_tile[key], baseline.effective_budget[key],
+            method="greedy", weighted=cfg.weighted,
+            ilp_backend=cfg.backend, seed=cfg.seed,
+        )
+        blob = pickle.dumps(payload)
+        outcome = solve_tile_payload(pickle.loads(blob))
+        assert outcome.value.counts == baseline.tile_solutions[key].counts
+        # Compactness: a tile ships in kilobytes, not a pickled layout.
+        assert len(blob) < 200_000
+
+    def test_parallel_backend_validated(self, t1_setup):
+        _, fill_rules, density_rules, _ = t1_setup
+        with pytest.raises(FillError, match="backend"):
+            _config(fill_rules, density_rules, parallel_backend="mpi")
+
+    def test_dispatch_backend_validated(self):
+        with pytest.raises(FillError, match="backend"):
+            dispatch_tiles([(0, 0)], lambda key: None, workers=2, backend="mpi")
 
 
 class TestNormalSiteSampling:

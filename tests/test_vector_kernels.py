@@ -1,0 +1,255 @@
+"""Property tests pinning the vectorized kernels to their scalar oracles.
+
+The perf PR rewrote the cost/impact hot paths as batched numpy kernels
+with a bit-identity contract: every vectorized function must reproduce
+its scalar reference exactly (same IEEE-754 operation order), not merely
+within tolerance. These tests enforce that contract on randomized inputs
+and on real prepared instances:
+
+* ``exact_column_cap_array`` / ``linear_column_cap_array`` vs the scalar
+  capacitance functions, entry by entry,
+* ``build_costs`` vs ``build_costs_scalar`` on a generated layout,
+* ``allocate_marginal_greedy`` (argpartition path) vs the heap reference,
+  including tie-heavy and non-convex tables,
+* ``column_delta_caps`` vs ``exact_column_cap``,
+* ``LUTCache.get_batch`` vs repeated ``get``, plus thread-safety.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cap.fillimpact import (
+    exact_column_cap,
+    exact_column_cap_array,
+    linear_column_cap,
+    linear_column_cap_array,
+)
+from repro.cap.lut import LUTCache
+from repro.errors import FillError
+from repro.pilfill.costs import build_costs, build_costs_scalar
+from repro.pilfill.dp import (
+    _VECTOR_MIN_SLOTS,
+    allocate_marginal_greedy,
+    allocate_marginal_greedy_scalar,
+    allocation_cost,
+)
+from repro.pilfill.evaluate import column_delta_caps
+from repro.pilfill.prepare import prepare
+from repro.synth import default_fill_rules, density_rules_for
+
+# Geometry strategy: spacing comfortably above capacity * width so the
+# exact model stays defined for every n in 0..capacity.
+_eps_r = st.floats(min_value=1.0, max_value=12.0)
+_thickness = st.floats(min_value=0.05, max_value=5.0)
+_capacity = st.integers(min_value=0, max_value=40)
+_width = st.floats(min_value=0.01, max_value=2.0)
+
+
+@st.composite
+def _cap_geometry(draw):
+    eps_r = draw(_eps_r)
+    thickness = draw(_thickness)
+    capacity = draw(_capacity)
+    width = draw(_width)
+    slack = draw(st.floats(min_value=0.1, max_value=50.0))
+    spacing = (capacity + 1) * width + slack
+    return eps_r, thickness, spacing, capacity, width
+
+
+class TestCapArrayKernels:
+    @given(_cap_geometry())
+    @settings(max_examples=100, deadline=None)
+    def test_exact_array_matches_scalar(self, geom):
+        eps_r, thickness, spacing, capacity, width = geom
+        table = exact_column_cap_array(eps_r, thickness, spacing, capacity, width)
+        assert table.shape == (capacity + 1,)
+        for n in range(capacity + 1):
+            assert table[n] == exact_column_cap(eps_r, thickness, spacing, n, width)
+
+    @given(_cap_geometry())
+    @settings(max_examples=100, deadline=None)
+    def test_linear_array_matches_scalar(self, geom):
+        eps_r, thickness, spacing, capacity, width = geom
+        table = linear_column_cap_array(eps_r, thickness, spacing, capacity, width)
+        for n in range(capacity + 1):
+            assert table[n] == linear_column_cap(eps_r, thickness, spacing, n, width)
+
+    @given(_cap_geometry())
+    @settings(max_examples=50, deadline=None)
+    def test_column_delta_caps_matches_scalar(self, geom):
+        eps_r, thickness, spacing, capacity, width = geom
+        counts = np.arange(capacity + 1)
+        gaps = np.full(capacity + 1, spacing)
+        deltas = column_delta_caps(gaps, counts, eps_r, thickness, width)
+        for n in range(capacity + 1):
+            assert deltas[n] == exact_column_cap(eps_r, thickness, spacing, n, width)
+
+    def test_exact_array_overfull_raises(self):
+        with pytest.raises(FillError, match="do not fit"):
+            exact_column_cap_array(3.9, 1.0, 1.0, 10, 0.2)
+
+    def test_column_delta_caps_overfull_raises(self):
+        with pytest.raises(FillError, match="do not fit"):
+            column_delta_caps(np.array([1.0]), np.array([10]), 3.9, 1.0, 0.2)
+
+
+class TestLUTBatch:
+    def test_get_batch_matches_get(self):
+        cache = LUTCache(eps_r=3.9, thickness_um=0.8, fill_width_um=0.5)
+        specs = [(4.0, 5), (6.0, 8), (4.0, 5), (4.0005, 5), (10.0, 0)]
+        batch = cache.get_batch(specs)
+        assert len(batch) == len(specs)
+        for (spacing, capacity), lut in zip(specs, batch):
+            single = cache.get(spacing, capacity)
+            assert lut is single  # same quantized cache entry
+            assert lut.table == single.table
+
+    def test_get_batch_dedupes_within_quantum(self):
+        cache = LUTCache(eps_r=3.9, thickness_um=0.8, fill_width_um=0.5)
+        a, b = cache.get_batch([(4.0, 5), (4.0 + 1e-7, 5)])
+        assert a is b
+
+    def test_get_is_thread_safe(self):
+        """Hammer one cache from many threads; every spec must resolve to
+        exactly one shared entry and no thread may see a partial build."""
+        cache = LUTCache(eps_r=3.9, thickness_um=0.8, fill_width_um=0.5)
+        specs = [(0.5 * (4 + i % 7) + 1.0 + 0.25 * i, 4 + i % 7) for i in range(40)]
+        results: list[list] = [[] for _ in range(8)]
+        errors: list[Exception] = []
+
+        def worker(slot: int) -> None:
+            try:
+                for spacing, capacity in specs:
+                    results[slot].append(cache.get(spacing, capacity))
+            except Exception as exc:  # pragma: no cover - fails the test
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for slot in range(1, 8):
+            for first, other in zip(results[0], results[slot]):
+                assert first is other
+
+
+class TestBuildCostsVectorized:
+    def test_bit_identical_on_generated_layout(self, small_generated_layout):
+        layout = small_generated_layout
+        fill_rules = default_fill_rules(layout.stack)
+        density_rules = density_rules_for(16, 2, layout.stack)
+        prepared = prepare(layout, "metal3", fill_rules, density_rules)
+        proc = layout.stack.layer("metal3")
+        dbu = layout.stack.dbu_per_micron
+        for weighted in (False, True):
+            for key, columns in prepared.columns_by_tile.items():
+                cache = LUTCache(
+                    eps_r=proc.eps_r,
+                    thickness_um=proc.thickness_um,
+                    fill_width_um=fill_rules.fill_size / dbu,
+                )
+                fast = build_costs(columns, proc, fill_rules, dbu, cache, weighted)
+                slow = build_costs_scalar(
+                    columns, proc, fill_rules, dbu,
+                    LUTCache(
+                        eps_r=proc.eps_r,
+                        thickness_um=proc.thickness_um,
+                        fill_width_um=fill_rules.fill_size / dbu,
+                    ),
+                    weighted,
+                )
+                for f, s in zip(fast, slow):
+                    assert f.exact == s.exact
+                    assert f.linear == s.linear
+
+
+# Convex tables: nondecreasing marginals, the regime where the
+# argpartition fast path must agree with the heap oracle.
+@st.composite
+def _convex_tables(draw):
+    n_cols = draw(st.integers(min_value=1, max_value=8))
+    tables = []
+    for _ in range(n_cols):
+        capacity = draw(st.integers(min_value=0, max_value=30))
+        marginals = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=10.0),
+                    min_size=capacity,
+                    max_size=capacity,
+                )
+            )
+        )
+        table = [0.0]
+        for m in marginals:
+            table.append(table[-1] + m)
+        tables.append(tuple(table))
+    return tables
+
+
+class TestMarginalGreedyVectorized:
+    @given(_convex_tables(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_heap_oracle(self, tables, data):
+        capacity = sum(len(t) - 1 for t in tables)
+        budget = data.draw(st.integers(min_value=0, max_value=capacity))
+        fast = allocate_marginal_greedy(tables, budget)
+        slow = allocate_marginal_greedy_scalar(tables, budget)
+        assert sum(fast) == budget
+        # Counts may differ only between tied marginals; the objective
+        # (what the engine consumes) must match exactly.
+        assert allocation_cost(tables, fast) == allocation_cost(tables, slow)
+
+    def test_large_instance_exercises_vector_path(self):
+        """Deterministic instance big enough for the argpartition path."""
+        rng = np.random.default_rng(42)
+        tables = []
+        for _ in range(40):
+            marginals = np.sort(rng.uniform(0.0, 5.0, size=8))
+            tables.append(tuple(np.concatenate([[0.0], np.cumsum(marginals)])))
+        capacity = sum(len(t) - 1 for t in tables)
+        assert capacity >= _VECTOR_MIN_SLOTS
+        for budget in (0, 1, capacity // 3, capacity // 2, capacity - 1, capacity):
+            fast = allocate_marginal_greedy(tables, budget)
+            slow = allocate_marginal_greedy_scalar(tables, budget)
+            assert fast == slow
+
+    def test_heavy_ties_stay_budget_exact(self):
+        """All-equal marginals: the tie split must still hand out exactly
+        ``budget`` features."""
+        tables = [tuple(float(n) for n in range(9))] * 16
+        capacity = sum(len(t) - 1 for t in tables)
+        assert capacity >= _VECTOR_MIN_SLOTS
+        for budget in (0, 1, 7, capacity // 2, capacity):
+            counts = allocate_marginal_greedy(tables, budget)
+            assert sum(counts) == budget
+            assert allocation_cost(tables, counts) == allocation_cost(
+                tables, allocate_marginal_greedy_scalar(tables, budget)
+            )
+
+    def test_non_convex_falls_back_to_heap(self):
+        """A decreasing-marginal table must take the scalar path and thus
+        agree with the heap result exactly."""
+        tables = [
+            (0.0, 5.0, 6.0),   # convex
+            (0.0, 4.0, 4.5),   # convex
+            (0.0, 3.0, 3.1),
+        ]
+        # Make one table non-convex and large enough that only the
+        # convexity check (not the size gate) can trigger the fallback.
+        tables = tables * 12
+        tables[0] = (0.0, 5.0, 5.5, 5.6)  # marginals 5.0, 0.5, 0.1 — decreasing
+        capacity = sum(len(t) - 1 for t in tables)
+        assert capacity >= _VECTOR_MIN_SLOTS
+        for budget in (1, 5, capacity // 2, capacity):
+            assert allocate_marginal_greedy(tables, budget) == (
+                allocate_marginal_greedy_scalar(tables, budget)
+            )
