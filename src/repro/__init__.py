@@ -38,8 +38,10 @@ from repro.errors import (
     ParseError,
     ReproError,
     SolverError,
+    SolveTimeoutError,
     TechError,
     UnboundedError,
+    WorkerDeathError,
 )
 from repro.geometry import GridBinIndex, Interval, IntervalSet, Point, Rect, SiteGrid
 from repro.tech import (
@@ -89,11 +91,14 @@ from repro.pilfill import (
     PreparedInstance,
     SlackColumn,
     SlackColumnDef,
+    SolveReport,
     evaluate_impact,
+    fallback_chain,
     prepare,
     refine_placement,
     run_all_layers,
 )
+from repro.testing.faults import FaultRule, FaultSpec, sample_tiles
 from repro.rulefill import run_rule_fill, select_rule
 from repro.synth import (
     GeneratorSpec,
@@ -118,7 +123,8 @@ __all__ = [
     "__version__",
     # errors
     "ReproError", "GeometryError", "LayoutError", "TechError", "DissectionError",
-    "ParseError", "SolverError", "InfeasibleError", "UnboundedError", "FillError",
+    "ParseError", "SolverError", "SolveTimeoutError", "WorkerDeathError",
+    "InfeasibleError", "UnboundedError", "FillError",
     # geometry
     "Point", "Rect", "Interval", "IntervalSet", "SiteGrid", "GridBinIndex",
     # tech
@@ -137,6 +143,9 @@ __all__ = [
     "METHODS", "EngineConfig", "PILFillEngine", "FillResult", "ImpactReport",
     "ImpactModel", "SlackColumn", "SlackColumnDef", "evaluate_impact",
     "PreparedInstance", "prepare", "refine_placement", "run_all_layers",
+    "SolveReport", "fallback_chain",
+    # testing / fault injection
+    "FaultRule", "FaultSpec", "sample_tiles",
     # rulefill
     "run_rule_fill", "select_rule",
     # synth

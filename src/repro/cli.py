@@ -42,17 +42,24 @@ def _layout_for(name: str):
 
 
 def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
-    spec = TableSpec(workers=args.workers, parallel_backend=args.backend)
+    spec = TableSpec(
+        workers=args.workers, parallel_backend=args.backend,
+        tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
+    )
     if args.quick:
         spec = TableSpec(
             testcases=("T1",), windows_um=(32,), r_values=(2,),
             workers=args.workers, parallel_backend=args.backend,
+            tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
         )
     table = run_table(
         weighted=weighted, spec=spec, progress=lambda label: print(f"  done {label}")
     )
     print()
     print(table.format())
+    if table.degraded_cells:
+        print(f"\n{table.degraded_cells} cell(s) degraded or failed — "
+              "see the *, ! annotations above")
     if args.csv:
         with open(args.csv, "w") as handle:
             handle.write(table.to_csv())
@@ -85,6 +92,8 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         parallel_backend=args.backend,
+        tile_deadline_s=args.tile_deadline,
+        run_deadline_s=args.run_deadline,
     )
     engine = PILFillEngine(layout, args.layer, cfg)
     result = engine.run()
@@ -92,6 +101,15 @@ def _cmd_fill(args: argparse.Namespace) -> int:
     print(f"{args.testcase}/{args.window}/{args.r} method={args.method} "
           f"workers={args.workers} backend={args.backend}")
     print(f"  features placed: {result.total_features} (shortfall {result.shortfall})")
+    if not result.clean:
+        degraded, failed, retried = (
+            result.degraded_tiles, result.failed_tiles, result.retried_tiles
+        )
+        print(f"  robustness: {len(degraded)} degraded, {len(failed)} failed, "
+              f"{len(retried)} retried tile(s)")
+        for key in degraded[:3]:
+            report = result.solve_reports[key]
+            print(f"    tile {key}: {report.requested_method} -> {report.used_method}")
     print(f"  delay impact: tau={impact.total_ps:.4f} ps, "
           f"weighted tau={impact.weighted_total_ps:.4f} ps")
     print(f"  solve time: {result.solve_seconds:.2f} s")
@@ -146,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", default="thread", choices=PARALLEL_BACKENDS,
                        help="worker pool kind: thread (shared memory) or "
                             "process (ships compact tile payloads)")
+        p.add_argument("--tile-deadline", type=float, default=None,
+                       help="per-tile solve deadline in seconds; timed-out "
+                            "tiles degrade ILP-II -> ILP-I -> Greedy")
+        p.add_argument("--run-deadline", type=float, default=None,
+                       help="whole-solve-phase deadline in seconds per method run")
 
     p = sub.add_parser("density", help="density analysis of a testcase")
     p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
@@ -166,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="thread", choices=PARALLEL_BACKENDS,
                    help="worker pool kind: thread (shared memory) or "
                         "process (ships compact tile payloads)")
+    p.add_argument("--tile-deadline", type=float, default=None,
+                   help="per-tile solve deadline in seconds; timed-out "
+                        "tiles degrade ILP-II -> ILP-I -> Greedy")
+    p.add_argument("--run-deadline", type=float, default=None,
+                   help="whole-solve-phase deadline in seconds")
     p.add_argument("--out", help="write filled DEF-lite to this path")
 
     sub.add_parser("quickstart", help="tiny end-to-end demo")

@@ -43,6 +43,25 @@ class SolverError(ReproError):
     iteration limit, numerical breakdown)."""
 
 
+class SolveTimeoutError(SolverError):
+    """A solve exceeded its wall-clock deadline (per-tile or per-run).
+
+    Raised by the per-tile methods when the backend reports
+    ``SolveStatus.TIME_LIMIT``; the robust solve layer catches it and
+    degrades to a cheaper method instead of retrying (a retry under the
+    same deadline would just time out again)."""
+
+
+class WorkerDeathError(ReproError):
+    """A tile worker died mid-solve (real crash or injected fault).
+
+    Deliberately *not* caught by the per-tile fallback chain — nothing
+    inside a dead worker can run recovery code — so it always escapes to
+    the dispatcher, which retries the tile once with the same derived RNG
+    and then falls back. Used by the fault-injection harness to simulate
+    worker death deterministically."""
+
+
 class InfeasibleError(SolverError):
     """The optimization instance admits no feasible solution."""
 

@@ -31,7 +31,15 @@ TABLE_METHODS = ("normal", "ilp1", "ilp2", "greedy")
 
 @dataclass
 class MethodOutcome:
-    """Result of one method on one configuration."""
+    """Result of one method on one configuration.
+
+    ``degraded_tiles`` / ``failed_tiles`` / ``retried_tiles`` summarize
+    the robust solve layer's per-tile reports: tiles solved by a cheaper
+    fallback method, tiles left empty after every attempt failed, and
+    tiles that needed a dispatcher retry. All zero on a clean run — any
+    nonzero count means the τ/CPU cell mixes methods and should be
+    annotated (the table renderer marks it with ``*``).
+    """
 
     method: str
     tau_ps: float
@@ -39,6 +47,13 @@ class MethodOutcome:
     cpu_s: float
     features: int
     model_objective_ps: float
+    degraded_tiles: int = 0
+    failed_tiles: int = 0
+    retried_tiles: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return self.degraded_tiles == 0 and self.failed_tiles == 0
 
 
 @dataclass
@@ -85,6 +100,10 @@ def run_config(
     workers: int = 1,
     parallel_backend: str = "thread",
     prepared: PreparedInstance | None = None,
+    tile_deadline_s: float | None = None,
+    run_deadline_s: float | None = None,
+    fallback: bool = True,
+    fault_spec=None,
 ) -> ConfigResult:
     """Run every method on one configuration with a shared budget.
 
@@ -94,6 +113,11 @@ def run_config(
         parallel_backend: ``"thread"`` or ``"process"`` (see
             :class:`EngineConfig`); only meaningful with ``workers > 1``.
         prepared: preprocessing to reuse; built once here when omitted.
+        tile_deadline_s: per-tile solve deadline (see :class:`EngineConfig`).
+        run_deadline_s: whole-solve-phase deadline, applied per method run.
+        fallback: robust solving with method degradation (default) vs
+            strict first-failure-propagates mode.
+        fault_spec: deterministic fault injection for tests.
     """
     if fill_rules is None:
         fill_rules = default_fill_rules(layout.stack)
@@ -114,6 +138,10 @@ def run_config(
             seed=seed,
             workers=workers,
             parallel_backend=parallel_backend,
+            tile_deadline_s=tile_deadline_s,
+            run_deadline_s=run_deadline_s,
+            fallback=fallback,
+            fault_spec=fault_spec,
         )
         engine = PILFillEngine(layout, layer, cfg, prepared=prepared)
         run = engine.run(budget=budget)
@@ -128,6 +156,9 @@ def run_config(
             cpu_s=run.solve_seconds,
             features=run.total_features,
             model_objective_ps=run.model_objective_ps,
+            degraded_tiles=len(run.degraded_tiles),
+            failed_tiles=len(run.failed_tiles),
+            retried_tiles=len(run.retried_tiles),
         )
     result.prepare_seconds = dict(prepared.phase_seconds)
     return result

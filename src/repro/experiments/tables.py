@@ -34,6 +34,13 @@ class TableSpec:
     workers: int = 1
     #: ``"thread"`` or ``"process"`` — how workers run (see EngineConfig).
     parallel_backend: str = "thread"
+    #: Per-tile / per-run wall-clock deadlines (seconds; see EngineConfig).
+    tile_deadline_s: float | None = None
+    run_deadline_s: float | None = None
+    #: Robust solving (method degradation + fault isolation) — default on.
+    fallback: bool = True
+    #: Deterministic fault injection for tests (repro.testing.faults).
+    fault_spec: object | None = None
 
 
 @dataclass
@@ -44,37 +51,70 @@ class TableResult:
     rows: list[ConfigResult] = field(default_factory=list)
 
     def format(self) -> str:
-        """Render in the paper's layout (τ in ps, CPU in seconds)."""
+        """Render in the paper's layout (τ in ps, CPU in seconds).
+
+        A τ cell gains a ``*`` when some of its tiles were solved by a
+        cheaper fallback method (deadline/fault degradation) and a ``!``
+        when tiles failed outright (left empty) — those cells are not
+        pure measurements of the named method.
+        """
         kind = "Weighted" if self.weighted else "Non-weighted"
         header = (
             f"{kind} PIL-Fill synthesis (tau in ps, CPU in s)\n"
             f"{'Testcase':<10}{'Normal':>10}"
-            f"{'ILP-I':>10}{'CPU':>7}"
-            f"{'ILP-II':>10}{'CPU':>7}"
-            f"{'Greedy':>10}{'CPU':>7}"
+            f"{'ILP-I':>11}{'CPU':>7}"
+            f"{'ILP-II':>11}{'CPU':>7}"
+            f"{'Greedy':>11}{'CPU':>7}"
         )
         lines = [header, "-" * len(header.splitlines()[-1])]
+        annotated = False
         for row in self.rows:
             cells = [f"{row.label:<10}"]
             cells.append(f"{row.tau('normal', self.weighted):>10.4f}")
             for method in ("ilp1", "ilp2", "greedy"):
                 out = row.outcomes[method]
-                cells.append(f"{row.tau(method, self.weighted):>10.4f}")
+                mark = ""
+                if out.failed_tiles:
+                    mark = "!"
+                elif out.degraded_tiles:
+                    mark = "*"
+                annotated = annotated or bool(mark)
+                cells.append(f"{row.tau(method, self.weighted):>10.4f}{mark:<1}")
                 cells.append(f"{out.cpu_s:>7.2f}")
             lines.append("".join(cells))
+        if annotated:
+            lines.append(
+                "* some tiles degraded to a cheaper fallback method; "
+                "! some tiles failed (left unfilled)"
+            )
         return "\n".join(lines)
 
     def to_csv(self) -> str:
         """Machine-readable form."""
-        out = ["testcase,window_um,r,method,tau_ps,weighted_tau_ps,cpu_s,features"]
+        out = [
+            "testcase,window_um,r,method,tau_ps,weighted_tau_ps,cpu_s,features,"
+            "degraded_tiles,failed_tiles,retried_tiles"
+        ]
         for row in self.rows:
             for method, outcome in row.outcomes.items():
                 out.append(
                     f"{row.testcase},{row.window_um},{row.r},{method},"
                     f"{outcome.tau_ps:.6f},{outcome.weighted_tau_ps:.6f},"
-                    f"{outcome.cpu_s:.3f},{outcome.features}"
+                    f"{outcome.cpu_s:.3f},{outcome.features},"
+                    f"{outcome.degraded_tiles},{outcome.failed_tiles},"
+                    f"{outcome.retried_tiles}"
                 )
         return "\n".join(out) + "\n"
+
+    @property
+    def degraded_cells(self) -> int:
+        """Method cells (rows × methods) with degraded or failed tiles."""
+        return sum(
+            1
+            for row in self.rows
+            for outcome in row.outcomes.values()
+            if outcome.degraded_tiles or outcome.failed_tiles
+        )
 
 
 def default_layouts(seed_t1: int = 1, seed_t2: int = 2) -> dict[str, RoutedLayout]:
@@ -116,6 +156,10 @@ def run_table(
                     seed=spec.seed,
                     workers=spec.workers,
                     parallel_backend=spec.parallel_backend,
+                    tile_deadline_s=spec.tile_deadline_s,
+                    run_deadline_s=spec.run_deadline_s,
+                    fallback=spec.fallback,
+                    fault_spec=spec.fault_spec,
                 )
                 table.rows.append(row)
                 if progress is not None:

@@ -26,20 +26,28 @@ from repro.ilp.simplex import solve_lp
 AUTO_VAR_THRESHOLD = 100
 
 
-def solve(model: Model, backend: str = "auto", max_nodes: int = 100000) -> SolveResult:
+def solve(
+    model: Model,
+    backend: str = "auto",
+    max_nodes: int = 100000,
+    time_limit: float | None = None,
+) -> SolveResult:
     """Solve ``model`` with the selected backend.
 
     Args:
         model: the model to solve.
         backend: ``"bundled"``, ``"scipy"``, or ``"auto"``.
         max_nodes: branch-and-bound node limit (bundled engine only).
+        time_limit: wall-clock budget in seconds for the solve; exceeded
+            deadlines surface as :attr:`SolveStatus.TIME_LIMIT` on either
+            backend.
     """
     if backend == "auto":
         backend = "bundled" if len(model.variables) <= AUTO_VAR_THRESHOLD else "scipy"
     if backend == "bundled":
-        return solve_branch_and_bound(model, max_nodes=max_nodes)
+        return solve_branch_and_bound(model, max_nodes=max_nodes, time_limit=time_limit)
     if backend == "scipy":
-        return solve_scipy(model)
+        return solve_scipy(model, time_limit=time_limit)
     raise SolverError(f"unknown backend {backend!r}; expected bundled/scipy/auto")
 
 

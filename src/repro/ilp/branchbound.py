@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -80,13 +81,17 @@ class _ShiftedLP:
 def solve_branch_and_bound(
     model: Model,
     max_nodes: int = 100000,
+    time_limit: float | None = None,
 ) -> SolveResult:
     """Solve a mixed-integer model to optimality (within tolerances).
 
     Returns OPTIMAL with variable values, INFEASIBLE, UNBOUNDED (when the
-    root relaxation is unbounded), or NODE_LIMIT with the best incumbent
-    found so far (if any).
+    root relaxation is unbounded), or NODE_LIMIT / TIME_LIMIT with the best
+    incumbent found so far (if any). ``time_limit`` is wall-clock seconds;
+    the deadline is checked between nodes, so a single huge LP relaxation
+    can overshoot it (per-tile models are small enough that this is moot).
     """
+    deadline = None if time_limit is None else time.monotonic() + time_limit
     compiled = model.compile()
     n = compiled.c.shape[0]
     int_idx = np.flatnonzero(compiled.integer)
@@ -141,6 +146,9 @@ def solve_branch_and_bound(
         if nodes_explored >= max_nodes:
             status = SolveStatus.NODE_LIMIT
             break
+        if deadline is not None and time.monotonic() >= deadline:
+            status = SolveStatus.TIME_LIMIT
+            break
         bound, _tie, node = heapq.heappop(heap)
         if bound >= incumbent_obj - PRUNE_TOL:
             continue  # pruned by incumbent
@@ -170,8 +178,8 @@ def solve_branch_and_bound(
         heapq.heappush(heap, (relax.objective, next(counter), hi_node))
 
     if incumbent_x is None:
-        if status is SolveStatus.NODE_LIMIT:
-            return SolveResult(SolveStatus.NODE_LIMIT, {}, math.nan, nodes_explored, total_iters)
+        if status in (SolveStatus.NODE_LIMIT, SolveStatus.TIME_LIMIT):
+            return SolveResult(status, {}, math.nan, nodes_explored, total_iters)
         return SolveResult(SolveStatus.INFEASIBLE, {}, math.nan, nodes_explored, total_iters)
 
     values = {

@@ -9,17 +9,38 @@ import numpy as np
 
 
 class SolveStatus(enum.Enum):
-    """Terminal state of a solve."""
+    """Terminal state of a solve.
+
+    The limit statuses are distinct on purpose: ``TIME_LIMIT`` means the
+    wall-clock deadline fired (the robust solve layer reacts by degrading
+    to a cheaper method, not by retrying), ``ITERATION_LIMIT`` /
+    ``NODE_LIMIT`` mean a work budget ran out, and ``NUMERICAL`` means
+    the backend hit numerical trouble (HiGHS status 4). ``FAILED`` is the
+    catch-all for a backend returning an unclassifiable outcome (e.g. an
+    unknown status code, or success without a solution vector).
+    """
 
     OPTIMAL = "optimal"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
     NODE_LIMIT = "node_limit"
+    TIME_LIMIT = "time_limit"
+    NUMERICAL = "numerical"
+    FAILED = "failed"
 
     @property
     def is_optimal(self) -> bool:
         return self is SolveStatus.OPTIMAL
+
+    @property
+    def is_limit(self) -> bool:
+        """True for out-of-budget terminations (time/iterations/nodes)."""
+        return self in (
+            SolveStatus.ITERATION_LIMIT,
+            SolveStatus.NODE_LIMIT,
+            SolveStatus.TIME_LIMIT,
+        )
 
 
 @dataclass

@@ -12,21 +12,36 @@ import numpy as np
 from scipy.optimize import LinearConstraint, milp
 from scipy.optimize import linprog
 
+from repro.errors import SolverError
 from repro.ilp.model import Model
 from repro.ilp.result import SolveResult, SolveStatus
 
-_MILP_STATUS = {
+# HiGHS milp/linprog status codes. Code 1 means "iteration or time limit";
+# we disambiguate in :func:`_classify` using whether a time limit was set
+# (HiGHS does not tell us which one fired, but we never set an iteration
+# limit, so with a deadline configured code 1 can only be the clock).
+_SCIPY_STATUS = {
     0: SolveStatus.OPTIMAL,
-    1: SolveStatus.ITERATION_LIMIT,  # iteration/time limit
     2: SolveStatus.INFEASIBLE,
     3: SolveStatus.UNBOUNDED,
-    4: SolveStatus.ITERATION_LIMIT,  # numerical trouble: surface as limit
+    4: SolveStatus.NUMERICAL,
 }
 
 
-def solve_scipy(model: Model) -> SolveResult:
+def _classify(raw_status: int, time_limited: bool) -> SolveStatus:
+    if raw_status == 1:
+        return SolveStatus.TIME_LIMIT if time_limited else SolveStatus.ITERATION_LIMIT
+    return _SCIPY_STATUS.get(raw_status, SolveStatus.FAILED)
+
+
+def solve_scipy(model: Model, time_limit: float | None = None) -> SolveResult:
     """Solve via ``scipy.optimize.milp`` (HiGHS). Continuous models go to
-    HiGHS too (milp handles them)."""
+    HiGHS too (milp handles them).
+
+    ``time_limit`` is a wall-clock budget in seconds; when it fires the
+    result status is :attr:`SolveStatus.TIME_LIMIT` (with the incumbent, if
+    HiGHS found one).
+    """
     compiled = model.compile()
     n = compiled.c.shape[0]
 
@@ -40,14 +55,22 @@ def solve_scipy(model: Model) -> SolveResult:
 
     bounds = Bounds(compiled.lb, compiled.ub)
     integrality = compiled.integer.astype(np.int64)
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
     res = milp(
         c=compiled.c,
         constraints=constraints,
         bounds=bounds,
         integrality=integrality,
+        options=options,
     )
-    status = _MILP_STATUS.get(res.status, SolveStatus.ITERATION_LIMIT)
+    status = _classify(res.status, time_limit is not None)
     if res.x is None:
+        if status is SolveStatus.OPTIMAL:
+            # HiGHS claims success but returned no point — never hand NaN
+            # to a caller that just checked is_optimal.
+            raise SolverError("scipy milp reported success without a solution vector")
         return SolveResult(status, {}, math.nan, 0, 0)
     x = np.asarray(res.x)
     values = {
@@ -72,14 +95,10 @@ def solve_scipy_lp(model: Model) -> SolveResult:
         bounds=list(zip(compiled.lb, compiled.ub)),
         method="highs",
     )
-    status = {
-        0: SolveStatus.OPTIMAL,
-        1: SolveStatus.ITERATION_LIMIT,
-        2: SolveStatus.INFEASIBLE,
-        3: SolveStatus.UNBOUNDED,
-        4: SolveStatus.ITERATION_LIMIT,
-    }.get(res.status, SolveStatus.ITERATION_LIMIT)
+    status = _classify(res.status, time_limited=False)
     if res.x is None:
+        if status is SolveStatus.OPTIMAL:
+            raise SolverError("scipy linprog reported success without a solution vector")
         return SolveResult(status, {}, math.nan, 0, 0)
     values = {name: float(v) for name, v in zip(compiled.names, res.x)}
     objective = float(compiled.c @ res.x + compiled.c0)

@@ -46,6 +46,12 @@ from repro.pilfill.parallel import (
     tile_rng,
 )
 from repro.pilfill.prepare import PreparedInstance, prepare
+from repro.pilfill.robust import (
+    RobustSolve,
+    SolveReport,
+    fallback_chain,
+    solve_tile_robust,
+)
 from repro.pilfill.ilp1 import solve_tile_ilp1
 from repro.pilfill.ilp2 import solve_tile_ilp2
 from repro.pilfill.scanline import (
@@ -96,6 +102,10 @@ __all__ = [
     "tile_rng",
     "PreparedInstance",
     "prepare",
+    "RobustSolve",
+    "SolveReport",
+    "fallback_chain",
+    "solve_tile_robust",
     "MultiLayerResult",
     "run_all_layers",
     "ImpactModel",

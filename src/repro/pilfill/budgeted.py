@@ -54,6 +54,7 @@ def solve_tile_budgeted_ilp(
     budget: int,
     net_budgets_ff: dict[str, float],
     backend: str = "auto",
+    time_limit: float | None = None,
 ) -> BudgetedOutcome:
     """Exact per-tile solve with per-net capacitance budgets.
 
@@ -110,8 +111,10 @@ def solve_tile_budgeted_ilp(
         )
     model.minimize(sum(objective_terms, start=0.0))
 
-    result = solve(model, backend=backend)
+    result = solve(model, backend=backend, time_limit=time_limit)
     if not result.status.is_optimal:
+        # Includes TIME_LIMIT: the caller already has a budgeted-greedy
+        # fallback for infeasible outcomes, which covers timeouts too.
         return BudgetedOutcome(TileSolution(counts=[0] * len(costs)), {}, False)
     counts = [int(result.value(m.name)) for m in m_vars]
     used = _cap_used(costs, cap_tables, counts)

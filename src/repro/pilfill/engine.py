@@ -37,7 +37,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import FillError
+from repro.errors import FillError, SolveTimeoutError
 from repro.layout.layout import FillFeature, RoutedLayout
 from repro.pilfill.columns import SlackColumnDef
 from repro.pilfill.costs import ColumnCosts
@@ -56,8 +56,16 @@ from repro.pilfill.parallel import (
     tile_rng,
 )
 from repro.pilfill.prepare import PreparedInstance, prepare
+from repro.pilfill.robust import (
+    SolveReport,
+    effective_time_limit,
+    failed_report,
+    solve_tile_robust,
+)
 from repro.pilfill.solution import TileSolution
 from repro.tech.rules import DensityRules, FillRules
+from repro.testing import faults as fault_hooks
+from repro.testing.faults import FaultSpec
 
 #: The method names the engine accepts.
 METHODS = ("normal", "ilp1", "ilp2", "greedy", "greedy_marginal", "dp")
@@ -103,6 +111,24 @@ class EngineConfig:
             payload (cost tables + budget + seed, no layout objects) so
             the pure-Python methods scale across cores; results are
             bit-identical to serial for every method.
+        tile_deadline_s: wall-clock deadline per tile solve (seconds).
+            An ILP attempt exceeding it surfaces ``TIME_LIMIT`` and the
+            tile degrades down the fallback chain (ILP-II → ILP-I →
+            Greedy). ``None`` (default) → unlimited.
+        run_deadline_s: wall-clock deadline for the whole solve phase.
+            Each tile's effective limit is the smaller of the tile
+            deadline and the remaining run time; tiles starting after
+            the deadline are recorded as failed (zero features), never
+            solved. ``None`` (default) → unlimited.
+        fallback: True (default) → robust solving: per-tile failures
+            degrade to cheaper methods, crashed workers are retried once
+            with the same derived RNG, and the sweep always completes,
+            with every substitution recorded in
+            ``FillResult.solve_reports``. False → strict mode: the first
+            failure propagates (previous behavior). Successful solves
+            are identical either way.
+        fault_spec: deterministic fault injection for tests (see
+            :mod:`repro.testing.faults`); ``None`` in production.
     """
 
     fill_rules: FillRules
@@ -117,6 +143,10 @@ class EngineConfig:
     seed: int = 0
     workers: int = 1
     parallel_backend: str = "thread"
+    tile_deadline_s: float | None = None
+    run_deadline_s: float | None = None
+    fallback: bool = True
+    fault_spec: FaultSpec | None = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -138,6 +168,10 @@ class EngineConfig:
                 f"unknown parallel backend {self.parallel_backend!r}; "
                 f"expected one of {PARALLEL_BACKENDS}"
             )
+        for name in ("tile_deadline_s", "run_deadline_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise FillError(f"{name} must be positive, got {value}")
 
 
 @dataclass
@@ -158,10 +192,34 @@ class FillResult:
     model_objective_ps: float = 0.0
     phase_seconds: dict[str, float] = field(default_factory=dict)
     tile_seconds: dict[tuple[int, int], float] = field(default_factory=dict)
+    solve_reports: dict[tuple[int, int], SolveReport] = field(default_factory=dict)
 
     @property
     def total_features(self) -> int:
         return len(self.features)
+
+    @property
+    def degraded_tiles(self) -> list[tuple[int, int]]:
+        """Tiles solved by a cheaper method than requested (sorted)."""
+        return sorted(k for k, r in self.solve_reports.items() if r.degraded)
+
+    @property
+    def failed_tiles(self) -> list[tuple[int, int]]:
+        """Tiles where every method/attempt failed — zero features placed
+        there, the rest of the sweep unaffected (sorted)."""
+        return sorted(k for k, r in self.solve_reports.items() if r.failed)
+
+    @property
+    def retried_tiles(self) -> list[tuple[int, int]]:
+        """Tiles whose outcome needed at least one dispatcher retry."""
+        return sorted(k for k, r in self.solve_reports.items() if r.retries > 0)
+
+    @property
+    def clean(self) -> bool:
+        """True when no tile degraded, failed, or needed a retry."""
+        return not any(
+            r.degraded or r.failed or r.retries > 0 for r in self.solve_reports.values()
+        )
 
     @property
     def shortfall(self) -> int:
@@ -260,6 +318,7 @@ class PILFillEngine:
                 solve_keys.append(tile.key)
 
         effective_budget = result.effective_budget
+        run_deadline = self._run_deadline()
 
         if cfg.parallel_backend == "process":
             payloads = [
@@ -271,26 +330,75 @@ class PILFillEngine:
                     weighted=cfg.weighted,
                     ilp_backend=cfg.backend,
                     seed=cfg.seed,
+                    tile_deadline_s=cfg.tile_deadline_s,
+                    run_deadline=run_deadline,
+                    fault_spec=cfg.fault_spec,
+                    fallback=cfg.fallback,
                 )
                 for key in solve_keys
             ]
-            outcomes = dispatch_tile_payloads(payloads, workers=cfg.workers)
+            outcomes = dispatch_tile_payloads(
+                payloads, workers=cfg.workers, isolate=cfg.fallback
+            )
         else:
-            def solve_one(key: tuple[int, int]) -> TileSolution:
-                return self._solve_tile(
-                    costs_by_tile[key], effective_budget[key], tile_rng(cfg.seed, key)
-                )
+            if cfg.fallback:
+                def solve_one(key: tuple[int, int], attempt: int):
+                    return solve_tile_robust(
+                        costs_by_tile[key],
+                        cfg.method,
+                        effective_budget[key],
+                        cfg.weighted,
+                        cfg.backend,
+                        tile_rng(cfg.seed, key),
+                        key=key,
+                        tile_deadline_s=cfg.tile_deadline_s,
+                        run_deadline=run_deadline,
+                        fault_spec=cfg.fault_spec,
+                        attempt=attempt,
+                    )
+            else:
+                def solve_one(key: tuple[int, int], attempt: int) -> TileSolution:
+                    fault_hooks.inject(key, cfg.method, attempt, cfg.fault_spec)
+                    return self._solve_tile(
+                        costs_by_tile[key],
+                        effective_budget[key],
+                        tile_rng(cfg.seed, key),
+                        time_limit=effective_time_limit(cfg.tile_deadline_s, run_deadline),
+                    )
 
-            outcomes = dispatch_tiles(solve_keys, solve_one, workers=cfg.workers)
+            outcomes = dispatch_tiles(
+                solve_keys, solve_one, workers=cfg.workers, isolate=cfg.fallback
+            )
         for key in solve_keys:
             outcome = outcomes[key]
-            solution = outcome.value
-            result.tile_solutions[key] = solution
-            result.tile_seconds[key] = outcome.seconds
-            result.model_objective_ps += solution.model_objective_ps
-            self._place(costs_by_tile[key], solution, result.features)
+            self._merge_outcome(result, key, outcome, costs_by_tile[key])
         self._finish_phases(result, time.perf_counter() - t0)
         return result
+
+    def _run_deadline(self) -> float | None:
+        """Absolute epoch the solve phase must finish by (``time.time()``
+        based so worker processes share the same clock)."""
+        if self.config.run_deadline_s is None:
+            return None
+        return time.time() + self.config.run_deadline_s
+
+    def _merge_outcome(self, result: FillResult, key, outcome, costs) -> None:
+        """Fold one tile's outcome into the result: place its features,
+        record timings and the solve report, and turn a failed tile into
+        an explicit empty solution (zero features) rather than a crash."""
+        if outcome.failed:
+            solution = TileSolution(counts=[0] * len(costs))
+            result.solve_reports[key] = failed_report(
+                key, self.config.method, outcome.retries, outcome.error
+            )
+        else:
+            solution = outcome.value
+            if outcome.report is not None:
+                result.solve_reports[key] = outcome.report
+        result.tile_solutions[key] = solution
+        result.tile_seconds[key] = outcome.seconds
+        result.model_objective_ps += solution.model_objective_ps
+        self._place(costs, solution, result.features)
 
     def run_mvdc(self, slack_fraction: float = 0.25) -> FillResult:
         """Run the MVDC (minimum variation with delay constraint) variant
@@ -323,6 +431,7 @@ class PILFillEngine:
             else:
                 solve_keys.append(tile.key)
 
+        run_deadline = self._run_deadline()
         if cfg.parallel_backend == "process":
             # MVDC in a worker: the payload's budget is the prescription
             # ceiling; delay_budget_ps switches the worker to the MVDC
@@ -337,12 +446,22 @@ class PILFillEngine:
                     ilp_backend=cfg.backend,
                     seed=cfg.seed,
                     delay_budget_ps=delay_budgets[key],
+                    tile_deadline_s=cfg.tile_deadline_s,
+                    run_deadline=run_deadline,
+                    fault_spec=cfg.fault_spec,
+                    fallback=cfg.fallback,
                 )
                 for key in solve_keys
             ]
-            outcomes = dispatch_tile_payloads(payloads, workers=cfg.workers)
+            outcomes = dispatch_tile_payloads(
+                payloads, workers=cfg.workers, isolate=cfg.fallback
+            )
         else:
-            def solve_one(key: tuple[int, int]) -> TileSolution:
+            def solve_one(key: tuple[int, int], attempt: int) -> TileSolution:
+                # MVDC has no fallback chain (its solver is already the
+                # greedy rung); fault hooks + deadlines still apply.
+                fault_hooks.inject(key, "mvdc", attempt, cfg.fault_spec)
+                effective_time_limit(cfg.tile_deadline_s, run_deadline)
                 costs = costs_by_tile[key]
                 solution = solve_tile_mvdc(costs, delay_budgets[key])
                 # MVDC may not *need* the whole prescription; cap at it.
@@ -351,10 +470,23 @@ class PILFillEngine:
                     solution = self._trim_to(costs, solution, want)
                 return solution
 
-            outcomes = dispatch_tiles(solve_keys, solve_one, workers=cfg.workers)
+            outcomes = dispatch_tiles(
+                solve_keys, solve_one, workers=cfg.workers, isolate=cfg.fallback
+            )
         for key in solve_keys:
             outcome = outcomes[key]
-            solution = outcome.value
+            if outcome.failed:
+                solution = TileSolution(counts=[0] * len(costs_by_tile[key]))
+                result.solve_reports[key] = failed_report(
+                    key, "mvdc", outcome.retries, outcome.error
+                )
+            else:
+                solution = outcome.value
+                if outcome.retries > 0:
+                    result.solve_reports[key] = SolveReport(
+                        key=key, requested_method="mvdc", used_method="mvdc",
+                        retries=outcome.retries,
+                    )
             result.effective_budget[key] = solution.total_features
             result.tile_solutions[key] = solution
             result.tile_seconds[key] = outcome.seconds
@@ -396,6 +528,7 @@ class PILFillEngine:
 
         t0 = time.perf_counter()
         costs_by_tile = prep.costs_for(cfg.weighted)
+        run_deadline = self._run_deadline()
         remaining = dict(net_budgets_ff)
         order = sorted(
             prep.dissection.tiles(),
@@ -410,15 +543,33 @@ class PILFillEngine:
             if effective == 0:
                 result.effective_budget[tile.key] = 0
                 continue
+            try:
+                time_limit = effective_time_limit(cfg.tile_deadline_s, run_deadline)
+            except SolveTimeoutError as exc:
+                # Run deadline exhausted: skip (don't solve) the remaining
+                # tiles, recording each as failed rather than aborting.
+                result.effective_budget[tile.key] = 0
+                result.solve_reports[tile.key] = failed_report(
+                    tile.key, "budgeted_ilp" if exact else "budgeted_greedy", 0, str(exc)
+                )
+                continue
             cap_tables = build_cap_tables(costs)
             if exact:
                 outcome = solve_tile_budgeted_ilp(
-                    costs, cap_tables, effective, remaining, backend=cfg.backend
+                    costs, cap_tables, effective, remaining,
+                    backend=cfg.backend, time_limit=time_limit,
                 )
                 if not outcome.feasible:
-                    # Fall back to the largest feasible count via greedy.
+                    # Fall back to the largest feasible count via greedy
+                    # (covers infeasible budgets and ILP timeouts alike).
                     outcome = solve_tile_budgeted_greedy(
                         costs, cap_tables, effective, remaining
+                    )
+                    result.solve_reports[tile.key] = SolveReport(
+                        key=tile.key,
+                        requested_method="budgeted_ilp",
+                        used_method="budgeted_greedy",
+                        errors=("budgeted_ilp: not feasible within budgets/deadline",),
                     )
             else:
                 outcome = solve_tile_budgeted_greedy(
@@ -447,10 +598,17 @@ class PILFillEngine:
         (thin wrapper over :meth:`PreparedInstance.budget_for`)."""
         return self.prepared.budget_for(self.config)
 
-    def _solve_tile(self, costs, effective: int, rng: random.Random) -> TileSolution:
+    def _solve_tile(
+        self,
+        costs,
+        effective: int,
+        rng: random.Random,
+        time_limit: float | None = None,
+    ) -> TileSolution:
         """Dispatch one tile to the configured method (see
         :func:`repro.pilfill.methods.solve_tile_method`)."""
         cfg = self.config
         return solve_tile_method(
-            costs, cfg.method, effective, cfg.weighted, cfg.backend, rng
+            costs, cfg.method, effective, cfg.weighted, cfg.backend, rng,
+            time_limit=time_limit,
         )

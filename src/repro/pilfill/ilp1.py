@@ -12,8 +12,9 @@ Greedy and even to Normal fill on some configurations (paper Table 1).
 
 from __future__ import annotations
 
-from repro.errors import FillError
+from repro.errors import FillError, SolverError, SolveTimeoutError
 from repro.ilp import INF, Model, VarKind, solve
+from repro.ilp.result import SolveStatus
 from repro.pilfill.costs import ColumnCosts
 from repro.pilfill.solution import TileSolution
 
@@ -23,6 +24,7 @@ def solve_tile_ilp1(
     budget: int,
     weighted: bool,
     backend: str = "auto",
+    time_limit: float | None = None,
 ) -> TileSolution:
     """Solve one tile with the ILP-I formulation.
 
@@ -33,6 +35,8 @@ def solve_tile_ilp1(
             folded into the cost tables; the flag is kept for symmetry and
             sanity checks).
         backend: ILP backend (``bundled``/``scipy``/``auto``).
+        time_limit: wall-clock deadline in seconds for this tile's solve;
+            exceeding it raises :class:`SolveTimeoutError`.
     """
     if budget == 0:
         return TileSolution(counts=[0] * len(costs))
@@ -84,9 +88,11 @@ def solve_tile_ilp1(
     else:
         model.minimize(sum((m * 0.0 for m in m_vars), start=0.0))
 
-    result = solve(model, backend=backend)
+    result = solve(model, backend=backend, time_limit=time_limit)
+    if result.status is SolveStatus.TIME_LIMIT:
+        raise SolveTimeoutError(f"ILP-I tile solve hit the {time_limit}s deadline")
     if not result.status.is_optimal:
-        raise FillError(f"ILP-I tile solve failed: {result.status}")
+        raise SolverError(f"ILP-I tile solve failed: {result.status}")
     counts = [int(result.value(m.name)) for m in m_vars]
     return TileSolution(
         counts=counts,

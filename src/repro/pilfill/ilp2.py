@@ -19,8 +19,9 @@ tables at 3-6× their runtime.
 
 from __future__ import annotations
 
-from repro.errors import FillError
+from repro.errors import FillError, SolverError, SolveTimeoutError
 from repro.ilp import Model, VarKind, solve
+from repro.ilp.result import SolveStatus
 from repro.pilfill.costs import ColumnCosts
 from repro.pilfill.solution import TileSolution
 
@@ -29,6 +30,7 @@ def solve_tile_ilp2(
     costs: list[ColumnCosts],
     budget: int,
     backend: str = "auto",
+    time_limit: float | None = None,
 ) -> TileSolution:
     """Solve one tile with the ILP-II (lookup table) formulation.
 
@@ -38,6 +40,8 @@ def solve_tile_ilp2(
             ``exact[n]`` is the Eq. 21 objective contribution directly).
         budget: features to place in this tile.
         backend: ILP backend (``bundled``/``scipy``/``auto``).
+        time_limit: wall-clock deadline in seconds for this tile's solve;
+            exceeding it raises :class:`SolveTimeoutError`.
     """
     if budget == 0:
         return TileSolution(counts=[0] * len(costs))
@@ -71,9 +75,11 @@ def solve_tile_ilp2(
     model.add_constraint(sum((m * 1.0 for m in m_vars), start=0.0) == float(budget))
     model.minimize(sum(objective_terms, start=0.0))
 
-    result = solve(model, backend=backend)
+    result = solve(model, backend=backend, time_limit=time_limit)
+    if result.status is SolveStatus.TIME_LIMIT:
+        raise SolveTimeoutError(f"ILP-II tile solve hit the {time_limit}s deadline")
     if not result.status.is_optimal:
-        raise FillError(f"ILP-II tile solve failed: {result.status}")
+        raise SolverError(f"ILP-II tile solve failed: {result.status}")
     counts = [int(result.value(m.name)) for m in m_vars]
     return TileSolution(
         counts=counts,

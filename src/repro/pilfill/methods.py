@@ -53,12 +53,18 @@ def solve_tile_method(
     weighted: bool,
     ilp_backend: str,
     rng: random.Random,
+    time_limit: float | None = None,
 ) -> TileSolution:
-    """Solve one tile with the named method (see ``engine.METHODS``)."""
+    """Solve one tile with the named method (see ``engine.METHODS``).
+
+    ``time_limit`` is a wall-clock deadline in seconds for this tile; only
+    the ILP methods can spend unbounded time, so only they enforce it (the
+    combinatorial methods finish in microseconds on per-tile instances).
+    """
     if method == "ilp1":
-        return solve_tile_ilp1(costs, budget, weighted, backend=ilp_backend)
+        return solve_tile_ilp1(costs, budget, weighted, backend=ilp_backend, time_limit=time_limit)
     if method == "ilp2":
-        return solve_tile_ilp2(costs, budget, backend=ilp_backend)
+        return solve_tile_ilp2(costs, budget, backend=ilp_backend, time_limit=time_limit)
     if method == "greedy":
         return solve_tile_greedy(costs, budget)
     if method == "greedy_marginal":

@@ -21,6 +21,15 @@ solves out over a worker pool and merges the outcomes deterministically:
   the GIL and gain nothing from threads.
 * **Per-tile timing.** Every outcome records its solve seconds so the
   hot tiles are visible from the CLI and harness.
+* **Fault isolation.** With ``isolate=True`` (the default) a tile whose
+  solve raises — or whose pool worker dies — never aborts the sweep: the
+  dispatcher retries the tile once with the same derived RNG (attempt
+  numbers, not shared counters, drive the retry so the contract holds
+  across process boundaries), and records a failed
+  :class:`TileOutcome` (``value=None``, ``error`` set) if the retry also
+  fails. Timeouts are the exception: a deadline that fired once will
+  fire again, so :class:`~repro.errors.SolveTimeoutError` fails the
+  tile without a retry.
 """
 
 from __future__ import annotations
@@ -28,18 +37,24 @@ from __future__ import annotations
 import random
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
-from repro.errors import FillError
+from repro.errors import FillError, SolveTimeoutError
 from repro.pilfill.columns import ColumnNeighbor
 from repro.pilfill.methods import solve_tile_method, trim_to
+from repro.pilfill.robust import RobustSolve, SolveReport, solve_tile_robust
+from repro.testing.faults import FaultSpec
 
 TileKey = tuple[int, int]
 T = TypeVar("T")
 
 #: Accepted values of the ``backend`` knob.
 PARALLEL_BACKENDS = ("thread", "process")
+
+#: Dispatcher attempts per tile under ``isolate=True`` (1 + one retry).
+MAX_ATTEMPTS = 2
 
 
 def tile_rng(seed: int, key: TileKey) -> random.Random:
@@ -54,11 +69,24 @@ def tile_rng(seed: int, key: TileKey) -> random.Random:
 
 @dataclass(frozen=True)
 class TileOutcome:
-    """One tile's solve result plus its wall-clock cost."""
+    """One tile's solve result plus its wall-clock cost.
+
+    ``value`` is ``None`` when every attempt failed (``error`` then holds
+    the last failure, ``retries`` how many retries were spent). When the
+    solve went through the robust layer, ``report`` carries its
+    :class:`~repro.pilfill.robust.SolveReport`.
+    """
 
     key: TileKey
     value: object
     seconds: float
+    report: SolveReport | None = None
+    error: str | None = None
+    retries: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return self.value is None
 
 
 @dataclass(frozen=True)
@@ -119,6 +147,10 @@ class TilePayload:
     seed: int
     columns: tuple[PayloadColumnCosts, ...]
     delay_budget_ps: float | None = None
+    tile_deadline_s: float | None = None
+    run_deadline: float | None = None  # absolute time.time() epoch
+    fault_spec: FaultSpec | None = None
+    fallback: bool = True
 
 
 def make_tile_payload(
@@ -131,6 +163,10 @@ def make_tile_payload(
     ilp_backend: str,
     seed: int,
     delay_budget_ps: float | None = None,
+    tile_deadline_s: float | None = None,
+    run_deadline: float | None = None,
+    fault_spec: FaultSpec | None = None,
+    fallback: bool = True,
 ) -> TilePayload:
     """Compact payload for one tile from its :class:`ColumnCosts` list."""
     columns = tuple(
@@ -154,39 +190,107 @@ def make_tile_payload(
         seed=seed,
         columns=columns,
         delay_budget_ps=delay_budget_ps,
+        tile_deadline_s=tile_deadline_s,
+        run_deadline=run_deadline,
+        fault_spec=fault_spec,
+        fallback=fallback,
     )
 
 
-def solve_tile_payload(payload: TilePayload) -> TileOutcome:
+def solve_tile_payload(payload: TilePayload, attempt: int = 0) -> TileOutcome:
     """Solve one shipped tile (runs inside a worker process).
 
     Produces the same :class:`TileSolution` the in-process path would:
     the cost tables are bit-identical copies and the RNG is re-derived
-    from ``(seed, key)``, so the solve is order- and host-independent.
+    from ``(seed, key)``, so the solve is order-, host-, and
+    attempt-independent. ``attempt`` is the dispatcher attempt number
+    (threaded to the fault hooks so transient faults fire on the first
+    attempt only, regardless of which process runs the retry).
     """
+    from repro.pilfill.robust import effective_time_limit, solve_tile_robust
+    from repro.testing import faults as fault_hooks
+
     t0 = time.perf_counter()
     costs = list(payload.columns)
     if payload.delay_budget_ps is not None:
         from repro.pilfill.mvdc import solve_tile_mvdc
 
+        # MVDC has no fallback chain (its solver is already the greedy
+        # rung); fault hooks still apply so the retry path is testable.
+        fault_hooks.inject(payload.key, "mvdc", attempt, payload.fault_spec)
+        effective_time_limit(payload.tile_deadline_s, payload.run_deadline)
         solution = solve_tile_mvdc(costs, payload.delay_budget_ps)
         if solution.total_features > payload.budget:
             solution = trim_to(costs, solution, payload.budget)
-    else:
-        solution = solve_tile_method(
+        return TileOutcome(
+            key=payload.key, value=solution, seconds=time.perf_counter() - t0,
+            retries=attempt,
+        )
+    if payload.fallback:
+        robust = solve_tile_robust(
             costs,
             payload.method,
             payload.budget,
             payload.weighted,
             payload.ilp_backend,
             tile_rng(payload.seed, payload.key),
+            key=payload.key,
+            tile_deadline_s=payload.tile_deadline_s,
+            run_deadline=payload.run_deadline,
+            fault_spec=payload.fault_spec,
+            attempt=attempt,
         )
-    return TileOutcome(key=payload.key, value=solution, seconds=time.perf_counter() - t0)
+        return TileOutcome(
+            key=payload.key,
+            value=robust.solution,
+            seconds=time.perf_counter() - t0,
+            report=robust.report,
+            retries=attempt,
+        )
+    fault_hooks.inject(payload.key, payload.method, attempt, payload.fault_spec)
+    solution = solve_tile_method(
+        costs,
+        payload.method,
+        payload.budget,
+        payload.weighted,
+        payload.ilp_backend,
+        tile_rng(payload.seed, payload.key),
+        time_limit=effective_time_limit(payload.tile_deadline_s, payload.run_deadline),
+    )
+    return TileOutcome(
+        key=payload.key, value=solution, seconds=time.perf_counter() - t0,
+        retries=attempt,
+    )
+
+
+def _failed_outcome(key: TileKey, exc: BaseException, seconds: float, retries: int) -> TileOutcome:
+    return TileOutcome(
+        key=key,
+        value=None,
+        seconds=seconds,
+        error=f"{type(exc).__name__}: {exc}",
+        retries=retries,
+    )
+
+
+def _solve_payload_isolated(payload: TilePayload) -> TileOutcome:
+    """In-process payload solve with the retry-then-fail policy applied."""
+    t0 = time.perf_counter()
+    last: BaseException | None = None
+    for attempt in range(MAX_ATTEMPTS):
+        try:
+            return solve_tile_payload(payload, attempt)
+        except SolveTimeoutError as exc:
+            return _failed_outcome(payload.key, exc, time.perf_counter() - t0, attempt)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            last = exc
+    return _failed_outcome(payload.key, last, time.perf_counter() - t0, MAX_ATTEMPTS - 1)
 
 
 def dispatch_tile_payloads(
     payloads: Sequence[TilePayload],
     workers: int = 1,
+    isolate: bool = True,
 ) -> dict[TileKey, TileOutcome]:
     """Solve shipped tiles, serially or on a process pool.
 
@@ -194,30 +298,69 @@ def dispatch_tile_payloads(
     path as the pool workers, so results never depend on the worker
     count. The returned mapping is ordered by ``payloads`` regardless of
     completion order, giving a deterministic merge.
+
+    With ``isolate=True`` a failing tile is retried once and then
+    recorded as a failed :class:`TileOutcome` instead of aborting the
+    sweep. A pool worker that *dies* (broken pool) has its tile — and
+    any tiles stranded by the broken pool — re-solved in the parent
+    process, which is attempt 1 of the same deterministic contract.
+    With ``isolate=False`` the first exception propagates.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     if workers == 1 or len(payloads) <= 1:
+        if isolate:
+            return {p.key: _solve_payload_isolated(p) for p in payloads}
         return {p.key: solve_tile_payload(p) for p in payloads}
+    by_key: dict[TileKey, TileOutcome] = {}
     with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-        chunk = max(1, len(payloads) // (workers * 4))
-        outcomes = pool.map(solve_tile_payload, payloads, chunksize=chunk)
-        return {outcome.key: outcome for outcome in outcomes}
+        futures = [(p, pool.submit(solve_tile_payload, p)) for p in payloads]
+        for payload, future in futures:
+            t0 = time.perf_counter()
+            try:
+                by_key[payload.key] = future.result()
+                continue
+            except SolveTimeoutError as exc:
+                if not isolate:
+                    raise
+                by_key[payload.key] = _failed_outcome(
+                    payload.key, exc, time.perf_counter() - t0, 0
+                )
+                continue
+            except (Exception, BrokenProcessPool) as exc:  # noqa: BLE001
+                if not isolate:
+                    raise
+                first_error = exc
+            # Attempt 1 runs in the parent: the pool may be broken, and the
+            # payload re-derives its RNG, so the result is still the one the
+            # worker would have produced.
+            try:
+                by_key[payload.key] = solve_tile_payload(payload, attempt=1)
+            except Exception as exc:  # noqa: BLE001
+                by_key[payload.key] = _failed_outcome(
+                    payload.key, exc, time.perf_counter() - t0, 1
+                )
+    # Re-key in payload order for the deterministic merge.
+    return {p.key: by_key[p.key] for p in payloads}
 
 
 def dispatch_tiles(
     keys: Sequence[TileKey],
-    solve_one: Callable[[TileKey], T],
+    solve_one: Callable[[TileKey, int], T],
     workers: int = 1,
     backend: str = "thread",
+    isolate: bool = True,
 ) -> dict[TileKey, TileOutcome]:
     """Solve every tile, serially or on a worker pool.
 
     Args:
         keys: tile keys to solve (each must be independent of the others).
-        solve_one: maps a tile key to its solve result; must not mutate
-            shared state. Stochastic solvers should draw from
-            :func:`tile_rng` so results are order-independent.
+        solve_one: maps ``(tile key, attempt)`` to its solve result; must
+            not mutate shared state. ``attempt`` is 0 on the first try
+            and 1 on the retry — implementations re-derive any RNG from
+            the key (see :func:`tile_rng`) so both attempts draw the same
+            stream. A returned :class:`~repro.pilfill.robust.RobustSolve`
+            is unpacked into the outcome's ``value``/``report``.
         workers: 1 → plain loop (no executor overhead); >1 → worker pool.
         backend: ``"thread"`` shares ``solve_one`` across a thread pool;
             ``"process"`` requires a *picklable* ``solve_one`` (a
@@ -225,6 +368,11 @@ def dispatch_tiles(
             closures will not pickle). Engine callers use the payload
             path (:func:`dispatch_tile_payloads`) instead, which ships
             compact per-tile data rather than pickling shared state.
+        isolate: True → a tile whose solve raises is retried once, then
+            recorded as a failed outcome (``value=None``) — the sweep
+            always completes. :class:`~repro.errors.SolveTimeoutError`
+            skips the retry (a deadline that fired will fire again).
+            False → the first exception propagates (strict mode).
 
     Returns:
         Outcomes keyed by tile. The mapping is insertion-ordered by
@@ -238,20 +386,57 @@ def dispatch_tiles(
             f"unknown parallel backend {backend!r}; expected one of {PARALLEL_BACKENDS}"
         )
 
+    def outcome_of(key: TileKey, value: object, seconds: float, attempt: int) -> TileOutcome:
+        if isinstance(value, RobustSolve):
+            return TileOutcome(
+                key=key, value=value.solution, seconds=seconds,
+                report=value.report, retries=attempt,
+            )
+        return TileOutcome(key=key, value=value, seconds=seconds, retries=attempt)
+
     def timed(key: TileKey) -> TileOutcome:
         t0 = time.perf_counter()
-        value = solve_one(key)
-        return TileOutcome(key=key, value=value, seconds=time.perf_counter() - t0)
+        if not isolate:
+            return outcome_of(key, solve_one(key, 0), time.perf_counter() - t0, 0)
+        last: BaseException | None = None
+        for attempt in range(MAX_ATTEMPTS):
+            try:
+                value = solve_one(key, attempt)
+            except SolveTimeoutError as exc:
+                return _failed_outcome(key, exc, time.perf_counter() - t0, attempt)
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                last = exc
+                continue
+            return outcome_of(key, value, time.perf_counter() - t0, attempt)
+        return _failed_outcome(key, last, time.perf_counter() - t0, MAX_ATTEMPTS - 1)
 
     if workers == 1 or len(keys) <= 1:
         return {key: timed(key) for key in keys}
     if backend == "process":
         with ProcessPoolExecutor(max_workers=min(workers, len(keys))) as pool:
-            values = pool.map(solve_one, keys)
-            return {
-                key: TileOutcome(key=key, value=value, seconds=0.0)
-                for key, value in zip(keys, values)
-            }
+            futures = [(key, pool.submit(solve_one, key, 0)) for key in keys]
+            by_key: dict[TileKey, TileOutcome] = {}
+            for key, future in futures:
+                t0 = time.perf_counter()
+                try:
+                    by_key[key] = outcome_of(key, future.result(), 0.0, 0)
+                    continue
+                except SolveTimeoutError as exc:
+                    if not isolate:
+                        raise
+                    by_key[key] = _failed_outcome(key, exc, time.perf_counter() - t0, 0)
+                    continue
+                except Exception as exc:  # noqa: BLE001
+                    if not isolate:
+                        raise
+                # Attempt 1 in the parent (the pool may be broken).
+                try:
+                    by_key[key] = outcome_of(
+                        key, solve_one(key, 1), time.perf_counter() - t0, 1
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    by_key[key] = _failed_outcome(key, exc, time.perf_counter() - t0, 1)
+            return {key: by_key[key] for key in keys}
     with ThreadPoolExecutor(max_workers=workers) as pool:
         # map() preserves input order, giving the deterministic merge.
         return {outcome.key: outcome for outcome in pool.map(timed, keys)}

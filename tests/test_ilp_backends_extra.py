@@ -1,8 +1,13 @@
 """Remaining solver-path coverage: scipy LP wrapper, auto dispatch at the
-threshold, infeasible/unbounded via scipy, MVDC trim path."""
+threshold, infeasible/unbounded via scipy, MVDC trim path, time-limit /
+status-classification paths, and the success-without-solution guards."""
+
+import math
+import time
 
 import pytest
 
+from repro.errors import SolverError
 from repro.ilp import (
     AUTO_VAR_THRESHOLD,
     Model,
@@ -79,6 +84,102 @@ class TestAutoDispatch:
             m.add_var(f"x{i}", ub=1)
         m.minimize(0.0)
         assert solve(m, backend="auto").status.is_optimal
+
+
+def _small_int_model():
+    m = Model()
+    x = m.add_var("x", ub=3, kind=VarKind.INTEGER)
+    y = m.add_var("y", ub=3, kind=VarKind.INTEGER)
+    m.add_constraint(2 * x + 3 * y >= 5)
+    m.minimize(1.0 * x + 1.7 * y)
+    return m
+
+
+class TestStatusClassification:
+    def test_code1_disambiguated_by_time_limit(self):
+        """HiGHS code 1 is 'iteration or time limit'; the repo never sets
+        iteration limits, so with a deadline configured it is the clock."""
+        from repro.ilp.scipy_backend import _classify
+
+        assert _classify(1, time_limited=True) is SolveStatus.TIME_LIMIT
+        assert _classify(1, time_limited=False) is SolveStatus.ITERATION_LIMIT
+
+    def test_numerical_and_unknown_codes(self):
+        from repro.ilp.scipy_backend import _classify
+
+        assert _classify(4, time_limited=False) is SolveStatus.NUMERICAL
+        assert _classify(4, time_limited=True) is SolveStatus.NUMERICAL
+        assert _classify(99, time_limited=True) is SolveStatus.FAILED
+
+    def test_is_limit_property(self):
+        assert SolveStatus.TIME_LIMIT.is_limit
+        assert SolveStatus.ITERATION_LIMIT.is_limit
+        assert SolveStatus.NODE_LIMIT.is_limit
+        assert not SolveStatus.OPTIMAL.is_limit
+        assert not SolveStatus.NUMERICAL.is_limit
+        assert not SolveStatus.FAILED.is_limit
+
+
+class TestBundledTimeLimit:
+    def test_deadline_between_nodes_returns_time_limit(self, monkeypatch):
+        """With the LP relaxation slowed past the deadline, the node loop's
+        clock check fires and the bundled solver reports TIME_LIMIT."""
+        import repro.ilp.branchbound as bb
+
+        real_solve_lp = bb.solve_lp
+
+        def slow_solve_lp(*args, **kwargs):
+            time.sleep(0.03)
+            return real_solve_lp(*args, **kwargs)
+
+        monkeypatch.setattr(bb, "solve_lp", slow_solve_lp)
+        res = bb.solve_branch_and_bound(_small_int_model(), time_limit=0.01)
+        assert res.status is SolveStatus.TIME_LIMIT
+        assert not res.status.is_optimal
+
+    def test_no_deadline_still_optimal(self):
+        res = solve(_small_int_model(), backend="bundled", time_limit=30.0)
+        assert res.status is SolveStatus.OPTIMAL
+
+    def test_solve_forwards_time_limit_to_scipy(self):
+        res = solve(_small_int_model(), backend="scipy", time_limit=30.0)
+        assert res.status is SolveStatus.OPTIMAL
+
+
+class TestSuccessWithoutSolutionGuard:
+    """HiGHS occasionally reports success with ``x is None``; the wrapper
+    must never surface that as an is_optimal result holding NaN."""
+
+    class _FakeRes:
+        def __init__(self, status):
+            self.status = status
+            self.x = None
+
+    def test_milp_success_without_vector_raises(self, monkeypatch):
+        import repro.ilp.scipy_backend as sb
+
+        monkeypatch.setattr(sb, "milp", lambda *a, **k: self._FakeRes(0))
+        with pytest.raises(SolverError, match="without a solution"):
+            solve_scipy(_small_int_model())
+
+    def test_milp_limit_without_vector_is_failed_not_optimal(self, monkeypatch):
+        import repro.ilp.scipy_backend as sb
+
+        monkeypatch.setattr(sb, "milp", lambda *a, **k: self._FakeRes(1))
+        res = solve_scipy(_small_int_model(), time_limit=0.001)
+        assert res.status is SolveStatus.TIME_LIMIT
+        assert not res.status.is_optimal
+        assert math.isnan(res.objective) and res.values == {}
+
+    def test_linprog_success_without_vector_raises(self, monkeypatch):
+        import repro.ilp.scipy_backend as sb
+
+        monkeypatch.setattr(sb, "linprog", lambda *a, **k: self._FakeRes(0))
+        m = Model()
+        x = m.add_var("x", ub=1)
+        m.minimize(1.0 * x)
+        with pytest.raises(SolverError, match="without a solution"):
+            solve_scipy_lp(m)
 
 
 class TestMvdcTrim:

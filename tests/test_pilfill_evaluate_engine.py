@@ -17,6 +17,7 @@ from repro.pilfill import (
 from repro.dissection import DensityMap, FixedDissection
 from repro.tech import DensityRules
 from tests.conftest import build_two_line_layout
+from tests.invariants import assert_fill_invariants
 
 
 class TestEvaluator:
@@ -145,6 +146,8 @@ class TestEngine:
         result = engine.run()
         assert result.total_features == sum(result.effective_budget.values())
         assert result.shortfall >= 0
+        assert result.clean
+        assert_fill_invariants(result, engine.prepared)
 
     def test_fill_is_drc_clean(self, small_generated_layout, fill_rules):
         engine = PILFillEngine(
@@ -179,6 +182,7 @@ class TestEngine:
         )
         result = engine.run(budget=base.requested_budget)
         assert result.effective_budget == base.effective_budget
+        assert_fill_invariants(result, engine.prepared)
 
     def test_method_ordering_on_small_case(self, small_generated_layout, fill_rules):
         """ILP-II must beat Normal; the DP oracle must match ILP-II's

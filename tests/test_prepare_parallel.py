@@ -156,7 +156,7 @@ class TestProcessBackend:
 
     def test_dispatch_backend_validated(self):
         with pytest.raises(FillError, match="backend"):
-            dispatch_tiles([(0, 0)], lambda key: None, workers=2, backend="mpi")
+            dispatch_tiles([(0, 0)], lambda key, attempt: None, workers=2, backend="mpi")
 
 
 class TestNormalSiteSampling:
@@ -203,7 +203,7 @@ class TestNormalSiteSampling:
         for order in (keys, list(reversed(keys))):
             outcomes = dispatch_tiles(
                 order,
-                lambda key: engine._solve_tile(
+                lambda key, attempt: engine._solve_tile(
                     costs_by_tile[key],
                     baseline.effective_budget[key],
                     tile_rng(cfg.seed, key),
@@ -282,7 +282,7 @@ class TestGuards:
 
     def test_dispatch_workers_validated(self):
         with pytest.raises(ValueError, match="workers"):
-            dispatch_tiles([], lambda key: None, workers=0)
+            dispatch_tiles([], lambda key, attempt: None, workers=0)
 
     def test_trim_to_underflow_raises(self):
         """A zero-count solution asked to shrink further must raise, not
