@@ -1,0 +1,46 @@
+"""Static analysis for the repo's determinism & concurrency contracts.
+
+PRs 1-3 established load-bearing invariants — bit-identical results
+across the serial/thread/process backends, per-tile seeded RNGs,
+picklable pool payloads, lock-guarded shared caches — that dynamic tests
+only catch when a test happens to exercise the violating path. This
+package checks them *statically*:
+
+* :mod:`repro.analysis.rules_determinism` — D101 (global RNG), D102
+  (wall clock), D103 (set-order iteration), D104 (float equality);
+* :mod:`repro.analysis.rules_concurrency` — C201 (module state in
+  worker-reachable modules), C202 (payload registry picklability),
+  C203/C204 (lock-guarded caches);
+* :mod:`repro.analysis.rules_typing` — T301 (strict-typing gate);
+* suppressions: ``# pilfill: allow[rule-id] -- justification`` (the
+  justification is mandatory — A001 flags blanket allows).
+
+Entry points: the ``pilfill lint`` CLI subcommand and
+``tests/test_analysis_selfcheck.py``, which fails the suite on any
+finding over ``src/repro``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding
+from repro.analysis.policy import DEFAULT_POLICY, LintPolicy
+from repro.analysis.registry import FileContext, Rule, all_rules, known_rule_ids
+from repro.analysis.report import findings_from_json, render_json, render_text
+from repro.analysis.runner import LintReport, collect_files, lint_paths, lint_source
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "FileContext",
+    "Finding",
+    "LintPolicy",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "findings_from_json",
+    "known_rule_ids",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]

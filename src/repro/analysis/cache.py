@@ -1,0 +1,94 @@
+"""Per-file result cache for the linter.
+
+Re-linting an unchanged tree costs one digest per file instead of a full
+AST pass. A cache entry is keyed by a digest of the file *content* plus
+the analysis context (linter version, rule ids, policy fingerprint, and
+the file's worker-reachability) — content hashing, not mtimes, so the
+cache is immune to clock skew and checkout timestamp churn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Bump to invalidate every cache entry when rule semantics change.
+LINT_VERSION = 1
+
+
+def context_digest(
+    rule_ids: tuple[str, ...], policy_fingerprint: str, worker_reachable: bool
+) -> str:
+    """Digest of everything besides file content that affects findings."""
+    payload = json.dumps(
+        {
+            "version": LINT_VERSION,
+            "rules": sorted(rule_ids),
+            "policy": policy_fingerprint,
+            "reachable": worker_reachable,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def entry_digest(source: str, ctx_digest: str) -> str:
+    """Cache key for one file's findings."""
+    h = hashlib.sha256()
+    h.update(source.encode("utf-8"))
+    h.update(ctx_digest.encode("utf-8"))
+    return h.hexdigest()
+
+
+class LintCache:
+    """JSON-file-backed map of path -> (digest, findings)."""
+
+    def __init__(self, path: Path | None):
+        self.path = path
+        self._entries: dict[str, dict[str, object]] = {}
+        self._dirty = False
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = {}
+            if isinstance(data, dict) and data.get("version") == LINT_VERSION:
+                entries = data.get("entries")
+                if isinstance(entries, dict):
+                    self._entries = entries
+
+    def get(self, path: str, digest: str) -> list[Finding] | None:
+        """Cached findings for ``path`` at ``digest``, else None."""
+        entry = self._entries.get(path)
+        if not isinstance(entry, dict) or entry.get("digest") != digest:
+            return None
+        raw = entry.get("findings")
+        if not isinstance(raw, list):
+            return None
+        try:
+            return [Finding.from_dict(item) for item in raw]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, path: str, digest: str, findings: list[Finding]) -> None:
+        """Record findings for ``path`` at ``digest``."""
+        self._entries[path] = {
+            "digest": digest,
+            "findings": [f.to_dict() for f in findings],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist to disk (no-op for the in-memory cache or when clean)."""
+        if self.path is None or not self._dirty:
+            return
+        payload = {"version": LINT_VERSION, "entries": self._entries}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+        except OSError:  # pragma: no cover - cache is best-effort
+            pass
+        self._dirty = False

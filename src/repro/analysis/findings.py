@@ -1,0 +1,49 @@
+"""Finding model shared by every analysis rule and reporter.
+
+A :class:`Finding` is one rule violation at one source location. Findings
+are plain, ordered, JSON-serializable values so the text reporter, the
+JSON reporter, the per-file cache, and the pytest self-check gate all
+speak the same currency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation.
+
+    Attributes:
+        path: file the finding is in (as given to the linter).
+        line: 1-based source line.
+        col: 0-based column offset.
+        rule_id: the violated rule (e.g. ``"D104"``).
+        message: human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready mapping (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(data: dict[str, object]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return Finding(
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[call-overload]
+            col=int(data["col"]),  # type: ignore[call-overload]
+            rule_id=str(data["rule_id"]),
+            message=str(data["message"]),
+        )
+
+    def format(self) -> str:
+        """``path:line:col: RULE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"

@@ -1,0 +1,106 @@
+"""Import graph over the source tree, for worker-reachability.
+
+The C-family rules need to know which modules run inside process-pool
+workers: everything transitively imported from the worker entry modules
+(``repro.pilfill.parallel``). Imports are collected from the AST —
+including function-local imports, which the solve path uses deliberately
+— so the reachable set matches what a worker process actually loads.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of ``path`` by walking up ``__init__.py``
+    packages; ``""`` when the file is not inside a package."""
+    path = path.resolve()
+    if not (path.parent / "__init__.py").exists():
+        return ""
+    parts = [path.stem] if path.stem != "__init__" else []
+    current = path.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        current = current.parent
+    return ".".join(reversed(parts))
+
+
+def _imports_of(tree: ast.Module, module: str, is_package: bool) -> set[str]:
+    """Dotted modules ``module`` imports (absolute and relative)."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                # Anchor package: the module itself when it is a package
+                # __init__, its parent otherwise; each extra level climbs
+                # one more package.
+                hops = module.split(".") if module else []
+                keep = len(hops) - node.level + (1 if is_package else 0)
+                prefix = ".".join(hops[: max(keep, 0)])
+                base = f"{prefix}.{node.module}" if node.module and prefix else (
+                    node.module or prefix
+                )
+            if base:
+                out.add(base)
+                # `from pkg import name` may import the submodule pkg.name.
+                for alias in node.names:
+                    out.add(f"{base}.{alias.name}")
+    return out
+
+
+class ModuleGraph:
+    """Import graph of every module under one source root."""
+
+    def __init__(self, root: Path):
+        self.root = root.resolve()
+        self._edges: dict[str, set[str]] = {}
+        self._paths: dict[str, Path] = {}
+        for file in sorted(self.root.rglob("*.py")):
+            module = module_name_for(file)
+            if not module:
+                continue
+            self._paths[module] = file
+            try:
+                tree = ast.parse(file.read_text(encoding="utf-8"))
+            except SyntaxError:
+                continue
+            self._edges[module] = _imports_of(
+                tree, module, is_package=file.name == "__init__.py"
+            )
+
+    def modules(self) -> tuple[str, ...]:
+        """Every module in the graph, sorted."""
+        return tuple(sorted(self._paths))
+
+    def reachable_from(self, entries: tuple[str, ...]) -> frozenset[str]:
+        """Modules transitively imported from ``entries`` (inclusive),
+        restricted to modules that exist under the root."""
+        seen: set[str] = set()
+        stack = [entry for entry in entries if entry in self._paths]
+        while stack:
+            module = stack.pop()
+            if module in seen:
+                continue
+            seen.add(module)
+            for target in sorted(self._edges.get(module, set())):
+                resolved = self._resolve(target)
+                if resolved is not None and resolved not in seen:
+                    stack.append(resolved)
+        return frozenset(seen)
+
+    def _resolve(self, dotted: str) -> str | None:
+        """Map an imported dotted name to a module in this graph (the
+        name itself, or its parent when the tail is a symbol)."""
+        if dotted in self._paths:
+            return dotted
+        parent = dotted.rpartition(".")[0]
+        if parent in self._paths:
+            return parent
+        return None

@@ -1,0 +1,126 @@
+"""Project policy consumed by the analysis rules.
+
+The rules themselves are generic AST walkers; everything repo-specific —
+which packages forbid float equality, which modules may read the wall
+clock, which classes cross the process-pool boundary — lives here so the
+fixture tests can swap in a custom policy and the rule catalog stays
+data-driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _default_payload_registry() -> tuple[str, ...]:
+    return (
+        # Shipped to pool workers (the request side of the boundary).
+        "repro.pilfill.parallel.TilePayload",
+        "repro.pilfill.parallel.PayloadColumnCosts",
+        "repro.pilfill.parallel.PayloadColumn",
+        "repro.pilfill.columns.ColumnNeighbor",
+        "repro.testing.faults.FaultSpec",
+        "repro.testing.faults.FaultRule",
+        # Returned from pool workers (the response side).
+        "repro.pilfill.parallel.TileOutcome",
+        "repro.pilfill.solution.TileSolution",
+        "repro.pilfill.robust.SolveReport",
+        "repro.pilfill.robust.RobustSolve",
+    )
+
+
+@dataclass(frozen=True)
+class LintPolicy:
+    """Repo-specific scopes and allowlists for the rule families.
+
+    Attributes:
+        float_eq_packages: dotted package prefixes where ``==`` / ``!=``
+            against floats is forbidden (D104).
+        wall_clock_allowlist: modules allowed to read the wall clock
+            (D102) — deadline enforcement and phase timing live here.
+        worker_entry_modules: roots of the worker-payload import graph;
+            every module transitively imported from these runs inside
+            pool workers, so C201 (module-level mutable state) applies.
+        payload_registry: dotted class names that cross the process-pool
+            pickle boundary; C202 requires each to be a dataclass with
+            picklable-by-construction field types.
+        picklable_type_names: type names C202 accepts in payload field
+            annotations, beyond the registry classes themselves.
+        strict_typing_packages: dotted package prefixes where every
+            function must be fully annotated (T301 — the local mirror of
+            mypy's ``disallow_untyped_defs`` gate).
+        rng_factory_names: callables D101 accepts as *seeded* RNG
+            constructors (their first positional argument is the seed).
+    """
+
+    float_eq_packages: tuple[str, ...] = ("repro.pilfill", "repro.ilp", "repro.cap")
+    wall_clock_allowlist: tuple[str, ...] = (
+        "repro.pilfill.engine",
+        "repro.pilfill.robust",
+        "repro.pilfill.parallel",
+        "repro.pilfill.prepare",
+        "repro.ilp.branchbound",
+        "repro.experiments.harness",
+    )
+    worker_entry_modules: tuple[str, ...] = ("repro.pilfill.parallel",)
+    payload_registry: tuple[str, ...] = field(default_factory=_default_payload_registry)
+    picklable_type_names: tuple[str, ...] = (
+        "int",
+        "float",
+        "str",
+        "bool",
+        "bytes",
+        "None",
+        "tuple",
+        "list",
+        "dict",
+        "set",
+        "frozenset",
+        "Optional",
+        "Union",
+        "TileKey",  # alias of tuple[int, int]
+    )
+    strict_typing_packages: tuple[str, ...] = (
+        "repro.pilfill",
+        "repro.cap",
+        "repro.ilp",
+        "repro.analysis",
+    )
+    rng_factory_names: tuple[str, ...] = ("Random", "SystemRandom", "default_rng", "SeedSequence")
+
+    def in_float_eq_scope(self, module: str) -> bool:
+        """Whether D104 applies to ``module``."""
+        return _in_packages(module, self.float_eq_packages)
+
+    def wall_clock_allowed(self, module: str) -> bool:
+        """Whether ``module`` may read the wall clock (D102)."""
+        return module in self.wall_clock_allowlist
+
+    def in_strict_typing_scope(self, module: str) -> bool:
+        """Whether T301 applies to ``module``."""
+        return _in_packages(module, self.strict_typing_packages)
+
+    def payload_classes_in(self, module: str) -> tuple[str, ...]:
+        """Registered payload class base names defined in ``module``."""
+        names = []
+        for dotted in self.payload_registry:
+            mod, _, cls = dotted.rpartition(".")
+            if mod == module:
+                names.append(cls)
+        return tuple(names)
+
+    def payload_base_names(self) -> frozenset[str]:
+        """Base names of every registered payload class."""
+        return frozenset(dotted.rpartition(".")[2] for dotted in self.payload_registry)
+
+    def fingerprint(self) -> str:
+        """Stable digest input for the per-file cache key."""
+        return repr(self)
+
+
+def _in_packages(module: str, packages: tuple[str, ...]) -> bool:
+    return any(module == pkg or module.startswith(pkg + ".") for pkg in packages)
+
+
+#: The policy `pilfill lint` uses unless a caller overrides it.
+DEFAULT_POLICY = LintPolicy()

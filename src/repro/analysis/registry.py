@@ -1,0 +1,98 @@
+"""Rule base class, registry, and the per-file analysis context.
+
+Rules self-register at import time via :func:`register`; the runner asks
+:func:`all_rules` for the catalog. Each rule sees a :class:`FileContext`
+— one parsed file plus everything repo-level the rule families need
+(module name, worker reachability, policy) — and yields findings.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+from repro.analysis.policy import DEFAULT_POLICY, LintPolicy
+from repro.errors import FillError
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about one file under analysis.
+
+    Attributes:
+        path: the path findings are reported under.
+        module: dotted module name (``""`` for non-package files, e.g.
+            fixture snippets — package-scoped rules then skip the file
+            unless the caller forces a module name).
+        source: raw file text.
+        tree: parsed AST of ``source``.
+        policy: the active :class:`LintPolicy`.
+        worker_reachable: True when the module is transitively imported
+            from the worker-payload entry modules (C201 scope).
+    """
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    policy: LintPolicy = field(default_factory=lambda: DEFAULT_POLICY)
+    worker_reachable: bool = False
+
+
+class Rule(abc.ABC):
+    """One analysis rule: an id, a one-line summary, and a check."""
+
+    #: Unique id, e.g. ``"D104"``. Families: D = determinism,
+    #: C = concurrency, T = typing, A = suppression hygiene.
+    rule_id: str = ""
+    #: One-line description shown by ``pilfill lint --rules``.
+    summary: str = ""
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> list[Finding]:
+        """Findings for one file (empty when clean)."""
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """A finding anchored at ``node``."""
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by instance) to the registry."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise FillError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule.rule_id in _RULES:
+        raise FillError(f"duplicate rule id {rule.rule_id!r}")
+    _RULES[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by id (import side effects load
+    the built-in rule modules)."""
+    _load_builtin_rules()
+    return tuple(_RULES[rule_id] for rule_id in sorted(_RULES))
+
+
+def known_rule_ids() -> frozenset[str]:
+    """The ids suppression comments may reference."""
+    _load_builtin_rules()
+    return frozenset(_RULES)
+
+
+def _load_builtin_rules() -> None:
+    # Imported lazily (not at module top) to avoid a registry/rules
+    # import cycle; idempotent because registration is keyed by id.
+    from repro.analysis import rules_concurrency, rules_determinism, rules_typing  # noqa: F401

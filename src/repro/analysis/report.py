@@ -1,0 +1,39 @@
+"""Text and JSON reporters over a finding list.
+
+The JSON form round-trips (:func:`findings_from_json` inverts
+:func:`render_json`) so CI artifacts and the fixture tests can consume
+linter output without scraping text.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding
+
+#: JSON schema version of the report payload.
+REPORT_VERSION = 1
+
+
+def render_text(findings: list[Finding], files_checked: int) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.format() for f in sorted(findings)]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun} in {files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: list[Finding], files_checked: int) -> str:
+    """Machine-readable report (see :func:`findings_from_json`)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "files_checked": files_checked,
+        "findings": [f.to_dict() for f in sorted(findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def findings_from_json(text: str) -> list[Finding]:
+    """Rebuild the finding list from :func:`render_json` output."""
+    payload = json.loads(text)
+    return [Finding.from_dict(item) for item in payload["findings"]]

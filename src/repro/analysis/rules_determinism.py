@@ -1,0 +1,353 @@
+"""D-family rules: the bit-identity contract, checked statically.
+
+Every rule here protects the PR-1/2 determinism contract — identical
+results for any worker count, backend, or tile completion order:
+
+* D101 — no global/unseeded RNG: per-tile seeded ``random.Random`` /
+  ``np.random.default_rng(seed)`` streams only.
+* D102 — no wall-clock reads outside the deadline/timing allowlist.
+* D103 — no iteration over set expressions (order is hash-dependent)
+  unless wrapped in ``sorted(...)``.
+* D104 — no float ``==`` / ``!=`` in the numeric packages.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+#: Legacy module-level numpy RNG functions (``np.random.<fn>``).
+_NP_GLOBAL_RNG_FNS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "exponential",
+        "beta",
+        "gamma",
+        "get_state",
+        "set_state",
+    }
+)
+
+#: ``random`` module attributes that are legitimate to reference (seeded
+#: RNG classes, not the hidden module-global stream).
+_RANDOM_MODULE_OK = frozenset({"Random", "SystemRandom"})
+
+#: Wall-clock reads: attribute name per module family.
+_TIME_FNS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+    }
+)
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+
+
+def _module_aliases(tree: ast.Module, target: str) -> set[str]:
+    """Names the file binds to module ``target`` (``import numpy as np``
+    puts ``np`` in the result for target ``numpy``)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == target:
+                    aliases.add(alias.asname or alias.name.split(".")[0])
+    return aliases
+
+
+def _from_imports(tree: ast.Module, module: str) -> dict[str, str]:
+    """``local name -> original name`` for ``from <module> import ...``."""
+    out: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                out[alias.asname or alias.name] = alias.name
+    return out
+
+
+@register
+class GlobalRngRule(Rule):
+    """D101: RNG use must go through an explicitly seeded generator."""
+
+    rule_id = "D101"
+    summary = (
+        "global or unseeded RNG (random.<fn>, np.random.<fn>, seedless "
+        "Random()/default_rng()) — derive a seeded per-tile generator instead"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        random_aliases = _module_aliases(ctx.tree, "random")
+        numpy_aliases = _module_aliases(ctx.tree, "numpy")
+        nprandom_aliases = _module_aliases(ctx.tree, "numpy.random")
+        random_fns = {
+            local
+            for local, orig in _from_imports(ctx.tree, "random").items()
+            if orig not in _RANDOM_MODULE_OK
+        }
+        np_fns = {
+            local
+            for local, orig in _from_imports(ctx.tree, "numpy.random").items()
+            if orig in _NP_GLOBAL_RNG_FNS
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in random_fns or func.id in np_fns:
+                    findings.append(
+                        self.finding(
+                            ctx, node, f"call of global RNG function {func.id!r}"
+                        )
+                    )
+                elif func.id == "default_rng" and not (node.args or node.keywords):
+                    findings.append(
+                        self.finding(ctx, node, "default_rng() without an explicit seed")
+                    )
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            base = func.value
+            # random.<fn>(...) on the stdlib module.
+            if isinstance(base, ast.Name) and base.id in random_aliases:
+                if func.attr in _RANDOM_MODULE_OK:
+                    if func.attr == "Random" and not (node.args or node.keywords):
+                        findings.append(
+                            self.finding(
+                                ctx, node, "random.Random() without an explicit seed"
+                            )
+                        )
+                else:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"call of module-global RNG 'random.{func.attr}'",
+                        )
+                    )
+                continue
+            # np.random.<fn>(...) / numpy.random aliased imports.
+            is_np_random = (
+                isinstance(base, ast.Attribute)
+                and base.attr == "random"
+                and isinstance(base.value, ast.Name)
+                and base.value.id in numpy_aliases
+            ) or (isinstance(base, ast.Name) and base.id in nprandom_aliases)
+            if is_np_random:
+                if func.attr in _NP_GLOBAL_RNG_FNS:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"call of legacy global numpy RNG 'np.random.{func.attr}'",
+                        )
+                    )
+                elif func.attr == "default_rng" and not (node.args or node.keywords):
+                    findings.append(
+                        self.finding(
+                            ctx, node, "np.random.default_rng() without an explicit seed"
+                        )
+                    )
+        return findings
+
+
+@register
+class WallClockRule(Rule):
+    """D102: wall-clock reads only in the deadline/timing allowlist."""
+
+    rule_id = "D102"
+    summary = (
+        "wall-clock read (time.time/perf_counter/monotonic, datetime.now) "
+        "outside the timing allowlist — results must not depend on when they run"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if ctx.policy.wall_clock_allowed(ctx.module):
+            return []
+        findings: list[Finding] = []
+        time_aliases = _module_aliases(ctx.tree, "time")
+        datetime_aliases = _module_aliases(ctx.tree, "datetime") | set(
+            _from_imports(ctx.tree, "datetime")
+        )
+        time_fns = {
+            local
+            for local, orig in _from_imports(ctx.tree, "time").items()
+            if orig in _TIME_FNS
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and node.id in time_fns:
+                if isinstance(node.ctx, ast.Load):
+                    findings.append(
+                        self.finding(ctx, node, f"wall-clock read {node.id!r}")
+                    )
+                continue
+            if not isinstance(node, ast.Attribute):
+                continue
+            base = node.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in time_aliases
+                and node.attr in _TIME_FNS
+            ):
+                findings.append(
+                    self.finding(ctx, node, f"wall-clock read 'time.{node.attr}'")
+                )
+                continue
+            if node.attr not in _DATETIME_FNS:
+                continue
+            root = base
+            while isinstance(root, ast.Attribute):
+                root = root.value
+            if isinstance(root, ast.Name) and root.id in datetime_aliases:
+                findings.append(
+                    self.finding(ctx, node, f"wall-clock read 'datetime...{node.attr}'")
+                )
+        return findings
+
+
+def _is_keys_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Expressions that definitely evaluate to a hash-ordered set (or a
+    set-algebra combination of dict key views)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return _is_set_expr(node.func.value) or _is_keys_call(node.func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        for side in (node.left, node.right):
+            if _is_set_expr(side) or _is_keys_call(side):
+                return True
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """D103: never iterate a set expression directly — sort it first."""
+
+    rule_id = "D103"
+    summary = (
+        "iteration over a set expression (set(...), key-view algebra) — "
+        "hash order leaks into results; wrap in sorted(...)"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            it,
+                            "iteration over a set expression; wrap in sorted(...) "
+                            "so numeric accumulation / output order is stable",
+                        )
+                    )
+        return findings
+
+
+def _is_floatish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """D104: no float ``==`` / ``!=`` in the numeric packages."""
+
+    rule_id = "D104"
+    summary = (
+        "float == / != in a numeric package — use a tolerance (math.isclose) "
+        "or justify an exact-representation test"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if not ctx.policy.in_float_eq_scope(ctx.module):
+            return []
+        findings: list[Finding] = []
+        # The LP modeling DSL overloads == to *build constraints*; those
+        # comparisons are not float equality, so subtrees passed to
+        # add_constraint(...) are exempt.
+        skip: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_constraint"
+            ):
+                for arg in node.args:
+                    for sub in ast.walk(arg):
+                        skip.add(id(sub))
+        for node in ast.walk(ctx.tree):
+            if id(node) in skip or not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            if any(_is_floatish(cmp) for cmp in [node.left, *node.comparators]):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        "exact float comparison; use a tolerance or justify "
+                        "an exact-representation test",
+                    )
+                )
+        return findings

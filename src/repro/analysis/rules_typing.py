@@ -1,0 +1,60 @@
+"""T-family rule: the strict-typing gate, mirrored locally.
+
+CI runs ``mypy --strict``-grade checking (``disallow_untyped_defs``) on
+the packages named in the policy; T301 is the in-repo mirror of that
+gate, so ``pilfill lint`` and the pytest self-check catch an unannotated
+def without needing mypy installed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import FileContext, Rule, register
+
+
+def _missing_annotations(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    missing: list[str] = []
+    if node.returns is None and node.name != "__init__":
+        missing.append("return")
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg in ("self", "cls"):
+            continue
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    return missing
+
+
+@register
+class UntypedDefRule(Rule):
+    """T301: every def in a strict package is fully annotated."""
+
+    rule_id = "T301"
+    summary = (
+        "function in a strict-typing package missing parameter or return "
+        "annotations (local mirror of mypy disallow_untyped_defs)"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        if not ctx.policy.in_strict_typing_scope(ctx.module):
+            return []
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            missing = _missing_annotations(node)
+            if missing:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"def {node.name} missing annotations: {', '.join(missing)}",
+                    )
+                )
+        return findings

@@ -1,0 +1,158 @@
+"""Lint driver: collect files, run rules, apply suppressions, cache.
+
+:func:`lint_paths` is what the CLI subcommand and the pytest self-check
+gate call; :func:`lint_source` is the fixture-test entry point (analyze
+a snippet under a forced module name / reachability, no filesystem).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.cache import LintCache, context_digest, entry_digest
+from repro.analysis.findings import Finding
+from repro.analysis.modgraph import ModuleGraph, module_name_for
+from repro.analysis.policy import DEFAULT_POLICY, LintPolicy
+from repro.analysis.registry import FileContext, all_rules, known_rule_ids
+from repro.analysis.suppress import apply_suppressions, parse_suppressions
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    cache_hits: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def collect_files(paths: list[str]) -> list[Path]:
+    """The .py files named by ``paths`` (directories recurse), sorted."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def _check_tree(ctx: FileContext) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in all_rules():
+        findings.extend(rule.check(ctx))
+    return apply_suppressions(
+        ctx.path, findings, parse_suppressions(ctx.source), known_rule_ids()
+    )
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str = "",
+    policy: LintPolicy | None = None,
+    worker_reachable: bool = False,
+) -> list[Finding]:
+    """Lint a source snippet (fixture tests force module/reachability)."""
+    policy = policy if policy is not None else DEFAULT_POLICY
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule_id="E000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        path=path,
+        module=module,
+        source=source,
+        tree=tree,
+        policy=policy,
+        worker_reachable=worker_reachable,
+    )
+    return _check_tree(ctx)
+
+
+def _graph_root(files: list[Path]) -> Path | None:
+    """Topmost package directory containing the first package file —
+    the root the worker-reachability graph is built over."""
+    for file in files:
+        if module_name_for(file):
+            current = file.parent
+            while (current.parent / "__init__.py").exists():
+                current = current.parent
+            return current.parent
+    return None
+
+
+def lint_paths(
+    paths: list[str],
+    policy: LintPolicy | None = None,
+    cache_path: Path | None = None,
+) -> LintReport:
+    """Lint every file under ``paths`` with the full rule catalog.
+
+    ``cache_path`` enables the per-file result cache (content-digest
+    keyed; safe to commit to CI cache storage).
+    """
+    policy = policy if policy is not None else DEFAULT_POLICY
+    files = collect_files(paths)
+    report = LintReport(files_checked=len(files))
+
+    reachable: frozenset[str] = frozenset()
+    root = _graph_root(files)
+    if root is not None:
+        graph = ModuleGraph(root)
+        reachable = graph.reachable_from(policy.worker_entry_modules)
+
+    rule_ids = tuple(rule.rule_id for rule in all_rules())
+    cache = LintCache(cache_path)
+    for file in files:
+        module = module_name_for(file)
+        worker_reachable = module in reachable
+        ctx_digest = context_digest(
+            rule_ids, policy.fingerprint(), worker_reachable
+        )
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.findings.append(
+                Finding(
+                    path=str(file),
+                    line=1,
+                    col=0,
+                    rule_id="E000",
+                    message=f"cannot read file: {exc}",
+                )
+            )
+            continue
+        digest = entry_digest(source, ctx_digest)
+        cached = cache.get(str(file), digest)
+        if cached is not None:
+            report.cache_hits += 1
+            report.findings.extend(cached)
+            continue
+        findings = lint_source(
+            source,
+            path=str(file),
+            module=module,
+            policy=policy,
+            worker_reachable=worker_reachable,
+        )
+        cache.put(str(file), digest, findings)
+        report.findings.extend(findings)
+    cache.save()
+    report.findings.sort()
+    return report

@@ -1,0 +1,116 @@
+"""``# pilfill: allow[rule-id]`` suppression comments.
+
+A finding is suppressed when its line carries an allow comment naming
+its rule id::
+
+    if coeff == 0.0:  # pilfill: allow[D104] -- exact-zero sparsity test
+
+The justification after ``--`` is mandatory: an allow comment without
+one is itself a finding (A001), so the self-check gate guarantees every
+suppression in the tree says *why* the rule does not apply. Unknown rule
+ids are findings too (A002) — a typo must not silently disable nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+_ALLOW_RE = re.compile(
+    r"#\s*pilfill:\s*allow\[(?P<ids>[^\]]*)\]\s*(?:--\s*(?P<why>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One allow comment.
+
+    Attributes:
+        line: 1-based line the comment sits on (suppresses findings
+            reported on that line).
+        rule_ids: the rule ids it names.
+        justification: text after ``--`` (empty = blanket, flagged A001).
+    """
+
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+
+    def covers(self, rule_id: str, line: int) -> bool:
+        """Whether this comment suppresses ``rule_id`` at ``line``."""
+        return line == self.line and rule_id in self.rule_ids
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Every allow comment in ``source``, in line order."""
+    out: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - defensive
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _ALLOW_RE.search(tok.string)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        out.append(
+            Suppression(
+                line=tok.start[0],
+                rule_ids=ids,
+                justification=(match.group("why") or "").strip(),
+            )
+        )
+    return out
+
+
+def apply_suppressions(
+    path: str,
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    known_rule_ids: frozenset[str],
+) -> list[Finding]:
+    """Drop suppressed findings; add A001/A002 hygiene findings.
+
+    A001 fires on an allow comment with no ``--`` justification, A002 on
+    an allow naming an unknown rule id. Hygiene findings cannot be
+    suppressed (an allow comment must not excuse itself).
+    """
+    kept = [
+        f
+        for f in findings
+        if not any(s.covers(f.rule_id, f.line) for s in suppressions)
+    ]
+    for sup in suppressions:
+        if not sup.justification:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    rule_id="A001",
+                    message=(
+                        "blanket suppression: add a justification, e.g. "
+                        "`# pilfill: allow[...] -- why the rule does not apply`"
+                    ),
+                )
+            )
+        unknown = sorted(set(sup.rule_ids) - known_rule_ids)
+        for rule_id in unknown:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    rule_id="A002",
+                    message=f"allow names unknown rule id {rule_id!r}",
+                )
+            )
+    return sorted(kept)

@@ -116,7 +116,14 @@ def grounded_column_table(
     )
 
 
-def _check(eps_r, thickness_um, spacing_um, m, fill_width_um, fill_gap_um) -> None:
+def _check(
+    eps_r: float,
+    thickness_um: float,
+    spacing_um: float,
+    m: int,
+    fill_width_um: float,
+    fill_gap_um: float,
+) -> None:
     if eps_r <= 0 or thickness_um <= 0:
         raise FillError("eps_r and thickness must be positive")
     if spacing_um <= 0:

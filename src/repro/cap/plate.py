@@ -41,7 +41,7 @@ def series_caps(*caps: float) -> float:
     for c in caps:
         if c < 0:
             raise FillError(f"capacitance must be non-negative, got {c}")
-        if c == 0.0:
+        if c == 0.0:  # pilfill: allow[D104] -- exact-zero sentinel: 0.0 means open circuit, not a computed small value
             return 0.0
         total += 1.0 / c
     return 1.0 / total

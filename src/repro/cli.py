@@ -132,6 +132,20 @@ def _cmd_fill(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import lint_paths, render_json, render_text
+
+    cache_path = None if args.no_cache else Path(args.cache)
+    report = lint_paths(args.paths, cache_path=cache_path)
+    if args.format == "json":
+        print(render_json(report.findings, report.files_checked))
+    else:
+        print(render_text(report.findings, report.files_checked))
+    return 0 if report.clean else 1
+
+
 def _quickstart_inline(_args: argparse.Namespace) -> int:
     layout = make_t1()
     fill_rules = default_fill_rules(layout.stack)
@@ -203,6 +217,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="; ".join(f"{k}: {v}" for k, v in sorted(STUDIES.items())))
     p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
 
+    p = sub.add_parser(
+        "lint",
+        help="determinism/concurrency/typing lint over the source tree",
+    )
+    p.add_argument("paths", nargs="*", default=["src/repro"],
+                   help="files or directories to lint (default: src/repro)")
+    p.add_argument("--format", default="text", choices=("text", "json"),
+                   help="report format (json round-trips; used by CI)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-hash result cache")
+    p.add_argument("--cache", default=".pilfill-lint-cache.json",
+                   help="cache file path (content-digest keyed)")
+
     p = sub.add_parser("report", help="full markdown reproduction report")
     p.add_argument("-o", "--out", default="REPORT.md")
     p.add_argument("--quick", action="store_true", help="single-config tables")
@@ -222,6 +249,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fill(args)
     if args.command == "quickstart":
         return _quickstart_inline(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "ablation":
         needs_layout = args.name in ("columns", "margin", "fillsize")
         layout = _layout_for(args.testcase) if needs_layout else None

@@ -141,7 +141,7 @@ def compare_results(
             report.mismatches.append(
                 f"{key}: features golden={g.features} fresh={f.features}"
             )
-    for key in fresh_by_key.keys() - golden_by_key.keys():
+    for key in sorted(fresh_by_key.keys() - golden_by_key.keys()):
         report.mismatches.append(f"{key}: unexpected extra row")
 
     report.shape_failures = check_shape(fresh, weighted)

@@ -141,7 +141,7 @@ def hybrid_budget(
         topped, leftover, rules,
         target_density=target_density, max_density=max_density, seed=seed,
     )
-    return {key: lp.get(key, 0) + mc.get(key, 0) for key in set(lp) | set(mc)}
+    return {key: lp.get(key, 0) + mc.get(key, 0) for key in sorted(set(lp) | set(mc))}
 
 
 def montecarlo_budget(

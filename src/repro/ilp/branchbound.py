@@ -43,7 +43,9 @@ class _Node:
     ub: np.ndarray
 
 
-def _solve_relaxation(compiled: CompiledModel, lb: np.ndarray, ub: np.ndarray):
+def _solve_relaxation(
+    compiled: CompiledModel, lb: np.ndarray, ub: np.ndarray
+) -> tuple[LPResult | _ShiftedLP | None, int]:
     """LP relaxation with per-node bounds: shift lb to 0, add ub rows."""
     if np.any(np.isneginf(lb)):
         raise SolverError(

@@ -11,6 +11,7 @@ backend (:mod:`repro.ilp.scipy_backend`).
 from __future__ import annotations
 
 import enum
+import itertools
 import math
 from dataclasses import dataclass
 
@@ -41,34 +42,34 @@ class Variable:
     lb: float
     ub: float
 
-    def __add__(self, other):
+    def __add__(self, other: LinExpr | Variable | float) -> LinExpr:
         return LinExpr.from_term(self) + other
 
-    def __radd__(self, other):
+    def __radd__(self, other: LinExpr | Variable | float) -> LinExpr:
         return LinExpr.from_term(self) + other
 
-    def __sub__(self, other):
+    def __sub__(self, other: LinExpr | Variable | float) -> LinExpr:
         return LinExpr.from_term(self) - other
 
-    def __rsub__(self, other):
+    def __rsub__(self, other: LinExpr | Variable | float) -> LinExpr:
         return (-1.0 * self) + other
 
-    def __mul__(self, coeff: float):
+    def __mul__(self, coeff: float) -> LinExpr:
         return LinExpr({self.index: float(coeff)}, 0.0, self.model_id)
 
-    def __rmul__(self, coeff: float):
+    def __rmul__(self, coeff: float) -> LinExpr:
         return self.__mul__(coeff)
 
-    def __neg__(self):
+    def __neg__(self) -> LinExpr:
         return self * -1.0
 
-    def __le__(self, other):
+    def __le__(self, other: LinExpr | Variable | float) -> Constraint:
         return LinExpr.from_term(self).__le__(other)
 
-    def __ge__(self, other):
+    def __ge__(self, other: LinExpr | Variable | float) -> Constraint:
         return LinExpr.from_term(self).__ge__(other)
 
-    def __eq__(self, other):  # type: ignore[override]
+    def __eq__(self, other: object) -> object:  # type: ignore[override]
         if isinstance(other, (int, float, Variable, LinExpr)):
             return LinExpr.from_term(self) == other
         return NotImplemented
@@ -108,7 +109,7 @@ class LinExpr:
             return self.model_id
         raise SolverError("cannot mix variables from different models")
 
-    def _coerce(self, other) -> "LinExpr":
+    def _coerce(self, other: LinExpr | Variable | float) -> "LinExpr":
         if isinstance(other, LinExpr):
             return other
         if isinstance(other, Variable):
@@ -117,20 +118,20 @@ class LinExpr:
             return LinExpr.constant(float(other))
         raise TypeError(f"cannot combine LinExpr with {type(other).__name__}")
 
-    def __add__(self, other) -> "LinExpr":
+    def __add__(self, other: LinExpr | Variable | float) -> "LinExpr":
         rhs = self._coerce(other)
         coeffs = dict(self.coeffs)
         for idx, c in rhs.coeffs.items():
             coeffs[idx] = coeffs.get(idx, 0.0) + c
         return LinExpr(coeffs, self.const + rhs.const, self._merge_model(rhs.model_id))
 
-    def __radd__(self, other) -> "LinExpr":
+    def __radd__(self, other: LinExpr | Variable | float) -> "LinExpr":
         return self.__add__(other)
 
-    def __sub__(self, other) -> "LinExpr":
+    def __sub__(self, other: LinExpr | Variable | float) -> "LinExpr":
         return self.__add__(self._coerce(other) * -1.0)
 
-    def __rsub__(self, other) -> "LinExpr":
+    def __rsub__(self, other: LinExpr | Variable | float) -> "LinExpr":
         return (self * -1.0).__add__(other)
 
     def __mul__(self, coeff: float) -> "LinExpr":
@@ -146,15 +147,15 @@ class LinExpr:
     def __neg__(self) -> "LinExpr":
         return self * -1.0
 
-    def __le__(self, other) -> "Constraint":
+    def __le__(self, other: LinExpr | Variable | float) -> "Constraint":
         rhs = self._coerce(other)
         return Constraint(self - rhs, Sense.LE)
 
-    def __ge__(self, other) -> "Constraint":
+    def __ge__(self, other: LinExpr | Variable | float) -> "Constraint":
         rhs = self._coerce(other)
         return Constraint(self - rhs, Sense.GE)
 
-    def __eq__(self, other):  # type: ignore[override]
+    def __eq__(self, other: object) -> object:  # type: ignore[override]
         if isinstance(other, (int, float, Variable, LinExpr)):
             rhs = self._coerce(other)
             return Constraint(self - rhs, Sense.EQ)
@@ -206,16 +207,19 @@ class Model:
         m.minimize(3 * x + 2 * y)
     """
 
-    _next_id = 0
+    # itertools.count: next() is atomic under the GIL, so models built
+    # concurrently (thread-backend tile solves) still get distinct ids —
+    # a bare `Model._next_id += 1` is a read-modify-write race.
+    _ids = itertools.count(1)
 
-    def __init__(self, name: str = "model"):
+    def __init__(self, name: str = "model") -> None:
         self.name = name
         self.variables: list[Variable] = []
         self.constraints: list[Constraint] = []
         self.objective: LinExpr | None = None
-        Model._next_id += 1
-        self._id = Model._next_id
+        self._id = next(Model._ids)
         self._names: set[str] = set()
+        self._maximized = False
 
     def add_var(
         self,
@@ -272,7 +276,7 @@ class Model:
     @property
     def is_maximization(self) -> bool:
         """True when :meth:`maximize` set the objective."""
-        return getattr(self, "_maximized", False)
+        return self._maximized
 
     # -- compilation ---------------------------------------------------------
 

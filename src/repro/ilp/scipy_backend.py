@@ -7,6 +7,7 @@ independent cross-check of the bundled branch-and-bound solver in tests.
 from __future__ import annotations
 
 import math
+from types import MappingProxyType
 
 import numpy as np
 from scipy.optimize import LinearConstraint, milp
@@ -20,12 +21,14 @@ from repro.ilp.result import SolveResult, SolveStatus
 # we disambiguate in :func:`_classify` using whether a time limit was set
 # (HiGHS does not tell us which one fired, but we never set an iteration
 # limit, so with a deadline configured code 1 can only be the clock).
-_SCIPY_STATUS = {
-    0: SolveStatus.OPTIMAL,
-    2: SolveStatus.INFEASIBLE,
-    3: SolveStatus.UNBOUNDED,
-    4: SolveStatus.NUMERICAL,
-}
+_SCIPY_STATUS = MappingProxyType(
+    {
+        0: SolveStatus.OPTIMAL,
+        2: SolveStatus.INFEASIBLE,
+        3: SolveStatus.UNBOUNDED,
+        4: SolveStatus.NUMERICAL,
+    }
+)
 
 
 def _classify(raw_status: int, time_limited: bool) -> SolveStatus:

@@ -107,7 +107,7 @@ def solve_lp(
         z = cost.copy().astype(np.float64)
         for i in range(m):
             cb = cost[basis[i]]
-            if cb != 0.0:
+            if cb != 0.0:  # pilfill: allow[D104] -- exact-zero sparsity skip; any nonzero (even tiny) must contribute to the reduced-cost row
                 z -= cb * tableau[i, :ncols]
         obj = 0.0
         for i in range(m):

@@ -94,14 +94,14 @@ def solve_tile_budgeted_ilp(
             m_k == sum((selectors[n] * float(n) for n in range(cc.capacity + 1)), start=0.0)
         )
         for n in range(1, cc.capacity + 1):
-            if cc.exact[n] != 0.0:
+            if cc.exact[n] != 0.0:  # pilfill: allow[D104] -- exact-zero sparsity test: no-impact entries are literal 0.0, not computed
                 objective_terms.append(selectors[n] * cc.exact[n])
         if cc.column.has_impact:
             for neighbor in (cc.column.below, cc.column.above):
                 if neighbor is None or neighbor.net not in net_budgets_ff:
                     continue
                 for n in range(1, cc.capacity + 1):
-                    if caps[n] != 0.0:
+                    if caps[n] != 0.0:  # pilfill: allow[D104] -- exact-zero sparsity test: uncoupled columns tabulate literal 0.0
                         net_terms[neighbor.net].append(selectors[n] * caps[n])
 
     model.add_constraint(sum((m * 1.0 for m in m_vars), start=0.0) == float(budget))
@@ -180,7 +180,11 @@ def solve_tile_budgeted_greedy(
     return BudgetedOutcome(solution, used, placed == budget)
 
 
-def _cap_used(costs, cap_tables, counts) -> dict[str, float]:
+def _cap_used(
+    costs: list[ColumnCosts],
+    cap_tables: list[tuple[float, ...]],
+    counts: list[int],
+) -> dict[str, float]:
     used: dict[str, float] = defaultdict(float)
     for cc, caps, n in zip(costs, cap_tables, counts):
         if n == 0 or not cc.column.has_impact:

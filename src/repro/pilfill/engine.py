@@ -50,6 +50,7 @@ from repro.pilfill.methods import solve_tile_method, trim_to
 from repro.pilfill.mvdc import derive_tile_delay_budgets, solve_tile_mvdc
 from repro.pilfill.parallel import (
     PARALLEL_BACKENDS,
+    TileOutcome,
     dispatch_tile_payloads,
     dispatch_tiles,
     make_tile_payload,
@@ -57,6 +58,7 @@ from repro.pilfill.parallel import (
 )
 from repro.pilfill.prepare import PreparedInstance, prepare
 from repro.pilfill.robust import (
+    RobustSolve,
     SolveReport,
     effective_time_limit,
     failed_report,
@@ -342,7 +344,7 @@ class PILFillEngine:
             )
         else:
             if cfg.fallback:
-                def solve_one(key: tuple[int, int], attempt: int):
+                def solve_one(key: tuple[int, int], attempt: int) -> RobustSolve:
                     return solve_tile_robust(
                         costs_by_tile[key],
                         cfg.method,
@@ -382,7 +384,13 @@ class PILFillEngine:
             return None
         return time.time() + self.config.run_deadline_s
 
-    def _merge_outcome(self, result: FillResult, key, outcome, costs) -> None:
+    def _merge_outcome(
+        self,
+        result: FillResult,
+        key: tuple[int, int],
+        outcome: TileOutcome,
+        costs: list[ColumnCosts],
+    ) -> None:
         """Fold one tile's outcome into the result: place its features,
         record timings and the solve report, and turn a failed tile into
         an explicit empty solution (zero features) rather than a crash."""
@@ -588,7 +596,7 @@ class PILFillEngine:
         return result
 
     @staticmethod
-    def _trim_to(costs, solution: TileSolution, want: int) -> TileSolution:
+    def _trim_to(costs: list[ColumnCosts], solution: TileSolution, want: int) -> TileSolution:
         """Drop the most expensive granted features until only ``want``
         remain (see :func:`repro.pilfill.methods.trim_to`)."""
         return trim_to(costs, solution, want)
@@ -600,7 +608,7 @@ class PILFillEngine:
 
     def _solve_tile(
         self,
-        costs,
+        costs: list[ColumnCosts],
         effective: int,
         rng: random.Random,
         time_limit: float | None = None,

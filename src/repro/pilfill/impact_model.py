@@ -18,6 +18,7 @@ capacitance through the same array kernels as the batch evaluator.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,7 +29,7 @@ from repro.geometry import GridBinIndex, Rect
 from repro.layout.layout import FillFeature, RoutedLayout
 from repro.layout.rctree import OHM_FF_TO_PS
 from repro.pilfill.evaluate import _COLUMN_KEY_STRIDE, ImpactReport, column_delta_caps
-from repro.pilfill.scanline import layer_sweep_lines, sweep_gap_blocks
+from repro.pilfill.scanline import GapBlock, layer_sweep_lines, sweep_gap_blocks
 from repro.tech.rules import FillRules
 
 
@@ -63,9 +64,13 @@ class ImpactModel:
         # frozen/hashable — memoizing by rect makes repeated what-if
         # scoring (and marginal_cost_ps over a growing placement) pay
         # the spatial query once per site instead of once per call.
+        # The thread backend shares one model across tiles, so writes
+        # go through the lock (reads stay lock-free: entries are
+        # immutable and never invalidated).
+        self._lock = threading.Lock()
         self._locate_cache: dict[Rect, _ColumnState] = {}
 
-    def _block_rect(self, block) -> Rect:
+    def _block_rect(self, block: GapBlock) -> Rect:
         if self._horizontal:
             return Rect(block.along.lo, block.cross_lo, block.along.hi, block.cross_hi)
         return Rect(block.cross_lo, block.along.lo, block.cross_hi, block.along.hi)
@@ -86,13 +91,14 @@ class ImpactModel:
             cross_c = center.y if self._horizontal else center.x
             if block.along.contains(along_c) and block.cross_lo <= cross_c < block.cross_hi:
                 state = _ColumnState(block_id=i, col=along_c // self.rules.pitch)
-                self._locate_cache[feature.rect] = state
+                with self._lock:
+                    self._locate_cache[feature.rect] = state
                 return state
         raise FillError(f"fill feature at {feature.rect} lies on active geometry")
 
     def _column_delay(
         self, block_id: int, feats: list[FillFeature]
-    ) -> tuple[float, float, dict, dict]:
+    ) -> tuple[float, float, dict[str, float], dict[str, float]]:
         """(unweighted, weighted, per-net unweighted, per-net weighted)
         for one column group."""
         block = self._blocks[block_id]

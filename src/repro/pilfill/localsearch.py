@@ -50,7 +50,13 @@ class _Group:
 
     __slots__ = ("key", "coeff", "gap_um", "fill_w_um", "free_by_tile", "members")
 
-    def __init__(self, key, coeff, gap_um, fill_w_um):
+    def __init__(
+        self,
+        key: tuple[int, int],
+        coeff: float,
+        gap_um: float | None,
+        fill_w_um: float,
+    ) -> None:
         self.key = key
         self.coeff = coeff          # Σ sinks·R(center) · ε_r · t · 1e-3
         self.gap_um = gap_um        # None => impact-free group

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 
 from repro.errors import FillError
+from repro.pilfill.costlike import TileCosts
 from repro.pilfill.dp import allocate_dp, allocation_cost
 from repro.pilfill.greedy import solve_tile_greedy, solve_tile_greedy_marginal
 from repro.pilfill.ilp1 import solve_tile_ilp1
@@ -25,7 +26,7 @@ from repro.pilfill.ilp2 import solve_tile_ilp2
 from repro.pilfill.solution import TileSolution
 
 
-def solve_tile_normal(costs, budget: int, rng: random.Random) -> TileSolution:
+def solve_tile_normal(costs: TileCosts, budget: int, rng: random.Random) -> TileSolution:
     """The Normal baseline: timing-oblivious random spread over the tile's
     column sites (same site universe as the other methods so density
     control quality is identical — paper Section 6). The sampled site
@@ -47,7 +48,7 @@ def solve_tile_normal(costs, budget: int, rng: random.Random) -> TileSolution:
 
 
 def solve_tile_method(
-    costs,
+    costs: TileCosts,
     method: str,
     budget: int,
     weighted: bool,
@@ -78,7 +79,7 @@ def solve_tile_method(
     raise FillError(f"unknown method {method!r}")
 
 
-def trim_to(costs, solution: TileSolution, want: int) -> TileSolution:
+def trim_to(costs: TileCosts, solution: TileSolution, want: int) -> TileSolution:
     """Drop the most expensive granted features until only ``want``
     remain (marginals are convex, so trimming from the top is optimal)."""
     counts = list(solution.counts)

@@ -43,6 +43,7 @@ from typing import Callable, Sequence, TypeVar
 
 from repro.errors import FillError, SolveTimeoutError
 from repro.pilfill.columns import ColumnNeighbor
+from repro.pilfill.costlike import TileCosts
 from repro.pilfill.methods import solve_tile_method, trim_to
 from repro.pilfill.robust import RobustSolve, SolveReport, solve_tile_robust
 from repro.testing.faults import FaultSpec
@@ -78,7 +79,7 @@ class TileOutcome:
     """
 
     key: TileKey
-    value: object
+    value: object  # pilfill: allow[C202] -- generic slot for dispatch_tiles results; payload path only ever stores TileSolution | None
     seconds: float
     report: SolveReport | None = None
     error: str | None = None
@@ -155,7 +156,7 @@ class TilePayload:
 
 def make_tile_payload(
     key: TileKey,
-    costs: Sequence,
+    costs: TileCosts,
     budget: int,
     *,
     method: str,

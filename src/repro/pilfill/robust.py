@@ -31,8 +31,10 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.errors import SolveTimeoutError, WorkerDeathError
+from repro.pilfill.costlike import TileCosts
 from repro.pilfill.solution import TileSolution
 from repro.testing import faults as fault_hooks
 from repro.testing.faults import FaultSpec
@@ -41,11 +43,15 @@ TileKey = tuple[int, int]
 
 #: Degradation order per requested method. Greedy is the terminal rung:
 #: deterministic, near-instant, and never invokes an ILP backend.
-_CHAINS = {
-    "ilp2": ("ilp2", "ilp1", "greedy"),
-    "ilp1": ("ilp1", "greedy"),
-    "greedy": ("greedy",),
-}
+#: Immutable: this module runs inside pool workers, so module state must
+#: not be writable (C201).
+_CHAINS: MappingProxyType[str, tuple[str, ...]] = MappingProxyType(
+    {
+        "ilp2": ("ilp2", "ilp1", "greedy"),
+        "ilp1": ("ilp1", "greedy"),
+        "greedy": ("greedy",),
+    }
+)
 
 
 def fallback_chain(method: str) -> tuple[str, ...]:
@@ -124,7 +130,7 @@ def effective_time_limit(
 
 
 def solve_tile_robust(
-    costs,
+    costs: TileCosts,
     method: str,
     budget: int,
     weighted: bool,

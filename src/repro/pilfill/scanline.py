@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.fillsynth.slack_sites import SiteLegality
 from repro.dissection.fixed import FixedDissection
 from repro.geometry import Interval, Rect
+from repro.geometry.grid import SiteGrid
 from repro.layout.layout import RoutedLayout
 from repro.layout.rctree import LineTiming
 from repro.pilfill.columns import ColumnNeighbor, SlackColumn, SlackColumnDef
@@ -296,7 +297,7 @@ def _grid_block(
 
 
 def _column_sites(
-    grid,
+    grid: SiteGrid,
     col: int,
     axes: _Axes,
     cross_lo: int,

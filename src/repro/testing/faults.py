@@ -146,7 +146,7 @@ def activate(spec: FaultSpec) -> Iterator[FaultSpec]:
     do not see this global; ship the spec through ``EngineConfig.fault_spec``
     (and thus the tile payloads) to reach them.
     """
-    global ACTIVE_SPEC
+    global ACTIVE_SPEC  # pilfill: allow[C201] -- documented serial/thread-only test channel; pool workers get specs via TilePayload.fault_spec
     previous = ACTIVE_SPEC
     ACTIVE_SPEC = spec
     try:

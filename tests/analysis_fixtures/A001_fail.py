@@ -1,0 +1,8 @@
+"""A001 failing fixture: a suppression with no justification (blanket allow).
+The D101 finding is swallowed, but the blanket allow itself is reported."""
+
+import random
+
+
+def draw() -> float:
+    return random.random()  # pilfill: allow[D101]

@@ -1,0 +1,7 @@
+"""A001 passing fixture: the suppression carries a justification."""
+
+import random
+
+
+def draw() -> float:
+    return random.random()  # pilfill: allow[D101] -- fixture: exercising a justified suppression

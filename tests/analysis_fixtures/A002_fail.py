@@ -1,0 +1,3 @@
+"""A002 failing fixture: suppression names a rule id that does not exist."""
+
+VALUE = 1  # pilfill: allow[Z999] -- there is no rule Z999

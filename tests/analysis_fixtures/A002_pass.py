@@ -1,0 +1,3 @@
+"""A002 passing fixture: ordinary comments are not suppression directives."""
+
+VALUE = 1  # a plain comment; nothing for the suppression parser here

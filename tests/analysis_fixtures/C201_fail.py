@@ -1,0 +1,9 @@
+"""C201 failing fixture: mutable module state in a worker-reachable module
+(the driver forces worker_reachable=True)."""
+
+_CACHE: dict[str, int] = {}
+
+
+def remember(key: str, value: int) -> None:
+    global _CACHE
+    _CACHE[key] = value

@@ -1,0 +1,10 @@
+"""C201 passing fixture: module state is immutable, per-call state is local."""
+
+from types import MappingProxyType
+
+_TABLE = MappingProxyType({"greedy": 1, "ilp1": 2})
+_NAMES = ("greedy", "ilp1")
+
+
+def rank(method: str) -> int:
+    return _TABLE.get(method, 0)

@@ -1,0 +1,6 @@
+"""C202 failing fixture: a registered payload class that is not a dataclass
+(the driver registers Payload in a custom policy)."""
+
+
+class Payload:
+    value: object

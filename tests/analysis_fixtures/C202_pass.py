@@ -1,0 +1,11 @@
+"""C202 passing fixture: frozen dataclass, picklable-by-construction fields."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Payload:
+    key: tuple[int, int]
+    budget: int
+    tables: tuple[float, ...]
+    label: str | None = None

@@ -1,0 +1,13 @@
+"""C203 failing fixture: the class owns a lock but writes the store
+without holding it."""
+
+import threading
+
+
+class Store:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict[str, int] = {}
+
+    def put(self, key: str, value: int) -> None:
+        self._items[key] = value

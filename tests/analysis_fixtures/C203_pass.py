@@ -1,0 +1,13 @@
+"""C203 passing fixture: every store mutation happens under the lock."""
+
+import threading
+
+
+class Store:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: dict[str, int] = {}
+
+    def put(self, key: str, value: int) -> None:
+        with self._lock:
+            self._items[key] = value

@@ -1,0 +1,9 @@
+"""C204 failing fixture: a *cache*-named store on a class with no lock."""
+
+
+class Memo:
+    def __init__(self) -> None:
+        self._cache: dict[str, int] = {}
+
+    def put(self, key: str, value: int) -> None:
+        self._cache[key] = value

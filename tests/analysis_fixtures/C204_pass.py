@@ -1,0 +1,13 @@
+"""C204 passing fixture: the cache gained a lock and mutates under it."""
+
+import threading
+
+
+class Memo:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cache: dict[str, int] = {}
+
+    def put(self, key: str, value: int) -> None:
+        with self._lock:
+            self._cache[key] = value

@@ -1,0 +1,7 @@
+"""D101 failing fixture: draws from the hidden module-global RNG stream."""
+
+import random
+
+
+def draw() -> float:
+    return random.random()

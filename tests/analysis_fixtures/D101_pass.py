@@ -1,0 +1,7 @@
+"""D101 passing fixture: every stream comes from an explicitly seeded RNG."""
+
+import random
+
+
+def draw(seed: int) -> float:
+    return random.Random(seed).random()

@@ -1,0 +1,7 @@
+"""D102 failing fixture: wall-clock read outside the timing allowlist."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,8 @@
+"""D102 passing fixture: same read, but linted as an allowlisted module
+(the driver forces module="repro.pilfill.engine", which owns deadlines)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,8 @@
+"""D103 failing fixture: iterating key-view algebra in hash order."""
+
+
+def merged_keys(a: dict[str, int], b: dict[str, int]) -> list[str]:
+    out = []
+    for key in a.keys() | b.keys():
+        out.append(key)
+    return out

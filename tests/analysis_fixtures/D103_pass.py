@@ -1,0 +1,8 @@
+"""D103 passing fixture: the set expression is sorted before iteration."""
+
+
+def merged_keys(a: dict[str, int], b: dict[str, int]) -> list[str]:
+    out = []
+    for key in sorted(a.keys() | b.keys()):
+        out.append(key)
+    return out

@@ -1,0 +1,6 @@
+"""D104 failing fixture: exact float equality in a numeric package
+(the driver forces module="repro.pilfill.fx")."""
+
+
+def is_unit(x: float) -> bool:
+    return x == 1.0

@@ -1,0 +1,6 @@
+"""T301 failing fixture: unannotated def in a strict-typing package
+(the driver forces module="repro.pilfill.fx")."""
+
+
+def add(a, b):
+    return a + b

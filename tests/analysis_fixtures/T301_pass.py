@@ -1,0 +1,5 @@
+"""T301 passing fixture: parameters and return fully annotated."""
+
+
+def add(a: int, b: int) -> int:
+    return a + b

@@ -1,0 +1,131 @@
+"""Fixture corpus for the lint rule catalog.
+
+Every rule id has a failing and a passing example under
+``tests/analysis_fixtures/``; each failing fixture must produce findings
+of exactly its rule, and each passing fixture must lint clean under the
+same (module, reachability, policy) context. Suppression semantics, the
+JSON reporter round-trip, and the result cache are covered here too.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    DEFAULT_POLICY,
+    LintPolicy,
+    findings_from_json,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.findings import Finding
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+#: A module outside every rule scope except the universal ones.
+NEUTRAL = "repro.experiments.fx"
+#: A module inside the float-eq and strict-typing scopes.
+STRICT = "repro.pilfill.fx"
+
+#: Policy that registers the C202 fixture's class as a pool payload.
+C202_POLICY = LintPolicy(payload_registry=(f"{NEUTRAL}.Payload",))
+
+#: rule id -> (module, worker_reachable, policy) the fixture pair runs under.
+CONTEXTS: dict[str, tuple[str, bool, LintPolicy | None]] = {
+    "D101": (NEUTRAL, False, None),
+    "D102": (NEUTRAL, False, None),
+    "D103": (NEUTRAL, False, None),
+    "D104": (STRICT, False, None),
+    "C201": (NEUTRAL, True, None),
+    "C202": (NEUTRAL, False, C202_POLICY),
+    "C203": (NEUTRAL, False, None),
+    "C204": (NEUTRAL, False, None),
+    "T301": (STRICT, False, None),
+    "A001": (NEUTRAL, False, None),
+    "A002": (NEUTRAL, False, None),
+}
+
+#: Pass-side overrides: D102's passing case IS the allowlist membership.
+PASS_CONTEXTS: dict[str, tuple[str, bool, LintPolicy | None]] = {
+    "D102": ("repro.pilfill.engine", False, None),
+}
+
+
+def _lint_fixture(
+    name: str, module: str, reachable: bool, policy: LintPolicy | None
+) -> list[Finding]:
+    path = FIXTURES / name
+    return lint_source(
+        path.read_text(encoding="utf-8"),
+        path=str(path),
+        module=module,
+        policy=policy or DEFAULT_POLICY,
+        worker_reachable=reachable,
+    )
+
+
+@pytest.mark.parametrize("rule_id", sorted(CONTEXTS))
+def test_fail_fixture_fires_exactly_its_rule(rule_id: str) -> None:
+    module, reachable, policy = CONTEXTS[rule_id]
+    findings = _lint_fixture(f"{rule_id}_fail.py", module, reachable, policy)
+    assert findings, f"{rule_id}_fail.py produced no findings"
+    assert {f.rule_id for f in findings} == {rule_id}, render_text(findings, 1)
+
+
+@pytest.mark.parametrize("rule_id", sorted(CONTEXTS))
+def test_pass_fixture_is_clean(rule_id: str) -> None:
+    module, reachable, policy = PASS_CONTEXTS.get(rule_id, CONTEXTS[rule_id])
+    findings = _lint_fixture(f"{rule_id}_pass.py", module, reachable, policy)
+    assert findings == [], render_text(findings, 1)
+
+
+def test_every_fixture_has_a_pair() -> None:
+    names = {p.name for p in FIXTURES.glob("*.py")}
+    for rule_id in CONTEXTS:
+        assert f"{rule_id}_fail.py" in names
+        assert f"{rule_id}_pass.py" in names
+    assert names == {f"{r}_{kind}.py" for r in CONTEXTS for kind in ("fail", "pass")}
+
+
+def test_suppression_requires_matching_rule_id() -> None:
+    # An allow for a *different* rule does not swallow the finding.
+    source = "import random\n\n\ndef d() -> float:\n    return random.random()  # pilfill: allow[D102] -- wrong rule\n"
+    findings = lint_source(source, module=NEUTRAL)
+    assert "D101" in {f.rule_id for f in findings}
+
+
+def test_json_report_round_trips() -> None:
+    module, reachable, policy = CONTEXTS["D101"]
+    findings = _lint_fixture("D101_fail.py", module, reachable, policy)
+    text = render_json(findings, files_checked=1)
+    assert findings_from_json(text) == sorted(findings)
+
+
+def test_syntax_error_reports_e000() -> None:
+    findings = lint_source("def broken(:\n", path="bad.py")
+    assert [f.rule_id for f in findings] == ["E000"]
+
+
+def test_render_text_summary_line() -> None:
+    module, reachable, policy = CONTEXTS["T301"]
+    findings = _lint_fixture("T301_fail.py", module, reachable, policy)
+    text = render_text(findings, files_checked=1)
+    assert text.splitlines()[-1] == "1 finding in 1 file(s)"
+
+
+def test_lint_paths_cache_round_trip(tmp_path: Path) -> None:
+    target = tmp_path / "mod.py"
+    target.write_text("VALUE = 1\n", encoding="utf-8")
+    cache = tmp_path / "cache.json"
+    cold = lint_paths([str(target)], cache_path=cache)
+    warm = lint_paths([str(target)], cache_path=cache)
+    assert cold.cache_hits == 0
+    assert warm.cache_hits == 1
+    assert cold.findings == warm.findings == []
+    # Content change invalidates the digest.
+    target.write_text("VALUE = 2\n", encoding="utf-8")
+    assert lint_paths([str(target)], cache_path=cache).cache_hits == 0

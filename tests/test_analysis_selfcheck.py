@@ -1,0 +1,29 @@
+"""The lint gate: the shipped source tree must be finding-free.
+
+This is the enforcement point of the determinism/concurrency/typing
+contracts — any rule violation (or blanket/unknown suppression, which
+the suppression layer itself reports as A001/A002) fails the suite with
+the same ``path:line:col: RULE message`` lines the CLI prints.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, render_text
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def test_source_tree_is_lint_clean() -> None:
+    report = lint_paths([str(SRC)])
+    assert report.files_checked > 0, f"no files found under {SRC}"
+    assert report.clean, "\n" + render_text(report.findings, report.files_checked)
+
+
+def test_analysis_package_checks_itself() -> None:
+    # The linter is part of the lint scope: its own modules obey the
+    # rules they enforce (including T301 strict typing).
+    report = lint_paths([str(SRC / "analysis")])
+    assert report.files_checked >= 10
+    assert report.clean, "\n" + render_text(report.findings, report.files_checked)
