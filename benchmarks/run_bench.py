@@ -14,10 +14,12 @@ Measures, on the T1 testcase:
   under serial, thread-pool, and process-pool dispatch, asserting the
   placements stay bit-identical across backends.
 
-Results append a dated JSON file (``BENCH_YYYY-MM-DD.json`` by default)
-so the repo accumulates a perf trajectory across PRs. Absolute numbers
-are host-dependent; the scalar-vs-vector and serial-vs-parallel ratios
-are the signal.
+Results land in a dated JSON file (``BENCH_YYYY-MM-DD.json`` by default;
+same-day reruns get a ``.1``/``.2`` suffix instead of overwriting) so the
+repo accumulates a perf trajectory across PRs — each payload records the
+git SHA and a UTC timestamp to anchor the point. Absolute numbers are
+host-dependent; the scalar-vs-vector and serial-vs-parallel ratios are
+the signal.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import datetime
 import json
 import os
 import platform
+import subprocess
 import time
 from pathlib import Path
 
@@ -160,6 +163,36 @@ def bench_solve_sweep(layout, fill_rules, density_rules, prepared, workers: int)
     return out
 
 
+def git_sha() -> str | None:
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def unique_path(path: Path) -> Path:
+    """``path`` if free, else the first ``stem.N.suffix`` that is.
+
+    Same-day reruns used to overwrite ``BENCH_<date>.json``, silently
+    erasing earlier points of the perf trajectory; default filenames now
+    step aside (an explicit ``--out`` still overwrites deliberately).
+    """
+    if not path.exists():
+        return path
+    for n in range(1, 1000):
+        candidate = path.with_name(f"{path.stem}.{n}{path.suffix}")
+        if not candidate.exists():
+            return candidate
+    raise RuntimeError(f"no free name near {path} after 1000 tries")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workers", type=int, default=max(1, min(4, os.cpu_count() or 1)))
@@ -178,8 +211,11 @@ def main(argv: list[str] | None = None) -> int:
     print("benchmarking solve backends ...")
     sweep = bench_solve_sweep(layout, fill_rules, density_rules, prepared, args.workers)
 
+    now = datetime.datetime.now(datetime.timezone.utc)
     payload = {
-        "date": datetime.date.today().isoformat(),
+        "date": now.date().isoformat(),
+        "timestamp": now.isoformat(timespec="seconds"),
+        "git": git_sha(),
         "testcase": {"name": "T1", "window_um": args.window, "r": args.r},
         "host": {
             "cpu_count": os.cpu_count(),
@@ -190,7 +226,10 @@ def main(argv: list[str] | None = None) -> int:
         "kernels": kernels,
         "solve_sweep": sweep,
     }
-    out_path = Path(args.out or f"BENCH_{payload['date']}.json")
+    if args.out:
+        out_path = Path(args.out)  # explicit path: overwrite is intentional
+    else:
+        out_path = unique_path(Path(f"BENCH_{payload['date']}.json"))
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     print(f"\nwritten to {out_path}")

@@ -26,6 +26,10 @@ def _default_payload_registry() -> tuple[str, ...]:
         "repro.pilfill.solution.TileSolution",
         "repro.pilfill.robust.SolveReport",
         "repro.pilfill.robust.RobustSolve",
+        # Telemetry buffers marshalled back inside TileOutcome/RobustSolve.
+        "repro.obs.trace.SpanRecord",
+        "repro.obs.metrics.MetricsSnapshot",
+        "repro.obs.metrics.TimerStat",
     )
 
 
@@ -61,6 +65,9 @@ class LintPolicy:
         "repro.pilfill.prepare",
         "repro.ilp.branchbound",
         "repro.experiments.harness",
+        # The telemetry clock: the single sanctioned wall-clock read for
+        # repro.obs — spans take time via an injected Clock, never directly.
+        "repro.obs.clock",
     )
     worker_entry_modules: tuple[str, ...] = ("repro.pilfill.parallel",)
     payload_registry: tuple[str, ...] = field(default_factory=_default_payload_registry)
@@ -85,6 +92,7 @@ class LintPolicy:
         "repro.cap",
         "repro.ilp",
         "repro.analysis",
+        "repro.obs",
     )
     rng_factory_names: tuple[str, ...] = ("Random", "SystemRandom", "default_rng", "SeedSequence")
 

@@ -78,6 +78,8 @@ class LUTCache:
         self.fill_width_um = fill_width_um
         self._cache: dict[tuple[int, int], CapacitanceLUT] = {}
         self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
 
     def get(self, spacing_um: float, capacity: int, quantum_um: float = 1e-3) -> CapacitanceLUT:
         """LUT for a column with gap ``spacing_um`` and up to ``capacity``
@@ -88,11 +90,14 @@ class LUTCache:
         # dict reads are atomic under the GIL; only the build is locked.
         hit = self._cache.get(key)
         if hit is not None:
+            self._hits += 1
             return hit
         with self._lock:
             hit = self._cache.get(key)
             if hit is not None:
+                self._hits += 1
                 return hit
+            self._misses += 1
             lut = self._build(spacing_um, capacity)
             self._cache[key] = lut
             return lut
@@ -122,8 +127,16 @@ class LUTCache:
             with self._lock:
                 for key, (spacing_um, capacity) in missing.items():
                     if key not in self._cache:
+                        self._misses += 1
                         self._cache[key] = self._build(spacing_um, capacity)
+        self._hits += len(keys) - len(missing)
         return [self._cache[key] for key in keys]
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative hit/miss counts (approximate under concurrency: the
+        counters are plain ints bumped without the lock on the hit path,
+        which is fine for telemetry and never affects cached contents)."""
+        return {"hits": self._hits, "misses": self._misses}
 
     def _build(self, spacing_um: float, capacity: int) -> CapacitanceLUT:
         table = exact_column_cap_array(

@@ -42,15 +42,18 @@ def _layout_for(name: str):
 
 
 def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
+    telemetry = bool(args.trace_out or args.metrics_out)
     spec = TableSpec(
         workers=args.workers, parallel_backend=args.backend,
         tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
+        telemetry=telemetry,
     )
     if args.quick:
         spec = TableSpec(
             testcases=("T1",), windows_um=(32,), r_values=(2,),
             workers=args.workers, parallel_backend=args.backend,
             tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
+            telemetry=telemetry,
         )
     table = run_table(
         weighted=weighted, spec=spec, progress=lambda label: print(f"  done {label}")
@@ -64,6 +67,27 @@ def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
         with open(args.csv, "w") as handle:
             handle.write(table.to_csv())
         print(f"\nCSV written to {args.csv}")
+    if args.trace_out:
+        from repro.obs.report import write_report
+
+        write_report(args.trace_out, {
+            "schema": "pilfill-table-report/v1",
+            "weighted": weighted,
+            "cells": table.reports(),
+        })
+        print(f"trace report written to {args.trace_out}")
+    if args.metrics_out:
+        from repro.obs.report import write_report
+
+        write_report(args.metrics_out, {
+            "schema": "pilfill-table-metrics/v1",
+            "weighted": weighted,
+            "cells": {
+                label: {method: report.get("metrics") for method, report in cell.items()}
+                for label, cell in table.reports().items()
+            },
+        })
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -94,6 +118,7 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         parallel_backend=args.backend,
         tile_deadline_s=args.tile_deadline,
         run_deadline_s=args.run_deadline,
+        telemetry=bool(args.trace_out or args.metrics_out),
     )
     engine = PILFillEngine(layout, args.layer, cfg)
     result = engine.run()
@@ -129,6 +154,19 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         with open(args.out, "w") as handle:
             handle.write(write_def(layout))
         print(f"  filled layout written to {args.out}")
+    if args.trace_out or args.metrics_out:
+        from repro.obs.report import write_report
+
+        report = result.to_report(cfg)
+        if args.trace_out:
+            write_report(args.trace_out, report)
+            print(f"  trace report written to {args.trace_out}")
+        if args.metrics_out:
+            write_report(args.metrics_out, {
+                "schema": "pilfill-metrics/v1",
+                "metrics": report.get("metrics"),
+            })
+            print(f"  metrics written to {args.metrics_out}")
     return 0
 
 
@@ -183,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "tiles degrade ILP-II -> ILP-I -> Greedy")
         p.add_argument("--run-deadline", type=float, default=None,
                        help="whole-solve-phase deadline in seconds per method run")
+        p.add_argument("--trace-out", default=None,
+                       help="write per-cell run reports (spans + solve "
+                            "reports + metrics) as JSON to this path; "
+                            "enables telemetry for every run")
+        p.add_argument("--metrics-out", default=None,
+                       help="write per-cell metrics JSON to this path; "
+                            "enables telemetry for every run")
 
     p = sub.add_parser("density", help="density analysis of a testcase")
     p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
@@ -209,6 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--run-deadline", type=float, default=None,
                    help="whole-solve-phase deadline in seconds")
     p.add_argument("--out", help="write filled DEF-lite to this path")
+    p.add_argument("--trace-out", default=None,
+                   help="write the run report (config, spans, metrics, "
+                        "per-tile solve reports) as JSON to this path; "
+                        "enables telemetry for the run")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the run's metrics as JSON to this path; "
+                        "enables telemetry for the run")
 
     sub.add_parser("quickstart", help="tiny end-to-end demo")
 

@@ -49,7 +49,21 @@ class SolveTimeoutError(SolverError):
     Raised by the per-tile methods when the backend reports
     ``SolveStatus.TIME_LIMIT``; the robust solve layer catches it and
     degrades to a cheaper method instead of retrying (a retry under the
-    same deadline would just time out again)."""
+    same deadline would just time out again).
+
+    ``rung_errors`` carries the fallback-chain error history accumulated
+    *before* the deadline fired (e.g. the run deadline expiring between
+    rungs), so failed reports keep the full story."""
+
+    def __init__(self, message: str, rung_errors: tuple[str, ...] = ()):
+        self.rung_errors = tuple(rung_errors)
+        super().__init__(message)
+
+    def __reduce__(self) -> tuple[type[SolveTimeoutError], tuple[str, tuple[str, ...]]]:
+        # Preserve rung_errors across the process-pool pickle boundary
+        # (BaseException.__reduce__ would replay only ``args``).
+        message = str(self.args[0]) if self.args else ""
+        return (type(self), (message, self.rung_errors))
 
 
 class WorkerDeathError(ReproError):

@@ -50,6 +50,9 @@ class MethodOutcome:
     degraded_tiles: int = 0
     failed_tiles: int = 0
     retried_tiles: int = 0
+    #: Full ``pilfill-run-report/v1`` dict when the run had telemetry on
+    #: (spans, metrics, per-tile solve reports); ``None`` otherwise.
+    report: dict | None = None
 
     @property
     def clean(self) -> bool:
@@ -104,6 +107,7 @@ def run_config(
     run_deadline_s: float | None = None,
     fallback: bool = True,
     fault_spec=None,
+    telemetry: bool = False,
 ) -> ConfigResult:
     """Run every method on one configuration with a shared budget.
 
@@ -118,6 +122,8 @@ def run_config(
         fallback: robust solving with method degradation (default) vs
             strict first-failure-propagates mode.
         fault_spec: deterministic fault injection for tests.
+        telemetry: record tracing spans + metrics per method run and
+            attach each run's JSON report to its :class:`MethodOutcome`.
     """
     if fill_rules is None:
         fill_rules = default_fill_rules(layout.stack)
@@ -142,6 +148,7 @@ def run_config(
             run_deadline_s=run_deadline_s,
             fallback=fallback,
             fault_spec=fault_spec,
+            telemetry=telemetry,
         )
         engine = PILFillEngine(layout, layer, cfg, prepared=prepared)
         run = engine.run(budget=budget)
@@ -159,6 +166,7 @@ def run_config(
             degraded_tiles=len(run.degraded_tiles),
             failed_tiles=len(run.failed_tiles),
             retried_tiles=len(run.retried_tiles),
+            report=run.to_report(cfg) if telemetry else None,
         )
     result.prepare_seconds = dict(prepared.phase_seconds)
     return result

@@ -41,6 +41,9 @@ class TableSpec:
     fallback: bool = True
     #: Deterministic fault injection for tests (repro.testing.faults).
     fault_spec: object | None = None
+    #: Record spans + metrics per method run; each cell's outcome then
+    #: carries its full run report (see :meth:`TableResult.reports`).
+    telemetry: bool = False
 
 
 @dataclass
@@ -106,6 +109,25 @@ class TableResult:
                 )
         return "\n".join(out) + "\n"
 
+    def reports(self) -> dict[str, dict[str, dict]]:
+        """Per-cell run reports, ``{row label: {method: report dict}}``.
+
+        Only populated when the table ran with ``TableSpec.telemetry``;
+        cells without a report are omitted. This is what the CLI's
+        ``--trace-out`` serializes — reading a degraded cell's entry shows
+        the fallback-rung history and span tree behind the ``*``/``!``.
+        """
+        out: dict[str, dict[str, dict]] = {}
+        for row in self.rows:
+            cell = {
+                method: outcome.report
+                for method, outcome in row.outcomes.items()
+                if outcome.report is not None
+            }
+            if cell:
+                out[row.label] = cell
+        return out
+
     @property
     def degraded_cells(self) -> int:
         """Method cells (rows × methods) with degraded or failed tiles."""
@@ -160,6 +182,7 @@ def run_table(
                     run_deadline_s=spec.run_deadline_s,
                     fallback=spec.fallback,
                     fault_spec=spec.fault_spec,
+                    telemetry=spec.telemetry,
                 )
                 table.rows.append(row)
                 if progress is not None:

@@ -19,6 +19,7 @@ from repro.ilp.model import INF, LinExpr, Model, Sense, VarKind, Variable
 from repro.ilp.result import LPResult, SolveResult, SolveStatus
 from repro.ilp.scipy_backend import solve_scipy, solve_scipy_lp
 from repro.ilp.simplex import solve_lp
+from repro.obs.trace import TracerLike
 
 #: "auto" switches from the bundled engine to scipy above this many variables.
 #: Calibrated on harvested per-tile ILP-II instances: below ~100 variables the
@@ -31,6 +32,7 @@ def solve(
     backend: str = "auto",
     max_nodes: int = 100000,
     time_limit: float | None = None,
+    tracer: TracerLike | None = None,
 ) -> SolveResult:
     """Solve ``model`` with the selected backend.
 
@@ -41,13 +43,17 @@ def solve(
         time_limit: wall-clock budget in seconds for the solve; exceeded
             deadlines surface as :attr:`SolveStatus.TIME_LIMIT` on either
             backend.
+        tracer: optional telemetry tracer; each backend opens a span
+            recording status and solver effort.
     """
     if backend == "auto":
         backend = "bundled" if len(model.variables) <= AUTO_VAR_THRESHOLD else "scipy"
     if backend == "bundled":
-        return solve_branch_and_bound(model, max_nodes=max_nodes, time_limit=time_limit)
+        return solve_branch_and_bound(
+            model, max_nodes=max_nodes, time_limit=time_limit, tracer=tracer
+        )
     if backend == "scipy":
-        return solve_scipy(model, time_limit=time_limit)
+        return solve_scipy(model, time_limit=time_limit, tracer=tracer)
     raise SolverError(f"unknown backend {backend!r}; expected bundled/scipy/auto")
 
 

@@ -29,6 +29,7 @@ from repro.errors import SolverError
 from repro.ilp.model import CompiledModel, Model
 from repro.ilp.result import SolveResult, SolveStatus
 from repro.ilp.simplex import solve_lp
+from repro.obs.trace import NULL_TRACER, TracerLike
 
 #: Integrality tolerance.
 INT_TOL = 1e-6
@@ -84,6 +85,7 @@ def solve_branch_and_bound(
     model: Model,
     max_nodes: int = 100000,
     time_limit: float | None = None,
+    tracer: TracerLike | None = None,
 ) -> SolveResult:
     """Solve a mixed-integer model to optimality (within tolerances).
 
@@ -92,7 +94,22 @@ def solve_branch_and_bound(
     incumbent found so far (if any). ``time_limit`` is wall-clock seconds;
     the deadline is checked between nodes, so a single huge LP relaxation
     can overshoot it (per-tile models are small enough that this is moot).
+    ``tracer``, when given, records an ``ilp.branchbound`` span with the
+    variable count, node count, and final status.
     """
+    trc = tracer if tracer is not None else NULL_TRACER
+    with trc.span("ilp.branchbound", vars=len(model.variables)) as span:
+        result = _branch_and_bound(model, max_nodes, time_limit)
+        span.set("status", result.status.name)
+        span.set("nodes", result.nodes)
+        return result
+
+
+def _branch_and_bound(
+    model: Model,
+    max_nodes: int,
+    time_limit: float | None,
+) -> SolveResult:
     deadline = None if time_limit is None else time.monotonic() + time_limit
     compiled = model.compile()
     n = compiled.c.shape[0]

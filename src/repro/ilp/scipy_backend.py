@@ -16,6 +16,7 @@ from scipy.optimize import linprog
 from repro.errors import SolverError
 from repro.ilp.model import Model
 from repro.ilp.result import SolveResult, SolveStatus
+from repro.obs.trace import NULL_TRACER, TracerLike
 
 # HiGHS milp/linprog status codes. Code 1 means "iteration or time limit";
 # we disambiguate in :func:`_classify` using whether a time limit was set
@@ -37,14 +38,20 @@ def _classify(raw_status: int, time_limited: bool) -> SolveStatus:
     return _SCIPY_STATUS.get(raw_status, SolveStatus.FAILED)
 
 
-def solve_scipy(model: Model, time_limit: float | None = None) -> SolveResult:
+def solve_scipy(
+    model: Model,
+    time_limit: float | None = None,
+    tracer: TracerLike | None = None,
+) -> SolveResult:
     """Solve via ``scipy.optimize.milp`` (HiGHS). Continuous models go to
     HiGHS too (milp handles them).
 
     ``time_limit`` is a wall-clock budget in seconds; when it fires the
     result status is :attr:`SolveStatus.TIME_LIMIT` (with the incumbent, if
-    HiGHS found one).
+    HiGHS found one). ``tracer``, when given, records an ``ilp.scipy``
+    span with the variable count and final status.
     """
+    trc = tracer if tracer is not None else NULL_TRACER
     compiled = model.compile()
     n = compiled.c.shape[0]
 
@@ -61,29 +68,31 @@ def solve_scipy(model: Model, time_limit: float | None = None) -> SolveResult:
     options = {}
     if time_limit is not None:
         options["time_limit"] = float(time_limit)
-    res = milp(
-        c=compiled.c,
-        constraints=constraints,
-        bounds=bounds,
-        integrality=integrality,
-        options=options,
-    )
-    status = _classify(res.status, time_limit is not None)
-    if res.x is None:
-        if status is SolveStatus.OPTIMAL:
-            # HiGHS claims success but returned no point — never hand NaN
-            # to a caller that just checked is_optimal.
-            raise SolverError("scipy milp reported success without a solution vector")
-        return SolveResult(status, {}, math.nan, 0, 0)
-    x = np.asarray(res.x)
-    values = {
-        name: (round(v) if compiled.integer[i] else float(v))
-        for i, (name, v) in enumerate(zip(compiled.names, x))
-    }
-    objective = float(compiled.c @ x + compiled.c0)
-    if model.is_maximization:
-        objective = -objective
-    return SolveResult(status, values, objective, 0, 0)
+    with trc.span("ilp.scipy", vars=n) as span:
+        res = milp(
+            c=compiled.c,
+            constraints=constraints,
+            bounds=bounds,
+            integrality=integrality,
+            options=options,
+        )
+        status = _classify(res.status, time_limit is not None)
+        span.set("status", status.name)
+        if res.x is None:
+            if status is SolveStatus.OPTIMAL:
+                # HiGHS claims success but returned no point — never hand NaN
+                # to a caller that just checked is_optimal.
+                raise SolverError("scipy milp reported success without a solution vector")
+            return SolveResult(status, {}, math.nan, 0, 0)
+        x = np.asarray(res.x)
+        values = {
+            name: (round(v) if compiled.integer[i] else float(v))
+            for i, (name, v) in enumerate(zip(compiled.names, x))
+        }
+        objective = float(compiled.c @ x + compiled.c0)
+        if model.is_maximization:
+            objective = -objective
+        return SolveResult(status, values, objective, 0, 0)
 
 
 def solve_scipy_lp(model: Model) -> SolveResult:

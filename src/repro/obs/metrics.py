@@ -1,0 +1,126 @@
+"""Counters and timer histograms with a picklable snapshot for pool workers.
+
+A :class:`Metrics` registry is single-owner, like the tracer: each
+process-pool worker builds its own registry per tile, snapshots it into
+the frozen :class:`MetricsSnapshot` (picklable by construction — it is
+on the C202 payload registry), ships it back inside ``TileOutcome``,
+and the dispatcher merges snapshots into the run-level registry.
+
+:data:`NULL_METRICS` is the disabled fast path — every method is a
+no-op and ``snapshot()`` returns the shared :data:`EMPTY_SNAPSHOT`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimerStat:
+    """Aggregate of one timer series: count / total / min / max seconds."""
+
+    count: int
+    total_s: float
+    min_s: float
+    max_s: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "min_s": self.min_s,
+            "max_s": self.max_s,
+            "mean_s": self.total_s / self.count if self.count else 0.0,
+        }
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Frozen, picklable view of a registry (sorted for determinism)."""
+
+    counters: tuple[tuple[str, int], ...] = ()
+    timers: tuple[tuple[str, TimerStat], ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "counters": dict(self.counters),
+            "timers": {name: stat.as_dict() for name, stat in self.timers},
+        }
+
+
+EMPTY_SNAPSHOT = MetricsSnapshot()
+
+
+class Metrics:
+    """Mutable counter/timer registry; single-owner, not thread-safe."""
+
+    __slots__ = ("_counters", "_timers")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, list[float]] = {}  # [count, total, min, max]
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration sample into timer ``name``."""
+        cell = self._timers.get(name)
+        if cell is None:
+            self._timers[name] = [1.0, seconds, seconds, seconds]
+        else:
+            cell[0] += 1.0
+            cell[1] += seconds
+            cell[2] = min(cell[2], seconds)
+            cell[3] = max(cell[3], seconds)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Frozen, sorted view suitable for pickling and JSON export."""
+        return MetricsSnapshot(
+            counters=tuple(sorted(self._counters.items())),
+            timers=tuple(
+                (name, TimerStat(int(c[0]), c[1], c[2], c[3]))
+                for name, c in sorted(self._timers.items())
+            ),
+        )
+
+    def merge(self, snap: MetricsSnapshot | None) -> None:
+        """Fold a (worker) snapshot into this registry; ``None`` is a no-op."""
+        if snap is None:
+            return
+        for name, n in snap.counters:
+            self.count(name, n)
+        for name, stat in snap.timers:
+            cell = self._timers.get(name)
+            if cell is None:
+                self._timers[name] = [float(stat.count), stat.total_s, stat.min_s, stat.max_s]
+            else:
+                cell[0] += stat.count
+                cell[1] += stat.total_s
+                cell[2] = min(cell[2], stat.min_s)
+                cell[3] = max(cell[3], stat.max_s)
+
+
+class NullMetrics:
+    """Disabled-telemetry registry: every call is a no-op."""
+
+    __slots__ = ()
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def observe(self, name: str, seconds: float) -> None:
+        return None
+
+    def snapshot(self) -> MetricsSnapshot:
+        return EMPTY_SNAPSHOT
+
+    def merge(self, snap: MetricsSnapshot | None) -> None:
+        return None
+
+
+NULL_METRICS = NullMetrics()
+
+#: Either a live registry or the shared null registry.
+MetricsLike = Metrics | NullMetrics

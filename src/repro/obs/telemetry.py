@@ -1,0 +1,27 @@
+"""One-stop telemetry bundle: a tracer plus a metrics registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.clock import Clock
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer
+
+
+@dataclass
+class Telemetry:
+    """A live tracer + metrics pair with a shared lifetime.
+
+    Used both run-scoped (owned by ``PILFillEngine.run`` and attached to
+    the ``FillResult``) and tile-scoped (built inside a pool worker and
+    marshalled back as snapshot/records through ``TileOutcome``).
+    """
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: Metrics = field(default_factory=Metrics)
+
+    @classmethod
+    def create(cls, clock: Clock | None = None) -> Telemetry:
+        """Build a bundle whose tracer uses ``clock`` (default: system)."""
+        return cls(tracer=Tracer(clock=clock), metrics=Metrics())

@@ -1,0 +1,209 @@
+"""Lightweight tracing: nested spans with an injected monotonic clock.
+
+A :class:`Tracer` records :class:`SpanRecord` rows — flat, picklable,
+index-parented — so per-tile traces produced inside process-pool
+workers can ship back through ``TileOutcome`` and be grafted into the
+run-level tracer with :meth:`Tracer.absorb`.  Span timestamps come from
+the :class:`~repro.obs.clock.Clock` given at construction; this module
+never reads the wall clock itself (see :mod:`repro.obs.clock`).
+
+Tracers are deliberately lock-free: each tracer has a single owner (the
+engine's run loop, or one worker solving one tile) and cross-thread
+results are merged by the owner, never written concurrently.
+
+When telemetry is off, callers hold :data:`NULL_TRACER`, whose ``span``
+returns a shared no-op context manager — the disabled fast path is two
+attribute lookups and no allocation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Any
+
+from repro.obs.clock import SYSTEM_CLOCK, Clock
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed span: flat row, parented by index into the record list.
+
+    ``start_s`` is relative to the owning tracer's construction time
+    (worker spans absorbed into a run tracer keep their worker-relative
+    start; only durations are comparable across process boundaries).
+    """
+
+    name: str
+    start_s: float
+    duration_s: float
+    parent: int = -1
+    attrs: tuple[tuple[str, str], ...] = ()
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready dict (used by the run-report exporter)."""
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanHandle:
+    """Mutable attribute sink for one open span; no-op when detached."""
+
+    __slots__ = ("_attrs",)
+
+    def __init__(self, attrs: dict[str, str] | None) -> None:
+        self._attrs = attrs
+
+    def set(self, key: str, value: object) -> None:
+        """Attach ``key=value`` to the span (stringified); no-op when null."""
+        if self._attrs is not None:
+            self._attrs[key] = str(value)
+
+
+_NULL_HANDLE = SpanHandle(None)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> SpanHandle:
+        return _NULL_HANDLE
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager for one live span on a real :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "_index", "_attrs")
+
+    def __init__(self, tracer: Tracer, index: int, attrs: dict[str, str]) -> None:
+        self._tracer = tracer
+        self._index = index
+        self._attrs = attrs
+
+    def __enter__(self) -> SpanHandle:
+        return SpanHandle(self._attrs)
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        if exc is not None and "error" not in self._attrs:
+            self._attrs["error"] = f"{type(exc).__name__}: {exc}"
+        self._tracer._close(self._index, self._attrs)
+        return None
+
+
+class Tracer:
+    """Records nested spans; single-owner, not thread-safe by design."""
+
+    __slots__ = ("_clock", "_records", "_stack", "_t0")
+
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock: Clock = clock if clock is not None else SYSTEM_CLOCK
+        self._records: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._t0 = self._clock.now()
+
+    def span(self, name: str, **attrs: object) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.span("solve", tile=key) as s:``."""
+        index = len(self._records)
+        parent = self._stack[-1] if self._stack else -1
+        self._records.append(
+            SpanRecord(name=name, start_s=self._clock.now() - self._t0, duration_s=0.0, parent=parent)
+        )
+        self._stack.append(index)
+        return _ActiveSpan(self, index, {k: str(v) for k, v in attrs.items()})
+
+    def _close(self, index: int, attrs: dict[str, str]) -> None:
+        if self._stack and self._stack[-1] == index:
+            self._stack.pop()
+        placeholder = self._records[index]
+        self._records[index] = dataclasses.replace(
+            placeholder,
+            duration_s=self._clock.now() - self._t0 - placeholder.start_s,
+            attrs=tuple(sorted(attrs.items())),
+        )
+
+    def records(self) -> tuple[SpanRecord, ...]:
+        """All closed (and still-open placeholder) spans, in open order."""
+        return tuple(self._records)
+
+    def absorb(self, records: tuple[SpanRecord, ...]) -> None:
+        """Graft a worker tracer's records under the current open span.
+
+        Parent indices are re-based onto this tracer's record list; the
+        grafted roots are parented to whatever span is currently open.
+        Worker ``start_s`` values stay worker-relative (documented on
+        :class:`SpanRecord`) — only durations survive the boundary.
+        """
+        offset = len(self._records)
+        graft_parent = self._stack[-1] if self._stack else -1
+        for rec in records:
+            parent = rec.parent + offset if rec.parent >= 0 else graft_parent
+            self._records.append(dataclasses.replace(rec, parent=parent))
+
+    def tree(self) -> list[dict[str, Any]]:
+        """Nested span tree of everything recorded so far."""
+        return span_tree(self.records())
+
+
+def span_tree(records: tuple[SpanRecord, ...]) -> list[dict[str, Any]]:
+    """Nest flat index-parented records into a JSON-ready forest."""
+    nodes: list[dict[str, Any]] = []
+    kids: list[list[dict[str, Any]]] = []
+    roots: list[dict[str, Any]] = []
+    for i, rec in enumerate(records):
+        node = rec.as_dict()
+        children: list[dict[str, Any]] = []
+        node["children"] = children
+        nodes.append(node)
+        kids.append(children)
+        if 0 <= rec.parent < i:
+            kids[rec.parent].append(node)
+        else:
+            roots.append(node)
+    return roots
+
+
+class NullTracer:
+    """Disabled-telemetry tracer: every call is a no-op."""
+
+    __slots__ = ()
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def records(self) -> tuple[SpanRecord, ...]:
+        return ()
+
+    def absorb(self, records: tuple[SpanRecord, ...]) -> None:
+        return None
+
+    def tree(self) -> list[dict[str, Any]]:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+#: Either a live tracer or the shared null tracer (PEP 604 runtime alias).
+TracerLike = Tracer | NullTracer

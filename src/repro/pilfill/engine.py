@@ -33,12 +33,16 @@ features via ``layout.add_fill`` afterwards.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 import time
 from dataclasses import dataclass, field
 
 from repro.errors import FillError, SolveTimeoutError
 from repro.layout.layout import FillFeature, RoutedLayout
+from repro.obs.metrics import NULL_METRICS, Metrics, MetricsLike
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import NULL_TRACER, Tracer, TracerLike
 from repro.pilfill.columns import SlackColumnDef
 from repro.pilfill.costs import ColumnCosts
 from repro.pilfill.budgeted import (
@@ -131,6 +135,10 @@ class EngineConfig:
             are identical either way.
         fault_spec: deterministic fault injection for tests (see
             :mod:`repro.testing.faults`); ``None`` in production.
+        telemetry: True → record tracing spans and metrics for the run
+            (see :mod:`repro.obs`) and attach them to the result for
+            ``FillResult.to_report()``. False (default) → the no-op fast
+            path; solver results are bit-identical either way.
     """
 
     fill_rules: FillRules
@@ -149,6 +157,7 @@ class EngineConfig:
     run_deadline_s: float | None = None
     fallback: bool = True
     fault_spec: FaultSpec | None = None
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -184,7 +193,8 @@ class FillResult:
     phases report the (once-paid) cost recorded on the shared
     :class:`PreparedInstance`, so a run that reuses preparation still
     shows what that preparation cost. ``tile_seconds`` breaks the solve
-    phase down per tile.
+    phase down per tile. ``telemetry`` holds the run's tracer + metrics
+    when ``EngineConfig.telemetry`` was set (``None`` otherwise).
     """
 
     features: list[FillFeature] = field(default_factory=list)
@@ -195,6 +205,15 @@ class FillResult:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     tile_seconds: dict[tuple[int, int], float] = field(default_factory=dict)
     solve_reports: dict[tuple[int, int], SolveReport] = field(default_factory=dict)
+    telemetry: Telemetry | None = None
+
+    def to_report(self, config: EngineConfig | None = None) -> dict[str, object]:
+        """Export the run as a ``pilfill-run-report/v1`` JSON-ready dict
+        (see :mod:`repro.obs.report`); ``config`` adds the configuration
+        section when given."""
+        from repro.obs.report import run_report
+
+        return run_report(self, config)
 
     @property
     def total_features(self) -> int:
@@ -274,12 +293,19 @@ class PILFillEngine:
             self._prepared = self.prepare()
         return self._prepared
 
-    def prepare(self) -> PreparedInstance:
+    def prepare(self, tracer: TracerLike | None = None) -> PreparedInstance:
         """Build a fresh :class:`PreparedInstance` for this engine's key."""
         cfg = self.config
         return prepare(
-            self.layout, self.layer, cfg.fill_rules, cfg.density_rules, cfg.column_def
+            self.layout, self.layer, cfg.fill_rules, cfg.density_rules, cfg.column_def,
+            tracer=tracer,
         )
+
+    def _prepared_traced(self, tracer: TracerLike) -> PreparedInstance:
+        """Like :attr:`prepared`, but a first-time build records spans."""
+        if self._prepared is None:
+            self._prepared = self.prepare(tracer=tracer)
+        return self._prepared
 
     def _finish_phases(self, result: FillResult, solve_seconds: float) -> None:
         """Fill ``phase_seconds`` from the shared preparation + this solve."""
@@ -300,81 +326,114 @@ class PILFillEngine:
         given (used to hold density control identical across methods);
         the override also skips building the density map entirely."""
         cfg = self.config
-        prep = self.prepared
-        result = FillResult()
+        telemetry = Telemetry() if cfg.telemetry else None
+        tracer: TracerLike = telemetry.tracer if telemetry is not None else NULL_TRACER
+        metrics: MetricsLike = telemetry.metrics if telemetry is not None else NULL_METRICS
+        prep = self._prepared_traced(tracer)
+        result = FillResult(telemetry=telemetry)
 
-        if budget is None:
-            budget = prep.budget_for(cfg)
-        result.requested_budget = dict(budget)
+        with tracer.span(
+            "engine.run", method=cfg.method, backend=cfg.backend,
+            workers=cfg.workers, parallel_backend=cfg.parallel_backend,
+        ):
+            if budget is None:
+                budget = prep.budget_for(cfg, tracer=tracer)
+            result.requested_budget = dict(budget)
 
-        t0 = time.perf_counter()
-        costs_by_tile = prep.costs_for(cfg.weighted)
+            t0 = time.perf_counter()
+            costs_by_tile = prep.costs_for(cfg.weighted, tracer=tracer)
 
-        solve_keys = []
-        for tile in prep.dissection.tiles():
-            want = budget.get(tile.key, 0)
-            capacity = sum(c.capacity for c in costs_by_tile.get(tile.key, []))
-            effective = min(want, capacity)
-            result.effective_budget[tile.key] = effective
-            if effective > 0:
-                solve_keys.append(tile.key)
+            solve_keys = []
+            for tile in prep.dissection.tiles():
+                want = budget.get(tile.key, 0)
+                capacity = sum(c.capacity for c in costs_by_tile.get(tile.key, []))
+                effective = min(want, capacity)
+                result.effective_budget[tile.key] = effective
+                if effective > 0:
+                    solve_keys.append(tile.key)
 
-        effective_budget = result.effective_budget
-        run_deadline = self._run_deadline()
+            effective_budget = result.effective_budget
+            run_deadline = self._run_deadline()
 
-        if cfg.parallel_backend == "process":
-            payloads = [
-                make_tile_payload(
-                    key,
-                    costs_by_tile[key],
-                    effective_budget[key],
-                    method=cfg.method,
-                    weighted=cfg.weighted,
-                    ilp_backend=cfg.backend,
-                    seed=cfg.seed,
-                    tile_deadline_s=cfg.tile_deadline_s,
-                    run_deadline=run_deadline,
-                    fault_spec=cfg.fault_spec,
-                    fallback=cfg.fallback,
-                )
-                for key in solve_keys
-            ]
-            outcomes = dispatch_tile_payloads(
-                payloads, workers=cfg.workers, isolate=cfg.fallback
-            )
-        else:
-            if cfg.fallback:
-                def solve_one(key: tuple[int, int], attempt: int) -> RobustSolve:
-                    return solve_tile_robust(
-                        costs_by_tile[key],
-                        cfg.method,
-                        effective_budget[key],
-                        cfg.weighted,
-                        cfg.backend,
-                        tile_rng(cfg.seed, key),
-                        key=key,
-                        tile_deadline_s=cfg.tile_deadline_s,
-                        run_deadline=run_deadline,
-                        fault_spec=cfg.fault_spec,
-                        attempt=attempt,
+            with tracer.span("solve", tiles=len(solve_keys)):
+                if cfg.parallel_backend == "process":
+                    payloads = [
+                        make_tile_payload(
+                            key,
+                            costs_by_tile[key],
+                            effective_budget[key],
+                            method=cfg.method,
+                            weighted=cfg.weighted,
+                            ilp_backend=cfg.backend,
+                            seed=cfg.seed,
+                            tile_deadline_s=cfg.tile_deadline_s,
+                            run_deadline=run_deadline,
+                            fault_spec=cfg.fault_spec,
+                            fallback=cfg.fallback,
+                            telemetry=cfg.telemetry,
+                        )
+                        for key in solve_keys
+                    ]
+                    outcomes = dispatch_tile_payloads(
+                        payloads, workers=cfg.workers, isolate=cfg.fallback
                     )
-            else:
-                def solve_one(key: tuple[int, int], attempt: int) -> TileSolution:
-                    fault_hooks.inject(key, cfg.method, attempt, cfg.fault_spec)
-                    return self._solve_tile(
-                        costs_by_tile[key],
-                        effective_budget[key],
-                        tile_rng(cfg.seed, key),
-                        time_limit=effective_time_limit(cfg.tile_deadline_s, run_deadline),
-                    )
+                else:
+                    if cfg.fallback:
+                        def solve_one(key: tuple[int, int], attempt: int) -> RobustSolve:
+                            # Per-tile tracer/metrics: single-owner, so the
+                            # thread pool needs no locks; the merge loop
+                            # absorbs them into the run-level telemetry.
+                            tile_tracer = Tracer() if cfg.telemetry else None
+                            tile_metrics = Metrics() if cfg.telemetry else None
+                            robust = solve_tile_robust(
+                                costs_by_tile[key],
+                                cfg.method,
+                                effective_budget[key],
+                                cfg.weighted,
+                                cfg.backend,
+                                tile_rng(cfg.seed, key),
+                                key=key,
+                                tile_deadline_s=cfg.tile_deadline_s,
+                                run_deadline=run_deadline,
+                                fault_spec=cfg.fault_spec,
+                                attempt=attempt,
+                                tracer=tile_tracer,
+                                metrics=tile_metrics,
+                            )
+                            if tile_tracer is None:
+                                return robust
+                            return dataclasses.replace(
+                                robust,
+                                spans=tile_tracer.records(),
+                                metrics=tile_metrics.snapshot() if tile_metrics else None,
+                            )
+                    else:
+                        def solve_one(key: tuple[int, int], attempt: int) -> TileSolution:
+                            fault_hooks.inject(key, cfg.method, attempt, cfg.fault_spec)
+                            return self._solve_tile(
+                                costs_by_tile[key],
+                                effective_budget[key],
+                                tile_rng(cfg.seed, key),
+                                time_limit=effective_time_limit(
+                                    cfg.tile_deadline_s, run_deadline
+                                ),
+                            )
 
-            outcomes = dispatch_tiles(
-                solve_keys, solve_one, workers=cfg.workers, isolate=cfg.fallback
-            )
-        for key in solve_keys:
-            outcome = outcomes[key]
-            self._merge_outcome(result, key, outcome, costs_by_tile[key])
-        self._finish_phases(result, time.perf_counter() - t0)
+                    outcomes = dispatch_tiles(
+                        solve_keys, solve_one, workers=cfg.workers, isolate=cfg.fallback
+                    )
+                for key in solve_keys:
+                    outcome = outcomes[key]
+                    self._merge_outcome(
+                        result, key, outcome, costs_by_tile[key],
+                        tracer=tracer, metrics=metrics,
+                    )
+            self._finish_phases(result, time.perf_counter() - t0)
+            metrics.count("features.placed", result.total_features)
+            for name, hits in prep.lut_stats.items():
+                metrics.count(f"lut.{name}", hits)
+            for phase, seconds in result.phase_seconds.items():
+                metrics.observe(f"phase.{phase}.seconds", seconds)
         return result
 
     def _run_deadline(self) -> float | None:
@@ -390,19 +449,45 @@ class PILFillEngine:
         key: tuple[int, int],
         outcome: TileOutcome,
         costs: list[ColumnCosts],
+        tracer: TracerLike = NULL_TRACER,
+        metrics: MetricsLike = NULL_METRICS,
     ) -> None:
         """Fold one tile's outcome into the result: place its features,
-        record timings and the solve report, and turn a failed tile into
-        an explicit empty solution (zero features) rather than a crash."""
+        record timings and the solve report, absorb the tile's telemetry
+        buffer, and turn a failed tile into an explicit empty solution
+        (zero features) rather than a crash.
+
+        Every solved tile gets a report — including the strict
+        (``fallback=False``) path, which produces no robust-layer report:
+        an ``ok`` report is synthesized there so ``FillResult.clean`` is
+        grounded in evidence rather than vacuously true.
+        """
+        tracer.absorb(outcome.spans)
+        metrics.merge(outcome.metrics)
         if outcome.failed:
             solution = TileSolution(counts=[0] * len(costs))
             result.solve_reports[key] = failed_report(
-                key, self.config.method, outcome.retries, outcome.error
+                key, self.config.method, outcome.retries, outcome.error,
+                prior_errors=outcome.error_chain,
             )
+            metrics.count("tiles.failed")
         else:
             solution = outcome.value
-            if outcome.report is not None:
-                result.solve_reports[key] = outcome.report
+            report = outcome.report
+            if report is None:
+                report = SolveReport(
+                    key=key,
+                    requested_method=self.config.method,
+                    used_method=self.config.method,
+                    retries=outcome.retries,
+                )
+            result.solve_reports[key] = report
+            metrics.count("tiles.solved")
+            if report.degraded:
+                metrics.count("tiles.degraded")
+        if outcome.retries > 0:
+            metrics.count("tiles.retried")
+        metrics.observe("tile.seconds", outcome.seconds)
         result.tile_solutions[key] = solution
         result.tile_seconds[key] = outcome.seconds
         result.model_objective_ps += solution.model_objective_ps
@@ -421,14 +506,17 @@ class PILFillEngine:
         stop early — trading density uniformity for timing safety.
         """
         cfg = self.config
-        prep = self.prepared
-        result = FillResult()
+        telemetry = Telemetry() if cfg.telemetry else None
+        tracer: TracerLike = telemetry.tracer if telemetry is not None else NULL_TRACER
+        metrics: MetricsLike = telemetry.metrics if telemetry is not None else NULL_METRICS
+        prep = self._prepared_traced(tracer)
+        result = FillResult(telemetry=telemetry)
 
-        budget = prep.budget_for(cfg)
+        budget = prep.budget_for(cfg, tracer=tracer)
         result.requested_budget = dict(budget)
 
         t0 = time.perf_counter()
-        costs_by_tile = prep.costs_for(cfg.weighted)
+        costs_by_tile = prep.costs_for(cfg.weighted, tracer=tracer)
         delay_budgets = derive_tile_delay_budgets(budget, costs_by_tile, slack_fraction)
 
         solve_keys = []
@@ -458,6 +546,7 @@ class PILFillEngine:
                     run_deadline=run_deadline,
                     fault_spec=cfg.fault_spec,
                     fallback=cfg.fallback,
+                    telemetry=cfg.telemetry,
                 )
                 for key in solve_keys
             ]
@@ -483,10 +572,13 @@ class PILFillEngine:
             )
         for key in solve_keys:
             outcome = outcomes[key]
+            tracer.absorb(outcome.spans)
+            metrics.merge(outcome.metrics)
             if outcome.failed:
                 solution = TileSolution(counts=[0] * len(costs_by_tile[key]))
                 result.solve_reports[key] = failed_report(
-                    key, "mvdc", outcome.retries, outcome.error
+                    key, "mvdc", outcome.retries, outcome.error,
+                    prior_errors=outcome.error_chain,
                 )
             else:
                 solution = outcome.value
@@ -558,7 +650,10 @@ class PILFillEngine:
                 # tiles, recording each as failed rather than aborting.
                 result.effective_budget[tile.key] = 0
                 result.solve_reports[tile.key] = failed_report(
-                    tile.key, "budgeted_ilp" if exact else "budgeted_greedy", 0, str(exc)
+                    tile.key,
+                    "budgeted_ilp" if exact else "budgeted_greedy",
+                    0,
+                    f"TIME_LIMIT: {exc}",
                 )
                 continue
             cap_tables = build_cap_tables(costs)

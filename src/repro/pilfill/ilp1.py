@@ -15,6 +15,7 @@ from __future__ import annotations
 from repro.errors import FillError, SolverError, SolveTimeoutError
 from repro.ilp import INF, Model, VarKind, solve
 from repro.ilp.result import SolveStatus
+from repro.obs.trace import TracerLike
 from repro.pilfill.costs import ColumnCosts
 from repro.pilfill.solution import TileSolution
 
@@ -25,6 +26,7 @@ def solve_tile_ilp1(
     weighted: bool,
     backend: str = "auto",
     time_limit: float | None = None,
+    tracer: TracerLike | None = None,
 ) -> TileSolution:
     """Solve one tile with the ILP-I formulation.
 
@@ -88,7 +90,7 @@ def solve_tile_ilp1(
     else:
         model.minimize(sum((m * 0.0 for m in m_vars), start=0.0))
 
-    result = solve(model, backend=backend, time_limit=time_limit)
+    result = solve(model, backend=backend, time_limit=time_limit, tracer=tracer)
     if result.status is SolveStatus.TIME_LIMIT:
         raise SolveTimeoutError(f"ILP-I tile solve hit the {time_limit}s deadline")
     if not result.status.is_optimal:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from repro.errors import FillError, SolverError, SolveTimeoutError
 from repro.ilp import Model, VarKind, solve
 from repro.ilp.result import SolveStatus
+from repro.obs.trace import TracerLike
 from repro.pilfill.costs import ColumnCosts
 from repro.pilfill.solution import TileSolution
 
@@ -31,6 +32,7 @@ def solve_tile_ilp2(
     budget: int,
     backend: str = "auto",
     time_limit: float | None = None,
+    tracer: TracerLike | None = None,
 ) -> TileSolution:
     """Solve one tile with the ILP-II (lookup table) formulation.
 
@@ -75,7 +77,7 @@ def solve_tile_ilp2(
     model.add_constraint(sum((m * 1.0 for m in m_vars), start=0.0) == float(budget))
     model.minimize(sum(objective_terms, start=0.0))
 
-    result = solve(model, backend=backend, time_limit=time_limit)
+    result = solve(model, backend=backend, time_limit=time_limit, tracer=tracer)
     if result.status is SolveStatus.TIME_LIMIT:
         raise SolveTimeoutError(f"ILP-II tile solve hit the {time_limit}s deadline")
     if not result.status.is_optimal:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 
 from repro.errors import FillError
+from repro.obs.trace import TracerLike
 from repro.pilfill.costlike import TileCosts
 from repro.pilfill.dp import allocate_dp, allocation_cost
 from repro.pilfill.greedy import solve_tile_greedy, solve_tile_greedy_marginal
@@ -55,17 +56,24 @@ def solve_tile_method(
     ilp_backend: str,
     rng: random.Random,
     time_limit: float | None = None,
+    tracer: TracerLike | None = None,
 ) -> TileSolution:
     """Solve one tile with the named method (see ``engine.METHODS``).
 
     ``time_limit`` is a wall-clock deadline in seconds for this tile; only
     the ILP methods can spend unbounded time, so only they enforce it (the
     combinatorial methods finish in microseconds on per-tile instances).
+    ``tracer``, when given, is handed to the ILP backends so their solver
+    spans nest under the caller's rung span.
     """
     if method == "ilp1":
-        return solve_tile_ilp1(costs, budget, weighted, backend=ilp_backend, time_limit=time_limit)
+        return solve_tile_ilp1(
+            costs, budget, weighted, backend=ilp_backend, time_limit=time_limit, tracer=tracer
+        )
     if method == "ilp2":
-        return solve_tile_ilp2(costs, budget, backend=ilp_backend, time_limit=time_limit)
+        return solve_tile_ilp2(
+            costs, budget, backend=ilp_backend, time_limit=time_limit, tracer=tracer
+        )
     if method == "greedy":
         return solve_tile_greedy(costs, budget)
     if method == "greedy_marginal":

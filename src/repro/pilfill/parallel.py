@@ -42,6 +42,8 @@ from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
 from repro.errors import FillError, SolveTimeoutError
+from repro.obs.metrics import Metrics, MetricsSnapshot
+from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer, TracerLike
 from repro.pilfill.columns import ColumnNeighbor
 from repro.pilfill.costlike import TileCosts
 from repro.pilfill.methods import solve_tile_method, trim_to
@@ -73,9 +75,13 @@ class TileOutcome:
     """One tile's solve result plus its wall-clock cost.
 
     ``value`` is ``None`` when every attempt failed (``error`` then holds
-    the last failure, ``retries`` how many retries were spent). When the
-    solve went through the robust layer, ``report`` carries its
-    :class:`~repro.pilfill.robust.SolveReport`.
+    the last failure — prefixed ``TIME_LIMIT:`` for deadline expiries —
+    ``error_chain`` the fallback-rung history that preceded it, and
+    ``retries`` how many retries were spent). When the solve went through
+    the robust layer, ``report`` carries its
+    :class:`~repro.pilfill.robust.SolveReport`. ``spans`` / ``metrics``
+    marshal the tile-local telemetry buffer back from pool workers; both
+    stay empty when telemetry is off.
     """
 
     key: TileKey
@@ -84,6 +90,9 @@ class TileOutcome:
     report: SolveReport | None = None
     error: str | None = None
     retries: int = 0
+    error_chain: tuple[str, ...] = ()
+    spans: tuple[SpanRecord, ...] = ()
+    metrics: MetricsSnapshot | None = None
 
     @property
     def failed(self) -> bool:
@@ -152,6 +161,7 @@ class TilePayload:
     run_deadline: float | None = None  # absolute time.time() epoch
     fault_spec: FaultSpec | None = None
     fallback: bool = True
+    telemetry: bool = False
 
 
 def make_tile_payload(
@@ -168,6 +178,7 @@ def make_tile_payload(
     run_deadline: float | None = None,
     fault_spec: FaultSpec | None = None,
     fallback: bool = True,
+    telemetry: bool = False,
 ) -> TilePayload:
     """Compact payload for one tile from its :class:`ColumnCosts` list."""
     columns = tuple(
@@ -195,6 +206,7 @@ def make_tile_payload(
         run_deadline=run_deadline,
         fault_spec=fault_spec,
         fallback=fallback,
+        telemetry=telemetry,
     )
 
 
@@ -207,25 +219,36 @@ def solve_tile_payload(payload: TilePayload, attempt: int = 0) -> TileOutcome:
     attempt-independent. ``attempt`` is the dispatcher attempt number
     (threaded to the fault hooks so transient faults fire on the first
     attempt only, regardless of which process runs the retry).
+
+    With ``payload.telemetry`` the worker builds a tile-local tracer and
+    metrics registry (single-owner, lock-free) and marshals the frozen
+    snapshot back on the outcome for the dispatcher to merge.
     """
     from repro.pilfill.robust import effective_time_limit, solve_tile_robust
     from repro.testing import faults as fault_hooks
 
+    tracer: TracerLike = Tracer() if payload.telemetry else NULL_TRACER
+    metrics = Metrics() if payload.telemetry else None
     t0 = time.perf_counter()
     costs = list(payload.columns)
+
+    def done_snapshot() -> MetricsSnapshot | None:
+        return metrics.snapshot() if metrics is not None else None
+
     if payload.delay_budget_ps is not None:
         from repro.pilfill.mvdc import solve_tile_mvdc
 
         # MVDC has no fallback chain (its solver is already the greedy
         # rung); fault hooks still apply so the retry path is testable.
-        fault_hooks.inject(payload.key, "mvdc", attempt, payload.fault_spec)
-        effective_time_limit(payload.tile_deadline_s, payload.run_deadline)
-        solution = solve_tile_mvdc(costs, payload.delay_budget_ps)
-        if solution.total_features > payload.budget:
-            solution = trim_to(costs, solution, payload.budget)
+        with tracer.span("tile", tile=payload.key, method="mvdc", attempt=attempt):
+            fault_hooks.inject(payload.key, "mvdc", attempt, payload.fault_spec)
+            effective_time_limit(payload.tile_deadline_s, payload.run_deadline)
+            solution = solve_tile_mvdc(costs, payload.delay_budget_ps)
+            if solution.total_features > payload.budget:
+                solution = trim_to(costs, solution, payload.budget)
         return TileOutcome(
             key=payload.key, value=solution, seconds=time.perf_counter() - t0,
-            retries=attempt,
+            retries=attempt, spans=tracer.records(), metrics=done_snapshot(),
         )
     if payload.fallback:
         robust = solve_tile_robust(
@@ -240,6 +263,8 @@ def solve_tile_payload(payload: TilePayload, attempt: int = 0) -> TileOutcome:
             run_deadline=payload.run_deadline,
             fault_spec=payload.fault_spec,
             attempt=attempt,
+            tracer=tracer,
+            metrics=metrics,
         )
         return TileOutcome(
             key=payload.key,
@@ -247,24 +272,44 @@ def solve_tile_payload(payload: TilePayload, attempt: int = 0) -> TileOutcome:
             seconds=time.perf_counter() - t0,
             report=robust.report,
             retries=attempt,
+            spans=tracer.records(),
+            metrics=done_snapshot(),
         )
-    fault_hooks.inject(payload.key, payload.method, attempt, payload.fault_spec)
-    solution = solve_tile_method(
-        costs,
-        payload.method,
-        payload.budget,
-        payload.weighted,
-        payload.ilp_backend,
-        tile_rng(payload.seed, payload.key),
-        time_limit=effective_time_limit(payload.tile_deadline_s, payload.run_deadline),
-    )
+    with tracer.span("tile", tile=payload.key, method=payload.method, attempt=attempt):
+        fault_hooks.inject(payload.key, payload.method, attempt, payload.fault_spec)
+        solution = solve_tile_method(
+            costs,
+            payload.method,
+            payload.budget,
+            payload.weighted,
+            payload.ilp_backend,
+            tile_rng(payload.seed, payload.key),
+            time_limit=effective_time_limit(payload.tile_deadline_s, payload.run_deadline),
+            tracer=tracer,
+        )
     return TileOutcome(
         key=payload.key, value=solution, seconds=time.perf_counter() - t0,
-        retries=attempt,
+        retries=attempt, spans=tracer.records(), metrics=done_snapshot(),
     )
 
 
 def _failed_outcome(key: TileKey, exc: BaseException, seconds: float, retries: int) -> TileOutcome:
+    """Classify a terminal failure into a failed outcome.
+
+    Deadline expiries are marked ``TIME_LIMIT:`` so reports (and readers
+    of ``--trace-out`` output) can tell a timeout from a solver crash;
+    the rung error history riding on :class:`SolveTimeoutError` is
+    preserved in ``error_chain``.
+    """
+    if isinstance(exc, SolveTimeoutError):
+        return TileOutcome(
+            key=key,
+            value=None,
+            seconds=seconds,
+            error=f"TIME_LIMIT: {exc}",
+            retries=retries,
+            error_chain=tuple(exc.rung_errors),
+        )
     return TileOutcome(
         key=key,
         value=None,
@@ -392,6 +437,7 @@ def dispatch_tiles(
             return TileOutcome(
                 key=key, value=value.solution, seconds=seconds,
                 report=value.report, retries=attempt,
+                spans=value.spans, metrics=value.metrics,
             )
         return TileOutcome(key=key, value=value, seconds=seconds, retries=attempt)
 
@@ -420,7 +466,11 @@ def dispatch_tiles(
             for key, future in futures:
                 t0 = time.perf_counter()
                 try:
-                    by_key[key] = outcome_of(key, future.result(), 0.0, 0)
+                    # Parent-side elapsed time: result() returns immediately
+                    # for already-finished futures, so this measures the
+                    # remaining wait, not 0.0 for every tile.
+                    value = future.result()
+                    by_key[key] = outcome_of(key, value, time.perf_counter() - t0, 0)
                     continue
                 except SolveTimeoutError as exc:
                     if not isolate:

@@ -39,6 +39,7 @@ from repro.errors import FillError
 from repro.fillsynth.budget import hybrid_budget, lp_minvar_budget, montecarlo_budget
 from repro.fillsynth.slack_sites import SiteLegality
 from repro.layout.layout import RoutedLayout
+from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.pilfill.columns import SlackColumn, SlackColumnDef
 from repro.pilfill.costs import ColumnCosts, build_costs
 from repro.pilfill.scanline import extract_columns
@@ -70,6 +71,7 @@ class PreparedInstance:
     legality: SiteLegality
     columns_by_tile: dict[TileKey, list[SlackColumn]]
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    lut_stats: dict[str, int] = field(default_factory=dict)
     _density: DensityMap | None = field(default=None, repr=False)
     _costs: dict[bool, dict[TileKey, list[ColumnCosts]]] = field(
         default_factory=dict, repr=False
@@ -99,33 +101,41 @@ class PreparedInstance:
             for key, cols in self.columns_by_tile.items()
         }
 
-    def costs_for(self, weighted: bool) -> dict[TileKey, list[ColumnCosts]]:
+    def costs_for(
+        self, weighted: bool, tracer: TracerLike | None = None
+    ) -> dict[TileKey, list[ColumnCosts]]:
         """Per-tile cost tables under the given objective weighting.
 
         Built once per ``weighted`` flag and shared by every run; the
         tables are immutable so concurrent tile solvers may read them
-        freely.
+        freely. LUT-cache hit/miss counts accumulate into ``lut_stats``.
         """
         cached = self._costs.get(weighted)
         if cached is not None:
             return cached
+        trc = tracer if tracer is not None else NULL_TRACER
         t0 = time.perf_counter()
-        layer_proc = self.layout.stack.layer(self.layer)
-        dbu = self.layout.stack.dbu_per_micron
-        lut_cache = LUTCache(
-            layer_proc.eps_r, layer_proc.thickness_um, self.fill_rules.fill_size / dbu
-        )
-        costs = {
-            key: build_costs(cols, layer_proc, self.fill_rules, dbu, lut_cache, weighted)
-            for key, cols in self.columns_by_tile.items()
-        }
+        with trc.span("prepare.costs", weighted=weighted):
+            layer_proc = self.layout.stack.layer(self.layer)
+            dbu = self.layout.stack.dbu_per_micron
+            lut_cache = LUTCache(
+                layer_proc.eps_r, layer_proc.thickness_um, self.fill_rules.fill_size / dbu
+            )
+            costs = {
+                key: build_costs(cols, layer_proc, self.fill_rules, dbu, lut_cache, weighted)
+                for key, cols in self.columns_by_tile.items()
+            }
+            for name, count in lut_cache.stats().items():
+                self.lut_stats[name] = self.lut_stats.get(name, 0) + count
         self._costs[weighted] = costs
         self.phase_seconds["costs"] = (
             self.phase_seconds.get("costs", 0.0) + time.perf_counter() - t0
         )
         return costs
 
-    def budget_for(self, config: "EngineConfig") -> dict[TileKey, int]:
+    def budget_for(
+        self, config: "EngineConfig", tracer: TracerLike | None = None
+    ) -> dict[TileKey, int]:
         """Per-tile feature budgets from the density-control baseline.
 
         Cached by the budget-relevant knobs (mode, target, seed, margin),
@@ -141,31 +151,33 @@ class PreparedInstance:
         cached = self._budgets.get(key)
         if cached is not None:
             return dict(cached)
+        trc = tracer if tracer is not None else NULL_TRACER
         t0 = time.perf_counter()
-        capacity = self.capacity(config.capacity_margin)
-        target = config.target_density
-        if target == "mean":
-            target = float(self.density.window_density().mean())
-        if config.budget_mode == "lp":
-            budget = lp_minvar_budget(
-                self.density, capacity, self.fill_rules, target_density=target
-            )
-        elif config.budget_mode == "hybrid":
-            budget = hybrid_budget(
-                self.density,
-                capacity,
-                self.fill_rules,
-                target_density=target,
-                seed=config.seed,
-            )
-        else:
-            budget = montecarlo_budget(
-                self.density,
-                capacity,
-                self.fill_rules,
-                target_density=target,
-                seed=config.seed,
-            )
+        with trc.span("prepare.budget", mode=config.budget_mode):
+            capacity = self.capacity(config.capacity_margin)
+            target = config.target_density
+            if target == "mean":
+                target = float(self.density.window_density().mean())
+            if config.budget_mode == "lp":
+                budget = lp_minvar_budget(
+                    self.density, capacity, self.fill_rules, target_density=target
+                )
+            elif config.budget_mode == "hybrid":
+                budget = hybrid_budget(
+                    self.density,
+                    capacity,
+                    self.fill_rules,
+                    target_density=target,
+                    seed=config.seed,
+                )
+            else:
+                budget = montecarlo_budget(
+                    self.density,
+                    capacity,
+                    self.fill_rules,
+                    target_density=target,
+                    seed=config.seed,
+                )
         self._budgets[key] = budget
         self.phase_seconds["budget"] = (
             self.phase_seconds.get("budget", 0.0) + time.perf_counter() - t0
@@ -192,27 +204,34 @@ def prepare(
     fill_rules: FillRules,
     density_rules: DensityRules,
     column_def: SlackColumnDef = SlackColumnDef.FULL_LAYOUT,
+    tracer: TracerLike | None = None,
 ) -> PreparedInstance:
     """Run the shared preprocessing once and capture it.
 
     Performs the dissection, legality indexing, and scan-line column
     extraction eagerly (timed under ``setup`` / ``scanline``); the density
     map, cost tables, and budgets are derived lazily on first use.
+    ``tracer``, when given, records ``prepare.setup`` / ``prepare.scanline``
+    spans around the eager phases.
     """
     if not layout.stack.has_layer(layer):
         raise FillError(f"layout stack has no layer {layer!r}")
+    trc = tracer if tracer is not None else NULL_TRACER
     clock = time.perf_counter
     phase_seconds: dict[str, float] = {}
 
     t0 = clock()
-    dissection = FixedDissection(layout.die, density_rules)
-    legality = SiteLegality(layout, layer, fill_rules)
+    with trc.span("prepare.setup"):
+        dissection = FixedDissection(layout.die, density_rules)
+        legality = SiteLegality(layout, layer, fill_rules)
     phase_seconds["setup"] = clock() - t0
 
     t0 = clock()
-    columns_by_tile = extract_columns(
-        layout, layer, dissection, legality, fill_rules, column_def
-    )
+    with trc.span("prepare.scanline") as span:
+        columns_by_tile = extract_columns(
+            layout, layer, dissection, legality, fill_rules, column_def
+        )
+        span.set("tiles", len(columns_by_tile))
     phase_seconds["scanline"] = clock() - t0
 
     PreparedInstance.build_count += 1

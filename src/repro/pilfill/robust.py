@@ -34,6 +34,8 @@ from dataclasses import dataclass
 from types import MappingProxyType
 
 from repro.errors import SolveTimeoutError, WorkerDeathError
+from repro.obs.metrics import NULL_METRICS, MetricsLike, MetricsSnapshot
+from repro.obs.trace import NULL_TRACER, SpanRecord, TracerLike
 from repro.pilfill.costlike import TileCosts
 from repro.pilfill.solution import TileSolution
 from repro.testing import faults as fault_hooks
@@ -102,10 +104,17 @@ class SolveReport:
 
 @dataclass(frozen=True)
 class RobustSolve:
-    """A tile solution bundled with its provenance report."""
+    """A tile solution bundled with its provenance report.
+
+    ``spans`` / ``metrics`` carry the tile-local telemetry buffer back
+    across the worker boundary when telemetry is enabled; both stay
+    empty on the disabled fast path.
+    """
 
     solution: TileSolution
     report: SolveReport
+    spans: tuple[SpanRecord, ...] = ()
+    metrics: MetricsSnapshot | None = None
 
 
 def effective_time_limit(
@@ -142,45 +151,79 @@ def solve_tile_robust(
     run_deadline: float | None = None,
     fault_spec: FaultSpec | None = None,
     attempt: int = 0,
+    tracer: TracerLike | None = None,
+    metrics: MetricsLike | None = None,
 ) -> RobustSolve:
     """Solve one tile, degrading down the fallback chain on failure.
 
     Raises :class:`WorkerDeathError` (never handled here — the dispatcher
     owns the retry) and :class:`SolveTimeoutError` only when the *run*
-    deadline is exhausted. Any other failure of the last chain rung
-    re-raises that rung's exception, which the dispatcher turns into a
-    retry and then a failed-tile outcome.
+    deadline is exhausted — that timeout carries the rung error history
+    accumulated so far (``rung_errors``), so the dispatcher can record a
+    complete failed report without retrying. Any other failure of the
+    last chain rung re-raises that rung's exception, which the dispatcher
+    turns into a retry and then a failed-tile outcome.
     """
     # Import here: methods → ilp is the heavy part of the import graph and
     # robust is imported by parallel, which workers import at startup.
     from repro.pilfill.methods import solve_tile_method
 
+    trc = tracer if tracer is not None else NULL_TRACER
+    mtr = metrics if metrics is not None else NULL_METRICS
     chain = fallback_chain(method)
     errors: list[str] = []
-    for rung_index, rung in enumerate(chain):
-        time_limit = effective_time_limit(tile_deadline_s, run_deadline)
-        try:
-            fault_hooks.inject(key, rung, attempt, fault_spec)
-            solution = solve_tile_method(
-                costs, rung, budget, weighted, ilp_backend, rng, time_limit=time_limit
+    with trc.span("tile", tile=key, method=method, attempt=attempt):
+        for rung_index, rung in enumerate(chain):
+            try:
+                time_limit = effective_time_limit(tile_deadline_s, run_deadline)
+            except SolveTimeoutError as exc:
+                # Run deadline expired between rungs: never retried, and
+                # the errors collected so far ride along on the exception.
+                mtr.count("solve.deadline_hits")
+                raise SolveTimeoutError(str(exc), rung_errors=tuple(errors)) from exc
+            mtr.count("solve.rungs_attempted")
+            with trc.span("rung", method=rung) as rung_span:
+                try:
+                    fault_hooks.inject(key, rung, attempt, fault_spec)
+                    solution = solve_tile_method(
+                        costs,
+                        rung,
+                        budget,
+                        weighted,
+                        ilp_backend,
+                        rng,
+                        time_limit=time_limit,
+                        tracer=trc,
+                    )
+                except WorkerDeathError:
+                    raise  # the dispatcher retries; recovery cannot run in a dead worker
+                except Exception as exc:  # noqa: BLE001 — isolation is the point
+                    mtr.count("solve.rung_failures")
+                    if isinstance(exc, SolveTimeoutError):
+                        mtr.count("solve.deadline_hits")
+                    rung_span.set("error", f"{type(exc).__name__}: {exc}")
+                    errors.append(f"{rung}: {exc}")
+                    if rung_index == len(chain) - 1:
+                        if isinstance(exc, SolveTimeoutError):
+                            # Keep the earlier rungs' errors on the timeout
+                            # so the failed report shows the whole chain.
+                            raise SolveTimeoutError(
+                                str(exc), rung_errors=tuple(errors[:-1])
+                            ) from exc
+                        raise
+                    continue
+            if rung_index > 0:
+                mtr.count("solve.fallbacks")
+            return RobustSolve(
+                solution=solution,
+                report=SolveReport(
+                    key=key,
+                    requested_method=method,
+                    used_method=rung,
+                    retries=attempt,
+                    errors=tuple(errors),
+                ),
             )
-        except WorkerDeathError:
-            raise  # the dispatcher retries; recovery cannot run in a dead worker
-        except Exception as exc:  # noqa: BLE001 — isolation is the point
-            errors.append(f"{rung}: {exc}")
-            if rung_index == len(chain) - 1:
-                raise
-            continue
-        return RobustSolve(
-            solution=solution,
-            report=SolveReport(
-                key=key,
-                requested_method=method,
-                used_method=rung,
-                retries=attempt,
-                errors=tuple(errors),
-            ),
-        )
     raise AssertionError("unreachable: chain is never empty")
 
 
@@ -189,12 +232,17 @@ def failed_report(
     method: str,
     retries: int,
     error: str | None,
+    prior_errors: tuple[str, ...] = (),
 ) -> SolveReport:
-    """The report recorded when every attempt on a tile failed."""
+    """The report recorded when every attempt on a tile failed.
+
+    ``prior_errors`` prepends the rung history that preceded the final
+    error (e.g. the chain rungs tried before a run-deadline expiry).
+    """
     return SolveReport(
         key=key,
         requested_method=method,
         used_method=None,
         retries=retries,
-        errors=(error,) if error else (),
+        errors=prior_errors + ((error,) if error else ()),
     )

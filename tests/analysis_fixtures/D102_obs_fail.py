@@ -1,0 +1,14 @@
+"""D102 failing fixture for the telemetry package: telemetry code reading
+the wall clock directly (linted as module="repro.obs.report", which is NOT
+on the allowlist — spans must take time from an injected Clock)."""
+
+from __future__ import annotations
+
+import time
+
+
+class InlineClockTracer:
+    """A tracer that bypasses the injected clock."""
+
+    def start(self) -> float:
+        return time.perf_counter()

@@ -1,0 +1,14 @@
+"""D102 passing fixture for the telemetry package: the same wall-clock
+read is sanctioned in module="repro.obs.clock" — the single repro.obs
+entry on the allowlist, where the injectable Clock implementations live."""
+
+from __future__ import annotations
+
+import time
+
+
+class FixtureMonotonicClock:
+    """The sanctioned clock: everything else in repro.obs injects one."""
+
+    def now(self) -> float:
+        return time.perf_counter()

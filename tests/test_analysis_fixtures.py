@@ -54,6 +54,27 @@ PASS_CONTEXTS: dict[str, tuple[str, bool, LintPolicy | None]] = {
     "D102": ("repro.pilfill.engine", False, None),
 }
 
+#: Extra fixture pairs beyond the one-per-rule core set: fixture stem ->
+#: (rule id exercised, fail context, pass context). The ``D102_obs`` pair
+#: pins the telemetry contract: tracing code (repro.obs.trace) may not
+#: read the wall clock; only repro.obs.clock is allowlisted.
+EXTRA_PAIRS: dict[
+    str,
+    tuple[
+        str,
+        tuple[str, bool, LintPolicy | None],
+        tuple[str, bool, LintPolicy | None],
+    ],
+] = {
+    "D102_obs": (
+        "D102",
+        # repro.obs.report: inside the telemetry package, not allowlisted,
+        # and (unlike repro.obs.trace) hosts no registered payload class.
+        ("repro.obs.report", False, None),
+        ("repro.obs.clock", False, None),
+    ),
+}
+
 
 def _lint_fixture(
     name: str, module: str, reachable: bool, policy: LintPolicy | None
@@ -83,12 +104,28 @@ def test_pass_fixture_is_clean(rule_id: str) -> None:
     assert findings == [], render_text(findings, 1)
 
 
+@pytest.mark.parametrize("stem", sorted(EXTRA_PAIRS))
+def test_extra_fail_fixture_fires_exactly_its_rule(stem: str) -> None:
+    rule_id, (module, reachable, policy), _ = EXTRA_PAIRS[stem]
+    findings = _lint_fixture(f"{stem}_fail.py", module, reachable, policy)
+    assert findings, f"{stem}_fail.py produced no findings"
+    assert {f.rule_id for f in findings} == {rule_id}, render_text(findings, 1)
+
+
+@pytest.mark.parametrize("stem", sorted(EXTRA_PAIRS))
+def test_extra_pass_fixture_is_clean(stem: str) -> None:
+    _, _, (module, reachable, policy) = EXTRA_PAIRS[stem]
+    findings = _lint_fixture(f"{stem}_pass.py", module, reachable, policy)
+    assert findings == [], render_text(findings, 1)
+
+
 def test_every_fixture_has_a_pair() -> None:
     names = {p.name for p in FIXTURES.glob("*.py")}
-    for rule_id in CONTEXTS:
-        assert f"{rule_id}_fail.py" in names
-        assert f"{rule_id}_pass.py" in names
-    assert names == {f"{r}_{kind}.py" for r in CONTEXTS for kind in ("fail", "pass")}
+    stems = set(CONTEXTS) | set(EXTRA_PAIRS)
+    for stem in stems:
+        assert f"{stem}_fail.py" in names
+        assert f"{stem}_pass.py" in names
+    assert names == {f"{s}_{kind}.py" for s in stems for kind in ("fail", "pass")}
 
 
 def test_suppression_requires_matching_rule_id() -> None:

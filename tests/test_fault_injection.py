@@ -359,7 +359,14 @@ class TestStrictMode:
         assert [f.rect for f in strict.features] == [
             f.rect for f in base_ilp2.features
         ]
-        assert strict.solve_reports == {}  # no robust layer, no reports
+        # Strict mode records an ok report per solved tile (no robust layer,
+        # but `clean` must rest on evidence, not an empty report dict).
+        assert set(strict.solve_reports) == set(strict.tile_solutions)
+        assert all(
+            r.ok and r.used_method == "ilp2" and r.retries == 0
+            for r in strict.solve_reports.values()
+        )
+        assert strict.clean
 
 
 class TestHarnessAndTables:
@@ -403,6 +410,51 @@ class TestHarnessAndTables:
         assert dead_worker_tile in result.retried_tiles
         assert_non_faulted_identical(result, base_ilp2, killed)
         assert_fill_invariants(result, prepared)
+
+    def test_table1_end_to_end_annotates_star_and_bang(
+        self, small_generated_layout, base_ilp2
+    ):
+        """Table 1 under faults, end to end: a degraded cell renders with
+        ``*``, a cell with failed tiles with ``!``, the legend explains
+        both, and the CSV carries the per-cell degraded/failed counts."""
+        t0, t1 = sorted(base_ilp2.tile_solutions)[:2]
+        spec = TableSpec(
+            testcases=("small",), windows_um=(16,), r_values=(2,),
+            fault_spec=FaultSpec(rules=(
+                # t0: ILP-II degrades to ILP-I -> the ilp2 cell gets `*`.
+                FaultRule(kind="error", tiles=frozenset({t0}),
+                          methods=("ilp2",), attempts=None),
+                # t1: ILP-I's whole chain dies -> the ilp1 cell gets `!`
+                # (greedy's own cell fails on t1 too).
+                FaultRule(kind="error", tiles=frozenset({t1}),
+                          methods=("ilp1", "greedy"), attempts=None),
+            )),
+        )
+        table = run_table(
+            weighted=False, spec=spec, layouts={"small": small_generated_layout}
+        )
+        row = table.rows[0]
+        assert row.outcomes["ilp2"].degraded_tiles == 1
+        assert row.outcomes["ilp1"].failed_tiles == 1
+        assert row.outcomes["greedy"].failed_tiles == 1
+        assert row.outcomes["normal"].clean
+        assert table.degraded_cells == 3
+
+        text = table.format()
+        assert "*" in text and "!" in text
+        assert "degraded to a cheaper fallback" in text
+        assert "failed (left unfilled)" in text
+
+        header, *rows = table.to_csv().strip().splitlines()
+        cols = header.split(",")
+        by_method = {
+            line.split(",")[cols.index("method")]: line.split(",") for line in rows
+        }
+        deg, fail = cols.index("degraded_tiles"), cols.index("failed_tiles")
+        assert by_method["ilp2"][deg] == "1" and by_method["ilp2"][fail] == "0"
+        assert by_method["ilp1"][deg] == "0" and by_method["ilp1"][fail] == "1"
+        assert by_method["greedy"][fail] == "1"
+        assert by_method["normal"][deg] == "0" and by_method["normal"][fail] == "0"
 
     @pytest.mark.slow
     def test_table_sweep_annotates_degraded_cells(self, small_generated_layout):
