@@ -21,6 +21,12 @@ def _default_payload_registry() -> tuple[str, ...]:
         "repro.pilfill.columns.ColumnNeighbor",
         "repro.testing.faults.FaultSpec",
         "repro.testing.faults.FaultRule",
+        # Batched dispatch + shared-memory store (executor boundary).
+        "repro.pilfill.executor.TileBatch",
+        "repro.pilfill.executor.SharedStoreHandle",
+        "repro.pilfill.executor.SharedStoreData",
+        "repro.cap.lut.LUTSnapshot",
+        "repro.cap.lut.CapacitanceLUT",
         # Returned from pool workers (the response side).
         "repro.pilfill.parallel.TileOutcome",
         "repro.pilfill.solution.TileSolution",
@@ -69,7 +75,10 @@ class LintPolicy:
         # repro.obs — spans take time via an injected Clock, never directly.
         "repro.obs.clock",
     )
-    worker_entry_modules: tuple[str, ...] = ("repro.pilfill.parallel",)
+    worker_entry_modules: tuple[str, ...] = (
+        "repro.pilfill.parallel",
+        "repro.pilfill.executor",
+    )
     payload_registry: tuple[str, ...] = field(default_factory=_default_payload_registry)
     picklable_type_names: tuple[str, ...] = (
         "int",

@@ -45,6 +45,7 @@ def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
     telemetry = bool(args.trace_out or args.metrics_out)
     spec = TableSpec(
         workers=args.workers, parallel_backend=args.backend,
+        batch_tiles=args.batch_tiles, persistent_pool=not args.ephemeral_pool,
         tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
         telemetry=telemetry,
     )
@@ -52,6 +53,7 @@ def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
         spec = TableSpec(
             testcases=("T1",), windows_um=(32,), r_values=(2,),
             workers=args.workers, parallel_backend=args.backend,
+            batch_tiles=args.batch_tiles, persistent_pool=not args.ephemeral_pool,
             tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
             telemetry=telemetry,
         )
@@ -116,6 +118,8 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         parallel_backend=args.backend,
+        batch_tiles=args.batch_tiles,
+        persistent_pool=not args.ephemeral_pool,
         tile_deadline_s=args.tile_deadline,
         run_deadline_s=args.run_deadline,
         telemetry=bool(args.trace_out or args.metrics_out),
@@ -216,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--backend", default="thread", choices=PARALLEL_BACKENDS,
                        help="worker pool kind: thread (shared memory) or "
                             "process (ships compact tile payloads)")
+        p.add_argument("--batch-tiles", type=int, default=None,
+                       help="tiles per process-pool submit (default: "
+                            "auto-sized; results are identical either way)")
+        p.add_argument("--ephemeral-pool", action="store_true",
+                       help="tear the process pool down after each run "
+                            "instead of reusing it across runs")
         p.add_argument("--tile-deadline", type=float, default=None,
                        help="per-tile solve deadline in seconds; timed-out "
                             "tiles degrade ILP-II -> ILP-I -> Greedy")
@@ -248,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="thread", choices=PARALLEL_BACKENDS,
                    help="worker pool kind: thread (shared memory) or "
                         "process (ships compact tile payloads)")
+    p.add_argument("--batch-tiles", type=int, default=None,
+                   help="tiles per process-pool submit (default: "
+                        "auto-sized; results are identical either way)")
+    p.add_argument("--ephemeral-pool", action="store_true",
+                   help="tear the process pool down after each run "
+                        "instead of reusing it across runs")
     p.add_argument("--tile-deadline", type=float, default=None,
                    help="per-tile solve deadline in seconds; timed-out "
                         "tiles degrade ILP-II -> ILP-I -> Greedy")

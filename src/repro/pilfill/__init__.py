@@ -21,6 +21,17 @@ from repro.pilfill.dp import (
     allocation_cost,
 )
 from repro.pilfill.engine import METHODS, EngineConfig, FillResult, PILFillEngine
+from repro.pilfill.executor import (
+    SharedCostStore,
+    SharedStoreHandle,
+    TileBatch,
+    chunk_payloads,
+    get_pool,
+    make_shared_store,
+    pool_stats,
+    shutdown_pools,
+    worker_pids,
+)
 from repro.pilfill.methods import solve_tile_method, solve_tile_normal, trim_to
 from repro.pilfill.evaluate import ImpactReport, evaluate_impact
 from repro.pilfill.budgeted import (
@@ -42,6 +53,7 @@ from repro.pilfill.parallel import (
     dispatch_tile_payloads,
     dispatch_tiles,
     make_tile_payload,
+    payload_columns,
     solve_tile_payload,
     tile_rng,
 )
@@ -81,6 +93,15 @@ __all__ = [
     "EngineConfig",
     "FillResult",
     "PILFillEngine",
+    "SharedCostStore",
+    "SharedStoreHandle",
+    "TileBatch",
+    "chunk_payloads",
+    "get_pool",
+    "make_shared_store",
+    "pool_stats",
+    "shutdown_pools",
+    "worker_pids",
     "ImpactReport",
     "evaluate_impact",
     "solve_tile_greedy",
@@ -98,6 +119,7 @@ __all__ = [
     "dispatch_tile_payloads",
     "dispatch_tiles",
     "make_tile_payload",
+    "payload_columns",
     "solve_tile_payload",
     "tile_rng",
     "PreparedInstance",

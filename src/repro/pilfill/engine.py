@@ -37,6 +37,7 @@ import dataclasses
 import random
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import FillError, SolveTimeoutError
 from repro.layout.layout import FillFeature, RoutedLayout
@@ -72,6 +73,9 @@ from repro.pilfill.solution import TileSolution
 from repro.tech.rules import DensityRules, FillRules
 from repro.testing import faults as fault_hooks
 from repro.testing.faults import FaultSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.pilfill.executor import SharedCostStore
 
 #: The method names the engine accepts.
 METHODS = ("normal", "ilp1", "ilp2", "greedy", "greedy_marginal", "dp")
@@ -113,10 +117,22 @@ class EngineConfig:
             serially; N > 1 fans tiles out over N workers with a
             deterministic merge that is bit-identical to the serial path.
         parallel_backend: ``"thread"`` (default) or ``"process"``. The
-            process backend ships each tile as a compact picklable
-            payload (cost tables + budget + seed, no layout objects) so
-            the pure-Python methods scale across cores; results are
-            bit-identical to serial for every method.
+            process backend ships tiles as compact picklable payloads
+            (budget + seed + deadlines, no layout objects) in chunked
+            batches on a *persistent* pool, with the cost tables and LUT
+            arrays riding a shared-memory store that crosses the pickle
+            boundary once per worker instead of once per tile; results
+            are bit-identical to serial for every method.
+        batch_tiles: tiles per process-pool submit. ``None`` (default)
+            auto-sizes to a few batches per worker, capped at 64 —
+            dozens of tiles per future instead of one, so dispatch
+            overhead stops swamping the tiny per-tile solves. Chunking
+            never affects results.
+        persistent_pool: True (default) → process pools persist across
+            ``engine.run()`` calls (created lazily per worker count;
+            release explicitly via
+            :func:`repro.pilfill.executor.shutdown_pools`). False →
+            a throwaway pool per dispatch, the pre-persistence behavior.
         tile_deadline_s: wall-clock deadline per tile solve (seconds).
             An ILP attempt exceeding it surfaces ``TIME_LIMIT`` and the
             tile degrades down the fallback chain (ILP-II → ILP-I →
@@ -153,6 +169,8 @@ class EngineConfig:
     seed: int = 0
     workers: int = 1
     parallel_backend: str = "thread"
+    batch_tiles: int | None = None
+    persistent_pool: bool = True
     tile_deadline_s: float | None = None
     run_deadline_s: float | None = None
     fallback: bool = True
@@ -174,6 +192,8 @@ class EngineConfig:
             )
         if self.workers < 1:
             raise FillError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_tiles is not None and self.batch_tiles < 1:
+            raise FillError(f"batch_tiles must be >= 1, got {self.batch_tiles}")
         if self.parallel_backend not in PARALLEL_BACKENDS:
             raise FillError(
                 f"unknown parallel backend {self.parallel_backend!r}; "
@@ -357,6 +377,7 @@ class PILFillEngine:
 
             with tracer.span("solve", tiles=len(solve_keys)):
                 if cfg.parallel_backend == "process":
+                    store = self._shared_store(tracer)
                     payloads = [
                         make_tile_payload(
                             key,
@@ -371,11 +392,19 @@ class PILFillEngine:
                             fault_spec=cfg.fault_spec,
                             fallback=cfg.fallback,
                             telemetry=cfg.telemetry,
+                            inline_columns=store is None,
                         )
                         for key in solve_keys
                     ]
                     outcomes = dispatch_tile_payloads(
-                        payloads, workers=cfg.workers, isolate=cfg.fallback
+                        payloads,
+                        workers=cfg.workers,
+                        isolate=cfg.fallback,
+                        store=store.handle if store is not None else None,
+                        batch_tiles=cfg.batch_tiles,
+                        persistent=cfg.persistent_pool,
+                        tracer=tracer,
+                        metrics=metrics,
                     )
                 else:
                     if cfg.fallback:
@@ -435,6 +464,18 @@ class PILFillEngine:
             for phase, seconds in result.phase_seconds.items():
                 metrics.observe(f"phase.{phase}.seconds", seconds)
         return result
+
+    def _shared_store(self, tracer: TracerLike = NULL_TRACER) -> "SharedCostStore | None":
+        """The shared-memory cost store backing process-pool payloads.
+
+        ``None`` when the run is effectively serial (``workers=1``
+        hydrates in-process, so a store buys nothing) or when the
+        platform offers no shared memory (payloads then carry their
+        columns inline — slower dispatch, identical results).
+        """
+        if self.config.workers <= 1:
+            return None
+        return self.prepared.shared_store_for(self.config.weighted, tracer=tracer)
 
     def _run_deadline(self) -> float | None:
         """Absolute epoch the solve phase must finish by (``time.time()``
@@ -532,6 +573,7 @@ class PILFillEngine:
             # MVDC in a worker: the payload's budget is the prescription
             # ceiling; delay_budget_ps switches the worker to the MVDC
             # solve (plus the same trim the in-process path applies).
+            store = self._shared_store(tracer)
             payloads = [
                 make_tile_payload(
                     key,
@@ -547,11 +589,19 @@ class PILFillEngine:
                     fault_spec=cfg.fault_spec,
                     fallback=cfg.fallback,
                     telemetry=cfg.telemetry,
+                    inline_columns=store is None,
                 )
                 for key in solve_keys
             ]
             outcomes = dispatch_tile_payloads(
-                payloads, workers=cfg.workers, isolate=cfg.fallback
+                payloads,
+                workers=cfg.workers,
+                isolate=cfg.fallback,
+                store=store.handle if store is not None else None,
+                batch_tiles=cfg.batch_tiles,
+                persistent=cfg.persistent_pool,
+                tracer=tracer,
+                metrics=metrics,
             )
         else:
             def solve_one(key: tuple[int, int], attempt: int) -> TileSolution:

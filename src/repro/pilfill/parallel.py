@@ -14,11 +14,14 @@ solves out over a worker pool and merges the outcomes deterministically:
 * **Two backends.** ``backend="thread"`` shares the read-only cost
   tables across a thread pool — right for the numeric solvers
   (scipy/HiGHS) that release the GIL during their solves.
-  ``backend="process"`` ships each tile as a compact picklable
-  :class:`TilePayload` (cost arrays + budget + seed, *not* layout
+  ``backend="process"`` ships tiles as compact picklable
+  :class:`TilePayload` s (cost arrays + budget + seed, *not* layout
   objects) to a process pool — right for the pure-Python methods
   (Greedy, DP, Normal, bundled branch-and-bound) whose hot loops hold
-  the GIL and gain nothing from threads.
+  the GIL and gain nothing from threads. The pool is *persistent*
+  (reused across runs), tiles travel in chunked batches, and the cost
+  tables can ride a shared-memory store instead of each payload — see
+  :mod:`repro.pilfill.executor` for the dispatch machinery.
 * **Per-tile timing.** Every outcome records its solve seconds so the
   hot tiles are visible from the CLI and harness.
 * **Fault isolation.** With ``isolate=True`` (the default) a tile whose
@@ -34,16 +37,19 @@ solves out over a worker pool and merges the outcomes deterministically:
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
 from repro.errors import FillError, SolveTimeoutError
-from repro.obs.metrics import Metrics, MetricsSnapshot
+from repro.obs.metrics import NULL_METRICS, Metrics, MetricsLike, MetricsSnapshot
 from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer, TracerLike
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.pilfill.executor import SharedStoreHandle
 from repro.pilfill.columns import ColumnNeighbor
 from repro.pilfill.costlike import TileCosts
 from repro.pilfill.methods import solve_tile_method, trim_to
@@ -81,7 +87,9 @@ class TileOutcome:
     the robust layer, ``report`` carries its
     :class:`~repro.pilfill.robust.SolveReport`. ``spans`` / ``metrics``
     marshal the tile-local telemetry buffer back from pool workers; both
-    stay empty when telemetry is off.
+    stay empty when telemetry is off. ``pid`` records the process that
+    produced the outcome, so pool reuse (stable worker PIDs across
+    consecutive runs) is observable from the results.
     """
 
     key: TileKey
@@ -93,6 +101,7 @@ class TileOutcome:
     error_chain: tuple[str, ...] = ()
     spans: tuple[SpanRecord, ...] = ()
     metrics: MetricsSnapshot | None = None
+    pid: int | None = None
 
     @property
     def failed(self) -> bool:
@@ -164,6 +173,29 @@ class TilePayload:
     telemetry: bool = False
 
 
+def payload_columns(costs: TileCosts) -> tuple[PayloadColumnCosts, ...]:
+    """Picklable column tables for one tile's :class:`ColumnCosts` list.
+
+    The conversion is pure data-copying, so callers that dispatch many
+    runs over the same prepared instance cache the result (see
+    :meth:`~repro.pilfill.prepare.PreparedInstance.payload_columns_for`)
+    and ship it through the shared-memory store instead of rebuilding it
+    per payload per run.
+    """
+    return tuple(
+        PayloadColumnCosts(
+            column=PayloadColumn(
+                gap_um=cc.column.gap_um,
+                below=cc.column.below,
+                above=cc.column.above,
+            ),
+            exact=tuple(cc.exact),
+            linear=tuple(cc.linear),
+        )
+        for cc in costs
+    )
+
+
 def make_tile_payload(
     key: TileKey,
     costs: TileCosts,
@@ -179,20 +211,14 @@ def make_tile_payload(
     fault_spec: FaultSpec | None = None,
     fallback: bool = True,
     telemetry: bool = False,
+    inline_columns: bool = True,
 ) -> TilePayload:
-    """Compact payload for one tile from its :class:`ColumnCosts` list."""
-    columns = tuple(
-        PayloadColumnCosts(
-            column=PayloadColumn(
-                gap_um=cc.column.gap_um,
-                below=cc.column.below,
-                above=cc.column.above,
-            ),
-            exact=tuple(cc.exact),
-            linear=tuple(cc.linear),
-        )
-        for cc in costs
-    )
+    """Compact payload for one tile from its :class:`ColumnCosts` list.
+
+    ``inline_columns=False`` leaves ``columns`` empty — the payload then
+    rides a shared-memory store and the worker hydrates the tables by
+    tile key (see :mod:`repro.pilfill.executor`).
+    """
     return TilePayload(
         key=key,
         method=method,
@@ -200,7 +226,7 @@ def make_tile_payload(
         weighted=weighted,
         ilp_backend=ilp_backend,
         seed=seed,
-        columns=columns,
+        columns=payload_columns(costs) if inline_columns else (),
         delay_budget_ps=delay_budget_ps,
         tile_deadline_s=tile_deadline_s,
         run_deadline=run_deadline,
@@ -249,6 +275,7 @@ def solve_tile_payload(payload: TilePayload, attempt: int = 0) -> TileOutcome:
         return TileOutcome(
             key=payload.key, value=solution, seconds=time.perf_counter() - t0,
             retries=attempt, spans=tracer.records(), metrics=done_snapshot(),
+            pid=os.getpid(),
         )
     if payload.fallback:
         robust = solve_tile_robust(
@@ -274,6 +301,7 @@ def solve_tile_payload(payload: TilePayload, attempt: int = 0) -> TileOutcome:
             retries=attempt,
             spans=tracer.records(),
             metrics=done_snapshot(),
+            pid=os.getpid(),
         )
     with tracer.span("tile", tile=payload.key, method=payload.method, attempt=attempt):
         fault_hooks.inject(payload.key, payload.method, attempt, payload.fault_spec)
@@ -290,6 +318,7 @@ def solve_tile_payload(payload: TilePayload, attempt: int = 0) -> TileOutcome:
     return TileOutcome(
         key=payload.key, value=solution, seconds=time.perf_counter() - t0,
         retries=attempt, spans=tracer.records(), metrics=done_snapshot(),
+        pid=os.getpid(),
     )
 
 
@@ -309,6 +338,7 @@ def _failed_outcome(key: TileKey, exc: BaseException, seconds: float, retries: i
             error=f"TIME_LIMIT: {exc}",
             retries=retries,
             error_chain=tuple(exc.rung_errors),
+            pid=os.getpid(),
         )
     return TileOutcome(
         key=key,
@@ -316,11 +346,23 @@ def _failed_outcome(key: TileKey, exc: BaseException, seconds: float, retries: i
         seconds=seconds,
         error=f"{type(exc).__name__}: {exc}",
         retries=retries,
+        pid=os.getpid(),
     )
 
 
-def _solve_payload_isolated(payload: TilePayload) -> TileOutcome:
-    """In-process payload solve with the retry-then-fail policy applied."""
+def _solve_payload_isolated(
+    payload: TilePayload,
+    escalate: tuple[type[BaseException], ...] = (),
+) -> TileOutcome:
+    """In-process payload solve with the retry-then-fail policy applied.
+
+    ``escalate`` lists exception types that must propagate instead of
+    being retried here — the batch worker passes
+    :class:`~repro.errors.WorkerDeathError` so a simulated worker death
+    escapes to the *dispatcher*, whose parent-side retry is the
+    contract being exercised (nothing inside a dead worker can run
+    recovery code).
+    """
     t0 = time.perf_counter()
     last: BaseException | None = None
     for attempt in range(MAX_ATTEMPTS):
@@ -328,6 +370,8 @@ def _solve_payload_isolated(payload: TilePayload) -> TileOutcome:
             return solve_tile_payload(payload, attempt)
         except SolveTimeoutError as exc:
             return _failed_outcome(payload.key, exc, time.perf_counter() - t0, attempt)
+        except escalate:
+            raise
         except Exception as exc:  # noqa: BLE001 — isolation is the point
             last = exc
     return _failed_outcome(payload.key, last, time.perf_counter() - t0, MAX_ATTEMPTS - 1)
@@ -337,57 +381,63 @@ def dispatch_tile_payloads(
     payloads: Sequence[TilePayload],
     workers: int = 1,
     isolate: bool = True,
+    *,
+    store: "SharedStoreHandle | None" = None,
+    batch_tiles: int | None = None,
+    persistent: bool = True,
+    tracer: TracerLike = NULL_TRACER,
+    metrics: MetricsLike = NULL_METRICS,
 ) -> dict[TileKey, TileOutcome]:
-    """Solve shipped tiles, serially or on a process pool.
+    """Solve shipped tiles, serially or on a (persistent) process pool.
 
-    ``workers=1`` (or a single payload) solves in-process — same code
-    path as the pool workers, so results never depend on the worker
-    count. The returned mapping is ordered by ``payloads`` regardless of
-    completion order, giving a deterministic merge.
+    An empty payload list returns an empty mapping before any pool is
+    touched (a no-fill-needed run must not cost a pool, and
+    ``ProcessPoolExecutor(max_workers=0)`` would raise). ``workers=1``
+    (or a single payload) solves in-process — same code path as the pool
+    workers, so results never depend on the worker count. The returned
+    mapping is ordered by ``payloads`` regardless of completion order,
+    giving a deterministic merge.
+
+    ``workers > 1`` dispatches chunked :class:`~repro.pilfill.executor.
+    TileBatch` submits on the persistent pool for that worker count
+    (``persistent=False`` builds a throwaway pool instead — the
+    pre-persistence behavior). ``store`` names a shared-memory cost
+    store; payloads built with empty ``columns`` are hydrated from it on
+    the worker side, so the big tables cross the pickle boundary once
+    per worker rather than once per tile. ``batch_tiles`` overrides the
+    auto chunk size; ``tracer``/``metrics`` receive per-batch spans and
+    dispatch-cost metrics (payload bytes, batches, broken pools).
 
     With ``isolate=True`` a failing tile is retried once and then
     recorded as a failed :class:`TileOutcome` instead of aborting the
-    sweep. A pool worker that *dies* (broken pool) has its tile — and
-    any tiles stranded by the broken pool — re-solved in the parent
+    sweep. A pool worker that *dies* (broken pool) has its batch — and
+    any batch stranded by the broken pool — re-solved in the parent
     process, which is attempt 1 of the same deterministic contract.
     With ``isolate=False`` the first exception propagates.
     """
+    from repro.pilfill.executor import _hydrate, dispatch_batches, resolve_store
+
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if not payloads:
+        return {}
     if workers == 1 or len(payloads) <= 1:
+        if store is not None:
+            data = resolve_store(store)
+            payloads = [_hydrate(p, data) for p in payloads]
         if isolate:
             return {p.key: _solve_payload_isolated(p) for p in payloads}
         return {p.key: solve_tile_payload(p) for p in payloads}
-    by_key: dict[TileKey, TileOutcome] = {}
-    with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-        futures = [(p, pool.submit(solve_tile_payload, p)) for p in payloads]
-        for payload, future in futures:
-            t0 = time.perf_counter()
-            try:
-                by_key[payload.key] = future.result()
-                continue
-            except SolveTimeoutError as exc:
-                if not isolate:
-                    raise
-                by_key[payload.key] = _failed_outcome(
-                    payload.key, exc, time.perf_counter() - t0, 0
-                )
-                continue
-            except (Exception, BrokenProcessPool) as exc:  # noqa: BLE001
-                if not isolate:
-                    raise
-                first_error = exc
-            # Attempt 1 runs in the parent: the pool may be broken, and the
-            # payload re-derives its RNG, so the result is still the one the
-            # worker would have produced.
-            try:
-                by_key[payload.key] = solve_tile_payload(payload, attempt=1)
-            except Exception as exc:  # noqa: BLE001
-                by_key[payload.key] = _failed_outcome(
-                    payload.key, exc, time.perf_counter() - t0, 1
-                )
-    # Re-key in payload order for the deterministic merge.
-    return {p.key: by_key[p.key] for p in payloads}
+    return dispatch_batches(
+        payloads,
+        workers,
+        isolate,
+        store=store,
+        batch_tiles=batch_tiles,
+        persistent=persistent,
+        tracer=tracer,
+        metrics=metrics,
+    )
 
 
 def dispatch_tiles(
@@ -431,6 +481,10 @@ def dispatch_tiles(
         raise FillError(
             f"unknown parallel backend {backend!r}; expected one of {PARALLEL_BACKENDS}"
         )
+    if not keys:
+        # No fill needed anywhere: never build a pool for zero tiles
+        # (ProcessPoolExecutor(max_workers=0) raises ValueError).
+        return {}
 
     def outcome_of(key: TileKey, value: object, seconds: float, attempt: int) -> TileOutcome:
         if isinstance(value, RobustSolve):

@@ -47,6 +47,8 @@ from repro.tech.rules import DensityRules, FillRules
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.pilfill.engine import EngineConfig
+    from repro.pilfill.executor import SharedCostStore
+    from repro.pilfill.parallel import PayloadColumnCosts
 
 TileKey = tuple[int, int]
 
@@ -77,6 +79,13 @@ class PreparedInstance:
         default_factory=dict, repr=False
     )
     _budgets: dict[tuple, dict[TileKey, int]] = field(default_factory=dict, repr=False)
+    _lut_caches: dict[bool, LUTCache] = field(default_factory=dict, repr=False)
+    _payload_columns: dict[bool, dict[TileKey, tuple["PayloadColumnCosts", ...]]] = field(
+        default_factory=dict, repr=False
+    )
+    _shared_stores: dict[bool, "SharedCostStore | None"] = field(
+        default_factory=dict, repr=False
+    )
 
     #: Process-wide count of full preprocessing builds (see :func:`prepare`).
     build_count = 0
@@ -128,10 +137,60 @@ class PreparedInstance:
             for name, count in lut_cache.stats().items():
                 self.lut_stats[name] = self.lut_stats.get(name, 0) + count
         self._costs[weighted] = costs
+        # Kept so the shared-memory store can ship the LUT tables to pool
+        # workers once instead of re-deriving them there.
+        self._lut_caches[weighted] = lut_cache
         self.phase_seconds["costs"] = (
             self.phase_seconds.get("costs", 0.0) + time.perf_counter() - t0
         )
         return costs
+
+    def payload_columns_for(
+        self, weighted: bool, tracer: TracerLike | None = None
+    ) -> dict[TileKey, tuple["PayloadColumnCosts", ...]]:
+        """Picklable per-tile column tables, converted once per
+        ``weighted`` flag and shared by every process-backend run."""
+        cached = self._payload_columns.get(weighted)
+        if cached is not None:
+            return cached
+        from repro.pilfill.parallel import payload_columns
+
+        costs = self.costs_for(weighted, tracer=tracer)
+        converted = {key: payload_columns(cc) for key, cc in costs.items()}
+        self._payload_columns[weighted] = converted
+        return converted
+
+    def shared_store_for(
+        self, weighted: bool, tracer: TracerLike | None = None
+    ) -> "SharedCostStore | None":
+        """The shared-memory cost/LUT store for ``weighted`` runs.
+
+        Built once per flag and reused by every ``engine.run()`` on this
+        instance — the persistent pool's workers resolve it by content
+        hash, so consecutive runs (even interleaved with runs of another
+        prepared instance) always see the right tables. Returns ``None``
+        where shared memory is unavailable; callers then fall back to
+        inline per-payload columns.
+        """
+        if weighted in self._shared_stores:
+            return self._shared_stores[weighted]
+        from repro.pilfill.executor import make_shared_store
+
+        columns = self.payload_columns_for(weighted, tracer=tracer)
+        lut_cache = self._lut_caches.get(weighted)
+        store = make_shared_store(
+            columns, lut_cache.snapshot() if lut_cache is not None else None
+        )
+        self._shared_stores[weighted] = store
+        return store
+
+    def close(self) -> None:
+        """Release the shared-memory stores (idempotent; also guaranteed
+        by per-store finalizers when the instance is garbage-collected)."""
+        for store in self._shared_stores.values():
+            if store is not None:
+                store.close()
+        self._shared_stores.clear()
 
     def budget_for(
         self, config: "EngineConfig", tracer: TracerLike | None = None
