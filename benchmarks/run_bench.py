@@ -17,7 +17,11 @@ Measures, on the T1 testcase:
   chunked-dispatch / shared-memory-store machinery targets, timing a cold
   (pool spin-up included) and a warm (steady-state) process run against
   serial. The ``process_speedup > 1`` gate is recorded honestly: it is
-  skipped — with the reason — on hosts with fewer than 2 CPUs.
+  skipped — with the reason — on hosts with fewer than 2 CPUs,
+* **ECO re-fill** — on T2, a full fill primes the content-addressed
+  tile-solution cache, a deterministic ~1%-area window edit is applied,
+  and a warm incremental re-fill is timed against a cold one; the warm
+  result is asserted bit-identical and ``warm_speedup > 5`` is the gate.
 
 Results land in a dated JSON file (``BENCH_YYYY-MM-DD.json`` by default;
 same-day reruns get a ``.1``/``.2`` suffix instead of overwriting) so the
@@ -41,6 +45,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.cap.lut import LUTCache
+from repro.io.atomic import atomic_write_json
 from repro.pilfill import (
     EngineConfig,
     ImpactModel,
@@ -279,6 +284,141 @@ def bench_large_grid(layout, fill_rules, workers: int, window: int = 32, r: int 
     return out
 
 
+def bench_eco_refill(window: int = 20, r: int = 8, method: str = "ilp2") -> dict:
+    """Cold full fill vs warm incremental re-fill after a ~1%-area ECO (T2).
+
+    The incremental-cache scenario: prime a content-addressed
+    :class:`~repro.pilfill.incremental.SolutionCache` with a full run on
+    T2, apply a deterministic :func:`~repro.synth.edit_window` ECO to a
+    window covering ~1% of the die, then re-fill the edited layout twice
+    — cold (no cache) and warm (cache primed on the base layout). Both
+    re-fills rebuild preparation from scratch; ``warm_speedup`` compares
+    the *solve* phases (cold solve / warm solve), which is where the
+    cache acts — the shared preprocessing is identical work in both runs
+    and is reported separately via the ``*_total_s`` fields.
+
+    Both re-fills reuse the priming run's tile budgets (clamped to the
+    edited capacity by the engine, exactly like the table harness reuses
+    one budget across methods): re-deriving the global min-variance LP
+    for a 1% edit would let float-level budget drift in far-away windows
+    mask the locality of the edit. Density control still uses a fixed
+    float target (the base layout's mean window density) rather than
+    ``"mean"`` so the recorded config is edit-independent too.
+
+    The warm placement is asserted bit-identical to the cold one — the
+    crown-jewel contract of the cache. The ``gate`` block records the
+    ``warm_speedup > 5`` acceptance check; no host-capability skip is
+    needed because the cache speedup is single-core by nature.
+    """
+    from repro.geometry import Rect
+    from repro.pilfill import SolutionCache
+    from repro.synth import edit_window, make_t2
+
+    layout = make_t2()
+    fill_rules = default_fill_rules(layout.stack)
+    density_rules = density_rules_for(window, r, layout.stack)
+    base_prep = prepare(layout, "metal3", fill_rules, density_rules)
+    target = float(base_prep.density.window_density().mean())
+
+    def config(cache) -> EngineConfig:
+        return EngineConfig(
+            fill_rules=fill_rules, density_rules=density_rules,
+            method=method, backend="scipy", seed=0,
+            target_density=target, solution_cache=cache,
+        )
+
+    cache = SolutionCache()
+    t0 = time.perf_counter()
+    prime = PILFillEngine(layout, "metal3", config(cache), prepared=base_prep).run()
+    prime_s = time.perf_counter() - t0
+    budget = dict(prime.requested_budget)
+
+    # ~1% of the die area: a window with 1/10 of the die side, centered
+    # on the median *solved* tile so the edit provably dirties cached
+    # work (a corner window could land entirely on zero-budget tiles).
+    die = layout.die
+    side = max(1, die.width // 10)
+    solved = sorted(prime.tile_solutions)
+    anchor = {t.key: t.rect for t in base_prep.dissection.tiles()}[
+        solved[len(solved) // 2]
+    ]
+    cx = (anchor.xlo + anchor.xhi) // 2
+    cy = (anchor.ylo + anchor.yhi) // 2
+    eco_window = Rect(cx - side // 2, cy - side // 2, cx + side // 2, cy + side // 2)
+    # The edit is random within the window; scan seeds deterministically
+    # until its dirty rect actually crosses a solved (budget > 0) tile,
+    # so the run demonstrates invalidation, not just digest misses.
+    tile_index = base_prep.tile_index()
+    solved_keys = set(solved)
+    for eco_seed in range(1, 33):
+        edited, summary = edit_window(layout, eco_window, seed=eco_seed)
+        if any(k in solved_keys for k in tile_index.query(summary.rect)):
+            break
+
+    t0 = time.perf_counter()
+    cold_prep = prepare(edited, "metal3", fill_rules, density_rules)
+    cold = PILFillEngine(edited, "metal3", config(None), prepared=cold_prep).run(
+        budget=dict(budget)
+    )
+    cold_total_s = time.perf_counter() - t0
+
+    # Dirty-window bookkeeping: evict the entries the edit staled (the
+    # digest already guarantees they could never be *wrongly* hit).
+    dirty = cache.invalidate_window(cold_prep.tile_index(), summary.rect)
+
+    t0 = time.perf_counter()
+    warm_prep = prepare(edited, "metal3", fill_rules, density_rules)
+    warm = PILFillEngine(edited, "metal3", config(cache), prepared=warm_prep).run(
+        budget=dict(budget)
+    )
+    warm_total_s = time.perf_counter() - t0
+
+    if warm.features != cold.features or warm.tile_solutions != cold.tile_solutions:
+        raise AssertionError("eco_refill: warm placement diverged from cold")
+
+    stats = warm.cache_stats or {}
+    warm_speedup = round(cold.solve_seconds / warm.solve_seconds, 2)
+    return {
+        "testcase": "T2",
+        "window_um": window,
+        "r": r,
+        "method": method,
+        "tiles": len(cold_prep.columns_by_tile),
+        "solved_tiles": len(cold.tile_solutions),
+        "edit": {
+            "seed": eco_seed,
+            "action": summary.action,
+            "net": summary.net,
+            "window_area_fraction": round(
+                (eco_window.area / die.area) if die.area else 0.0, 4
+            ),
+            "dirty_tiles": len(dirty),
+        },
+        "prime_s": round(prime_s, 4),
+        "prime_features": prime.total_features,
+        "cold_total_s": round(cold_total_s, 4),
+        "warm_total_s": round(warm_total_s, 4),
+        "cold_solve_s": round(cold.solve_seconds, 4),
+        "warm_solve_s": round(warm.solve_seconds, 4),
+        "bit_identical": True,
+        "cache": {
+            "hits": stats.get("hits", 0),
+            "misses": stats.get("misses", 0),
+            "stores": stats.get("stores", 0),
+            # Invalidation happens between runs, so the warm run's
+            # per-run delta would show 0; report the lifetime counter.
+            "invalidated": cache.invalidated,
+        },
+        "warm_speedup": warm_speedup,
+        "total_speedup": round(cold_total_s / warm_total_s, 2),
+        "gate": {
+            "warm_speedup_gt_5": warm_speedup > 5.0,
+            "skipped": False,
+            "skip_reason": None,
+        },
+    }
+
+
 def git_sha() -> str | None:
     """Current commit SHA, or None outside a git checkout."""
     try:
@@ -317,6 +457,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", help="output JSON path (default BENCH_<date>.json)")
     parser.add_argument("--skip-large-grid", action="store_true",
                         help="skip the r=8 large-grid persistent-pool scenario")
+    parser.add_argument("--skip-eco", action="store_true",
+                        help="skip the incremental ECO re-fill scenario")
     args = parser.parse_args(argv)
 
     layout = make_t1()
@@ -332,6 +474,10 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_large_grid:
         print("benchmarking large-grid chunked dispatch ...")
         large_grid = bench_large_grid(layout, fill_rules, args.workers)
+    eco_refill = None
+    if not args.skip_eco:
+        print("benchmarking incremental ECO re-fill ...")
+        eco_refill = bench_eco_refill()
 
     now = datetime.datetime.now(datetime.timezone.utc)
     payload = {
@@ -348,12 +494,14 @@ def main(argv: list[str] | None = None) -> int:
         "kernels": kernels,
         "solve_sweep": sweep,
         "large_grid": large_grid,
+        "eco_refill": eco_refill,
     }
     if args.out:
         out_path = Path(args.out)  # explicit path: overwrite is intentional
     else:
         out_path = unique_path(Path(f"BENCH_{payload['date']}.json"))
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    # Atomic: a crash mid-dump must not leave a torn trajectory point.
+    atomic_write_json(out_path, payload)
     print(json.dumps(payload, indent=2))
     print(f"\nwritten to {out_path}")
     return 0

@@ -1,0 +1,51 @@
+"""Incremental ECO re-fill benchmark gate (slow; CI runs it separately).
+
+The acceptance check of the content-addressed tile-solution cache: after
+a ~1%-area edit on T2, a warm re-fill against the primed cache must be
+bit-identical to a cold one and beat it by more than 5× on the solve
+phase. Unlike the process-pool gate this one needs no host-capability
+skip — digest lookup vs re-solving is a single-core comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+import run_bench
+
+
+@pytest.mark.slow
+class TestEcoRefillGate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench.bench_eco_refill()
+
+    def test_grid_is_large(self, report):
+        # r=8 on the 96 µm / 20 µm-window T2 die: a 39×39 tile grid.
+        assert report["r"] == 8
+        assert report["tiles"] >= 1000
+
+    def test_edit_is_small(self, report):
+        # The scenario's premise: the edit covers ~1% of the die.
+        assert report["edit"]["window_area_fraction"] <= 0.02
+        assert report["edit"]["action"] in ("insert", "remove")
+
+    def test_edit_dirtied_cached_work(self, report):
+        # The seed scan must land an edit that crosses solved tiles —
+        # otherwise the run shows reuse but never exercises invalidation.
+        assert report["edit"]["dirty_tiles"] > 0
+        assert report["cache"]["invalidated"] > 0
+
+    def test_bit_identity_held(self, report):
+        assert report["bit_identical"]
+
+    def test_cache_mostly_hit(self, report):
+        cache = report["cache"]
+        assert cache["hits"] > 0
+        # Re-solves (misses) stay proportionate to the edit, not the die.
+        assert cache["misses"] < cache["hits"]
+        assert cache["stores"] == cache["misses"]
+
+    def test_warm_speedup_gate(self, report):
+        gate = report["gate"]
+        assert not gate["skipped"]
+        assert gate["warm_speedup_gt_5"], report["warm_speedup"]

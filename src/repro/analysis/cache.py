@@ -14,6 +14,7 @@ import json
 from pathlib import Path
 
 from repro.analysis.findings import Finding
+from repro.io.atomic import atomic_write_json
 
 #: Bump to invalidate every cache entry when rule semantics change.
 LINT_VERSION = 1
@@ -87,8 +88,9 @@ class LintCache:
             return
         payload = {"version": LINT_VERSION, "entries": self._entries}
         try:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            # Atomic so a crash mid-save can't leave a torn cache that
+            # poisons (and silently un-caches) every later lint run.
+            atomic_write_json(self.path, payload, indent=None, sort_keys=True)
         except OSError:  # pragma: no cover - cache is best-effort
             pass
         self._dirty = False

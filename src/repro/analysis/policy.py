@@ -32,6 +32,9 @@ def _default_payload_registry() -> tuple[str, ...]:
         "repro.pilfill.solution.TileSolution",
         "repro.pilfill.robust.SolveReport",
         "repro.pilfill.robust.RobustSolve",
+        # Solution-cache entries (a future pilfill serve ships hits
+        # across the same boundary).
+        "repro.pilfill.store.CachedEntry",
         # Telemetry buffers marshalled back inside TileOutcome/RobustSolve.
         "repro.obs.trace.SpanRecord",
         "repro.obs.metrics.MetricsSnapshot",

@@ -23,6 +23,7 @@ from repro.pilfill import (
     METHODS,
     PARALLEL_BACKENDS,
     PILFillEngine,
+    SolutionCache,
     evaluate_impact,
 )
 from repro.synth import (
@@ -43,11 +44,12 @@ def _layout_for(name: str):
 
 def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
     telemetry = bool(args.trace_out or args.metrics_out)
+    cache_dir = None if args.no_cache else args.cache_dir
     spec = TableSpec(
         workers=args.workers, parallel_backend=args.backend,
         batch_tiles=args.batch_tiles, persistent_pool=not args.ephemeral_pool,
         tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
-        telemetry=telemetry,
+        telemetry=telemetry, cache_dir=cache_dir,
     )
     if args.quick:
         spec = TableSpec(
@@ -55,7 +57,7 @@ def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
             workers=args.workers, parallel_backend=args.backend,
             batch_tiles=args.batch_tiles, persistent_pool=not args.ephemeral_pool,
             tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
-            telemetry=telemetry,
+            telemetry=telemetry, cache_dir=cache_dir,
         )
     table = run_table(
         weighted=weighted, spec=spec, progress=lambda label: print(f"  done {label}")
@@ -110,6 +112,8 @@ def _cmd_density(args: argparse.Namespace) -> int:
 def _cmd_fill(args: argparse.Namespace) -> int:
     layout = _layout_for(args.testcase)
     fill_rules = default_fill_rules(layout.stack)
+    cache_dir = None if args.no_cache else args.cache_dir
+    solution_cache = SolutionCache(cache_dir=cache_dir) if cache_dir else None
     cfg = EngineConfig(
         fill_rules=fill_rules,
         density_rules=density_rules_for(args.window, args.r, layout.stack),
@@ -123,6 +127,7 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         tile_deadline_s=args.tile_deadline,
         run_deadline_s=args.run_deadline,
         telemetry=bool(args.trace_out or args.metrics_out),
+        solution_cache=solution_cache,
     )
     engine = PILFillEngine(layout, args.layer, cfg)
     result = engine.run()
@@ -142,6 +147,10 @@ def _cmd_fill(args: argparse.Namespace) -> int:
     print(f"  delay impact: tau={impact.total_ps:.4f} ps, "
           f"weighted tau={impact.weighted_total_ps:.4f} ps")
     print(f"  solve time: {result.solve_seconds:.2f} s")
+    if result.cache_stats is not None:
+        stats = result.cache_stats
+        print(f"  solution cache: {stats['hits']} hit(s), {stats['misses']} miss(es), "
+              f"{stats['stores']} stored")
     phases = "  ".join(
         f"{name}={seconds:.3f}s" for name, seconds in result.phase_seconds.items()
     )
@@ -231,6 +240,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "tiles degrade ILP-II -> ILP-I -> Greedy")
         p.add_argument("--run-deadline", type=float, default=None,
                        help="whole-solve-phase deadline in seconds per method run")
+        p.add_argument("--cache-dir", default=None,
+                       help="enable the content-addressed tile-solution "
+                            "cache, persisted under this directory; warm "
+                            "re-runs merge cached tiles instead of "
+                            "re-solving (bit-identical results)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the tile-solution cache even when "
+                            "--cache-dir is given")
         p.add_argument("--trace-out", default=None,
                        help="write per-cell run reports (spans + solve "
                             "reports + metrics) as JSON to this path; "
@@ -269,6 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "tiles degrade ILP-II -> ILP-I -> Greedy")
     p.add_argument("--run-deadline", type=float, default=None,
                    help="whole-solve-phase deadline in seconds")
+    p.add_argument("--cache-dir", default=None,
+                   help="enable the content-addressed tile-solution cache, "
+                        "persisted under this directory; warm re-runs merge "
+                        "cached tiles instead of re-solving (bit-identical "
+                        "results)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the tile-solution cache even when "
+                        "--cache-dir is given")
     p.add_argument("--out", help="write filled DEF-lite to this path")
     p.add_argument("--trace-out", default=None,
                    help="write the run report (config, spans, metrics, "

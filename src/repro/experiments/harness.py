@@ -21,6 +21,7 @@ from repro.layout.layout import RoutedLayout
 from repro.pilfill.columns import SlackColumnDef
 from repro.pilfill.engine import EngineConfig, PILFillEngine
 from repro.pilfill.evaluate import evaluate_impact
+from repro.pilfill.incremental import SolutionCache
 from repro.pilfill.prepare import PreparedInstance, prepare
 from repro.tech.rules import FillRules
 from repro.synth.testcases import default_fill_rules, density_rules_for
@@ -110,6 +111,8 @@ def run_config(
     fallback: bool = True,
     fault_spec=None,
     telemetry: bool = False,
+    cache_dir: str | None = None,
+    solution_cache: SolutionCache | None = None,
 ) -> ConfigResult:
     """Run every method on one configuration with a shared budget.
 
@@ -130,7 +133,16 @@ def run_config(
         fault_spec: deterministic fault injection for tests.
         telemetry: record tracing spans + metrics per method run and
             attach each run's JSON report to its :class:`MethodOutcome`.
+        cache_dir: directory for a disk-backed tile-solution cache (see
+            :mod:`repro.pilfill.incremental`); a warm re-run of an
+            unchanged configuration then merges cached tiles instead of
+            re-solving. ``None`` (default) → no caching.
+        solution_cache: a prebuilt cache to use instead of constructing
+            one from ``cache_dir`` (the two are mutually exclusive);
+            lets callers share one in-memory cache across configs.
     """
+    if solution_cache is None and cache_dir is not None:
+        solution_cache = SolutionCache(cache_dir=cache_dir)
     if fill_rules is None:
         fill_rules = default_fill_rules(layout.stack)
     density_rules = density_rules_for(window_um, r, layout.stack)
@@ -157,6 +169,7 @@ def run_config(
             fallback=fallback,
             fault_spec=fault_spec,
             telemetry=telemetry,
+            solution_cache=solution_cache,
         )
         engine = PILFillEngine(layout, layer, cfg, prepared=prepared)
         run = engine.run(budget=budget)

@@ -48,6 +48,11 @@ class TableSpec:
     #: Record spans + metrics per method run; each cell's outcome then
     #: carries its full run report (see :meth:`TableResult.reports`).
     telemetry: bool = False
+    #: Directory for the disk-backed tile-solution cache (see
+    #: :mod:`repro.pilfill.incremental`); re-running an unchanged table
+    #: then merges cached tile solutions instead of re-solving them.
+    #: ``None`` (default) → no caching.
+    cache_dir: str | None = None
 
 
 @dataclass
@@ -189,6 +194,7 @@ def run_table(
                     fallback=spec.fallback,
                     fault_spec=spec.fault_spec,
                     telemetry=spec.telemetry,
+                    cache_dir=spec.cache_dir,
                 )
                 table.rows.append(row)
                 if progress is not None:

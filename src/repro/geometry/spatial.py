@@ -56,7 +56,16 @@ class GridBinIndex(Generic[T]):
 
     def query(self, region: Rect) -> list[T]:
         """Items whose rects overlap ``region`` (open-interior overlap),
-        each reported once, in insertion-deterministic order."""
+        each reported once, in insertion-deterministic order.
+
+        A degenerate ``region`` (zero width or height) has an empty
+        interior and overlaps nothing — ``Rect.overlaps`` alone would
+        report a zero-area rect strictly *inside* an item, which is the
+        wrong answer for window queries (an empty dirty window must
+        dirty no tiles).
+        """
+        if region.width <= 0 or region.height <= 0:
+            return []
         seen: set[T] = set()
         out: list[T] = []
         for key in self._bin_range(region):
@@ -68,6 +77,8 @@ class GridBinIndex(Generic[T]):
 
     def query_pairs(self, region: Rect) -> list[tuple[Rect, T]]:
         """Like :meth:`query` but returns the stored rect alongside the item."""
+        if region.width <= 0 or region.height <= 0:
+            return []
         seen: set[T] = set()
         out: list[tuple[Rect, T]] = []
         for key in self._bin_range(region):

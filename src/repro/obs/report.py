@@ -11,10 +11,10 @@ nested span tree.  ``FillResult.to_report()`` and the CLI's
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.io.atomic import atomic_write_json
 from repro.obs.trace import span_tree
 
 if TYPE_CHECKING:  # engine types only for annotations — no runtime cycle
@@ -40,6 +40,7 @@ def config_dict(config: EngineConfig) -> dict[str, Any]:
         "run_deadline_s": config.run_deadline_s,
         "fallback": config.fallback,
         "telemetry": config.telemetry,
+        "solution_cache": config.solution_cache is not None,
     }
 
 
@@ -85,13 +86,16 @@ def run_report(result: FillResult, config: EngineConfig | None = None) -> dict[s
             f"{key[0]},{key[1]}": seconds
             for key, seconds in sorted(result.tile_seconds.items())
         },
+        "cache": dict(result.cache_stats) if result.cache_stats is not None else None,
         "metrics": telemetry.metrics.snapshot().as_dict() if telemetry is not None else None,
         "spans": span_tree(telemetry.tracer.records()) if telemetry is not None else None,
     }
 
 
 def write_report(path: str | Path, payload: dict[str, Any]) -> None:
-    """Write a report dict as pretty-printed JSON, creating parent dirs."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    """Write a report dict as pretty-printed JSON, creating parent dirs.
+
+    Atomic (temp file + rename): CI artifact collectors and warm-cache
+    consumers never observe a torn report.
+    """
+    atomic_write_json(Path(path), payload)

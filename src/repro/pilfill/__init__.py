@@ -7,6 +7,8 @@ Public surface:
 * :func:`prepare` / :class:`PreparedInstance` — the shared, reusable
   preprocessing (dissection, legality, scan-line columns, cost tables),
 * :func:`dispatch_tiles` — the parallel per-tile solve dispatcher,
+* :class:`SolutionCache` / :class:`SolutionStore` — the content-addressed
+  tile-solution cache behind incremental ECO re-fill,
 * :func:`evaluate_impact` — the common delay-impact scorer,
 * the per-tile methods (ILP-I, ILP-II, Greedy, marginal greedy, DP),
 * the scan-line slack-column extraction (paper Fig. 7).
@@ -43,6 +45,13 @@ from repro.pilfill.budgeted import (
 )
 from repro.pilfill.greedy import solve_tile_greedy, solve_tile_greedy_marginal
 from repro.pilfill.impact_model import ImpactModel
+from repro.pilfill.incremental import (
+    SolutionCache,
+    cache_eligible,
+    run_context_digest,
+    stale_fill_features,
+    tile_digest,
+)
 from repro.pilfill.localsearch import RefineResult, refine_placement
 from repro.pilfill.multilayer import MultiLayerResult, run_all_layers
 from repro.pilfill.mvdc import derive_tile_delay_budgets, solve_tile_mvdc
@@ -74,6 +83,14 @@ from repro.pilfill.scanline import (
     sweep_gap_blocks,
 )
 from repro.pilfill.solution import TileSolution
+from repro.pilfill.store import (
+    STORE_VERSION,
+    CachedEntry,
+    SolutionStore,
+    copy_solution,
+    decode_entry,
+    encode_entry,
+)
 
 __all__ = [
     "ColumnNeighbor",
@@ -141,4 +158,15 @@ __all__ = [
     "layer_sweep_lines",
     "sweep_gap_blocks",
     "TileSolution",
+    "SolutionCache",
+    "cache_eligible",
+    "run_context_digest",
+    "stale_fill_features",
+    "tile_digest",
+    "STORE_VERSION",
+    "CachedEntry",
+    "SolutionStore",
+    "copy_solution",
+    "decode_entry",
+    "encode_entry",
 ]

@@ -46,6 +46,12 @@ from repro.obs.telemetry import Telemetry
 from repro.obs.trace import NULL_TRACER, Tracer, TracerLike
 from repro.pilfill.columns import SlackColumnDef
 from repro.pilfill.costs import ColumnCosts
+from repro.pilfill.incremental import (
+    SolutionCache,
+    cache_eligible,
+    run_context_digest,
+    tile_digest,
+)
 from repro.pilfill.budgeted import (
     build_cap_tables,
     solve_tile_budgeted_greedy,
@@ -155,6 +161,15 @@ class EngineConfig:
             (see :mod:`repro.obs`) and attach them to the result for
             ``FillResult.to_report()``. False (default) → the no-op fast
             path; solver results are bit-identical either way.
+        solution_cache: content-addressed tile-solution cache for
+            incremental ECO re-fill (see
+            :mod:`repro.pilfill.incremental`). Tiles whose solve inputs
+            hash to a cached entry are merged from the cache and never
+            dispatched (chunked process batches shrink accordingly);
+            misses are solved normally and recorded. Cached results are
+            bit-identical to cold solves by construction. ``None``
+            (default) → no caching. Ignored (with zeroed counters) when
+            a tile/run deadline makes outcomes wall-clock-dependent.
     """
 
     fill_rules: FillRules
@@ -176,6 +191,7 @@ class EngineConfig:
     fallback: bool = True
     fault_spec: FaultSpec | None = None
     telemetry: bool = False
+    solution_cache: SolutionCache | None = None
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -215,6 +231,9 @@ class FillResult:
     shows what that preparation cost. ``tile_seconds`` breaks the solve
     phase down per tile. ``telemetry`` holds the run's tracer + metrics
     when ``EngineConfig.telemetry`` was set (``None`` otherwise).
+    ``cache_stats`` holds this run's solution-cache counter deltas
+    (hits/misses/stores/invalidated) when a cache was active, ``None``
+    otherwise.
     """
 
     features: list[FillFeature] = field(default_factory=list)
@@ -226,6 +245,7 @@ class FillResult:
     tile_seconds: dict[tuple[int, int], float] = field(default_factory=dict)
     solve_reports: dict[tuple[int, int], SolveReport] = field(default_factory=dict)
     telemetry: Telemetry | None = None
+    cache_stats: dict[str, int] | None = None
 
     def to_report(self, config: EngineConfig | None = None) -> dict[str, object]:
         """Export the run as a ``pilfill-run-report/v1`` JSON-ready dict
@@ -375,7 +395,41 @@ class PILFillEngine:
             effective_budget = result.effective_budget
             run_deadline = self._run_deadline()
 
-            with tracer.span("solve", tiles=len(solve_keys)):
+            # Incremental re-fill: look every tile up by its content
+            # digest first. Hits become ready-made outcomes; only misses
+            # reach a dispatcher, so chunked batches shrink accordingly
+            # and an all-hit run never touches a pool.
+            cache = (
+                cfg.solution_cache
+                if cfg.solution_cache is not None and cache_eligible(cfg)
+                else None
+            )
+            cached_outcomes: dict[tuple[int, int], TileOutcome] = {}
+            digests: dict[tuple[int, int], str] = {}
+            if cache is None:
+                dispatch_keys = list(solve_keys)
+                stats_before: dict[str, int] = {}
+            else:
+                stats_before = cache.stats()
+                context = run_context_digest(cfg, self.layer)
+                dispatch_keys = []
+                for key in solve_keys:
+                    digest = tile_digest(
+                        context, key, costs_by_tile[key], effective_budget[key]
+                    )
+                    digests[key] = digest
+                    hit = cache.lookup(digest)
+                    if hit is None:
+                        dispatch_keys.append(key)
+                    else:
+                        solution, report = hit
+                        cached_outcomes[key] = TileOutcome(
+                            key=key, value=solution, seconds=0.0, report=report
+                        )
+
+            with tracer.span(
+                "solve", tiles=len(solve_keys), cached=len(cached_outcomes)
+            ):
                 if cfg.parallel_backend == "process":
                     store = self._shared_store(tracer)
                     payloads = [
@@ -394,7 +448,7 @@ class PILFillEngine:
                             telemetry=cfg.telemetry,
                             inline_columns=store is None,
                         )
-                        for key in solve_keys
+                        for key in dispatch_keys
                     ]
                     outcomes = dispatch_tile_payloads(
                         payloads,
@@ -449,14 +503,34 @@ class PILFillEngine:
                             )
 
                     outcomes = dispatch_tiles(
-                        solve_keys, solve_one, workers=cfg.workers, isolate=cfg.fallback
+                        dispatch_keys, solve_one, workers=cfg.workers, isolate=cfg.fallback
                     )
                 for key in solve_keys:
-                    outcome = outcomes[key]
+                    outcome = cached_outcomes[key] if key in cached_outcomes else outcomes[key]
                     self._merge_outcome(
                         result, key, outcome, costs_by_tile[key],
                         tracer=tracer, metrics=metrics,
                     )
+            if cache is not None:
+                # Record only non-failed fresh solves: failures must
+                # re-run (deterministically) rather than replay, and the
+                # stored report keeps the priming run's retry history so
+                # a warm merge reproduces the cold report bit-for-bit.
+                for key in dispatch_keys:
+                    if not outcomes[key].failed:
+                        cache.record(
+                            digests[key],
+                            result.tile_solutions[key],
+                            result.solve_reports[key],
+                        )
+                cache.remember_run(digests)
+                stats_after = cache.stats()
+                result.cache_stats = {
+                    name: stats_after[name] - stats_before.get(name, 0)
+                    for name in stats_after
+                }
+                for name, delta in result.cache_stats.items():
+                    metrics.count(f"cache.{name}", delta)
             self._finish_phases(result, time.perf_counter() - t0)
             metrics.count("features.placed", result.total_features)
             for name, hits in prep.lut_stats.items():

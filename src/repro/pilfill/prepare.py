@@ -38,6 +38,7 @@ from repro.dissection.fixed import FixedDissection
 from repro.errors import FillError
 from repro.fillsynth.budget import hybrid_budget, lp_minvar_budget, montecarlo_budget
 from repro.fillsynth.slack_sites import SiteLegality
+from repro.geometry.spatial import GridBinIndex
 from repro.layout.layout import RoutedLayout
 from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.pilfill.columns import SlackColumn, SlackColumnDef
@@ -86,6 +87,7 @@ class PreparedInstance:
     _shared_stores: dict[bool, "SharedCostStore | None"] = field(
         default_factory=dict, repr=False
     )
+    _tile_index: "GridBinIndex[TileKey] | None" = field(default=None, repr=False)
 
     #: Process-wide count of full preprocessing builds (see :func:`prepare`).
     build_count = 0
@@ -102,6 +104,21 @@ class PreparedInstance:
             self._density = DensityMap.from_layout(self.dissection, self.layout, self.layer)
             self.phase_seconds["density"] = time.perf_counter() - t0
         return self._density
+
+    def tile_index(self) -> GridBinIndex[TileKey]:
+        """Spatial index of every tile rect, built on first access.
+
+        The incremental-fill dirty-window pass queries it to find the
+        tiles an ECO window touches
+        (:meth:`repro.pilfill.incremental.SolutionCache.invalidate_window`)
+        without scanning the whole dissection. Binned at the tile side,
+        so a query touches a handful of bins.
+        """
+        if self._tile_index is None:
+            index: GridBinIndex[TileKey] = GridBinIndex(self.dissection.tile_size)
+            index.insert_many((tile.rect, tile.key) for tile in self.dissection.tiles())
+            self._tile_index = index
+        return self._tile_index
 
     def capacity(self, margin: float = 1.0) -> dict[TileKey, int]:
         """Placeable capacity per tile (column sites × headroom margin)."""

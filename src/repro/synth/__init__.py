@@ -1,5 +1,6 @@
 """Synthetic routed-layout generation and the T1/T2 testcase presets."""
 
+from repro.synth.editing import EditSummary, edit_window
 from repro.synth.generator import GeneratorSpec, Hotspot, generate_layout
 from repro.synth.testcases import (
     R_VALUES,
@@ -13,6 +14,8 @@ from repro.synth.testcases import (
 )
 
 __all__ = [
+    "EditSummary",
+    "edit_window",
     "GeneratorSpec",
     "Hotspot",
     "generate_layout",

@@ -1,0 +1,194 @@
+"""Deterministic ECO edits on generated layouts.
+
+Incremental-fill tests and benches need *reproducible* engineering
+change orders: the same (layout, window, seed) triple must always
+produce the same edited layout, or warm-vs-cold comparisons chase a
+moving target. :func:`edit_window` provides that — it perturbs only a
+given rectangular window, preferring to *insert* a short trunk net
+there (conflict-checked against existing geometry, mirroring the
+generator's rejection sampling) and falling back to *removing* a net
+that crosses the window when nothing fits.
+
+The edit RNG is derived from the seed and the window coordinates, never
+from the process RNG or the clock, so edits replay bit-identically
+across runs, machines, and backends.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import LayoutError
+from repro.geometry import GridBinIndex, Point, Rect
+from repro.layout import Net, Pin, RoutedLayout, WireSegment
+from repro.units import um_to_dbu
+
+#: Placement attempts before the insert falls back to a removal.
+EDIT_ATTEMPTS = 40
+
+
+@dataclass(frozen=True)
+class EditSummary:
+    """What one :func:`edit_window` call actually changed.
+
+    Attributes:
+        action: ``"insert"`` (a net was added inside the window),
+            ``"remove"`` (a window-crossing net was deleted), or
+            ``"none"`` (the window held no editable geometry and had no
+            room — the returned layout is content-identical).
+        net: name of the inserted/removed net (empty for ``"none"``).
+        rect: bounding box of the changed geometry — the true dirty
+            region for cache invalidation. A removed net may extend past
+            the requested window, so callers must dirty ``rect``, not
+            the window they asked for. Equals the clipped window for
+            ``"none"``.
+    """
+
+    action: str
+    net: str
+    rect: Rect
+
+
+def _edit_rng(seed: int, window: Rect) -> random.Random:
+    return random.Random(
+        f"eco:{seed}:{window.xlo}:{window.ylo}:{window.xhi}:{window.yhi}"
+    )
+
+
+def _copy_without(layout: RoutedLayout, skip: str | None) -> RoutedLayout:
+    """A new layout sharing every net object except ``skip``.
+
+    Nets are immutable once built (the engine never mutates layout
+    inputs), so structural sharing is safe and keeps edits cheap.
+    """
+    edited = RoutedLayout(layout.name, layout.die, layout.stack)
+    for name, net in layout.nets.items():
+        if name != skip:
+            edited.add_net(net)
+    return edited
+
+
+def edit_window(
+    layout: RoutedLayout,
+    window: Rect,
+    seed: int,
+    layer: str | None = None,
+) -> tuple[RoutedLayout, EditSummary]:
+    """Apply one deterministic ECO inside ``window``; the input layout is
+    never mutated.
+
+    Tries :data:`EDIT_ATTEMPTS` rejection-sampled placements of a short
+    horizontal trunk net (driver one end, sink the other — the
+    generator's minimal net shape) inside the window on ``layer``
+    (default: the lowest used routing layer). If nothing fits, removes
+    a seeded choice among the nets whose ``layer`` geometry crosses the
+    window; if none cross, returns an identical copy with action
+    ``"none"``.
+
+    Raises:
+        LayoutError: when ``window`` does not intersect the die.
+    """
+    region = window.intersection(layout.die)
+    if region is None:
+        raise LayoutError(f"edit window {window} lies outside die {layout.die}")
+    if layer is None:
+        used = layout.used_layers
+        if not used:
+            raise LayoutError("layout has no routed geometry to edit")
+        layer = used[0]
+    if not layout.stack.has_layer(layer):
+        raise LayoutError(f"layout stack has no layer {layer!r}")
+
+    rng = _edit_rng(seed, window)
+    dbu = layout.stack.dbu_per_micron
+    spacing = layout.stack.layer(layer).min_space_dbu
+
+    existing = layout.segments_on_layer(layer)
+    width = existing[0].width if existing else um_to_dbu(0.4, dbu)
+
+    # Occupancy over ALL drawn metal on the layer (not just the window):
+    # a candidate near the window edge must clear its out-of-window
+    # neighbors too. Same conflict idiom as the generator.
+    bin_size = max(1, layout.die.width // 32)
+    occupied: GridBinIndex[int] = GridBinIndex(bin_size)
+    rects = layout.feature_rects(layer)
+    occupied.insert_many((rect, i) for i, rect in enumerate(rects))
+
+    def conflicts(rect: Rect) -> bool:
+        grown = rect.expanded(spacing)
+        return any(rects[i].overlaps(grown) for i in occupied.query(grown))
+
+    inserted = _try_insert(layout, region, rng, layer, width, conflicts)
+    if inserted is not None:
+        edited = _copy_without(layout, skip=None)
+        edited.add_net(inserted)
+        rect = inserted.segments[0].rect
+        return edited, EditSummary(action="insert", net=inserted.name, rect=rect)
+
+    crossing = sorted(
+        name
+        for name, net in layout.nets.items()
+        if any(seg.layer == layer and seg.rect.overlaps(region) for seg in net.segments)
+    )
+    if crossing:
+        victim = crossing[rng.randrange(len(crossing))]
+        dirty = Rect.bounding(seg.rect for seg in layout.nets[victim].segments)
+        return (
+            _copy_without(layout, skip=victim),
+            EditSummary(action="remove", net=victim, rect=dirty),
+        )
+
+    return _copy_without(layout, skip=None), EditSummary(action="none", net="", rect=region)
+
+
+def _try_insert(
+    layout: RoutedLayout,
+    region: Rect,
+    rng: random.Random,
+    layer: str,
+    width: int,
+    conflicts: Callable[[Rect], bool],
+) -> Net | None:
+    """Rejection-sample a horizontal two-pin trunk net inside ``region``."""
+    half = width // 2
+    xlo = region.xlo + half
+    xhi = region.xhi - half
+    ylo = region.ylo + half
+    yhi = region.yhi - half
+    min_len = 4 * width
+    if xhi - xlo < min_len or yhi <= ylo:
+        return None
+
+    base = f"eco{rng.randrange(1 << 30)}"
+    name = base
+    suffix = 0
+    while name in layout.nets:
+        suffix += 1
+        name = f"{base}_{suffix}"
+
+    for _attempt in range(EDIT_ATTEMPTS):
+        span = xhi - xlo
+        length = max(min_len, int(span * rng.uniform(0.4, 0.9)))
+        if length > span:
+            length = span
+        x0 = rng.randint(xlo, xhi - length)
+        y = rng.randint(ylo, yhi)
+        trunk = WireSegment(name, 0, layer, Point(x0, y), Point(x0 + length, y), width)
+        if not layout.die.contains_rect(trunk.rect):
+            continue
+        if conflicts(trunk.rect):
+            continue
+        net = Net(name)
+        net.add_pin(
+            Pin("drv", Point(x0, y), layer, is_driver=True,
+                driver_res_ohm=rng.uniform(50.0, 200.0))
+        )
+        net.add_pin(
+            Pin("s0", Point(x0 + length, y), layer,
+                load_cap_ff=rng.uniform(2.0, 10.0))
+        )
+        net.add_segment(trunk)
+        return net
+    return None

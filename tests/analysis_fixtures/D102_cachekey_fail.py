@@ -1,0 +1,17 @@
+"""D102 failing fixture for the solution store: a cache key derived from
+the wall clock (linted as module="repro.pilfill.incremental", which is NOT on
+the allowlist). A timestamped digest can never hash the same twice, so
+every lookup misses and warm runs silently stop being reproducible."""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+
+def stamped_cache_key(payload: str) -> str:
+    """Folds the wall clock into the digest — nondeterministic by design."""
+    h = hashlib.sha256()
+    h.update(payload.encode("utf-8"))
+    h.update(repr(time.time()).encode("utf-8"))
+    return h.hexdigest()

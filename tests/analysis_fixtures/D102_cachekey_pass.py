@@ -1,0 +1,15 @@
+"""D102 passing fixture for the solution store: the sanctioned shape — a
+cache key that is a pure content hash of the solve inputs (canonical
+JSON, sorted keys), with nothing environment-dependent folded in. Same
+inputs, same key, on any machine, forever."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def content_cache_key(payload: dict[str, object]) -> str:
+    """sha256 over canonical JSON of the inputs that determine the output."""
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()

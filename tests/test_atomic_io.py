@@ -1,0 +1,71 @@
+"""Atomic artifact writes: content fidelity, crash safety, no tmp litter.
+
+The contract every JSON artifact writer (bench trajectories, run
+reports, lint cache, solution store) leans on: a reader observes either
+the previous complete file or the new complete file — never a torn
+prefix — and a failed write leaves the target exactly as it was.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io.atomic import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWriteText:
+    def test_writes_content(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "artifact.txt"
+        atomic_write_text(target, "deep")
+        assert target.read_text() == "deep"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temporary_litter(self, tmp_path):
+        target = tmp_path / "artifact.txt"
+        atomic_write_text(target, "x")
+        atomic_write_text(target, "y")
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path, monkeypatch):
+        target = tmp_path / "artifact.txt"
+        target.write_text("previous complete file")
+
+        def torn_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr("repro.io.atomic.os.replace", torn_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "half-writ")
+        assert target.read_text() == "previous complete file"
+        # The temporary was cleaned up on the way out.
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.txt"]
+
+
+class TestAtomicWriteJson:
+    def test_round_trips_payload(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        payload = {"b": [1, 2], "a": {"nested": True}, "f": 0.1}
+        atomic_write_json(target, payload)
+        assert json.loads(target.read_text()) == payload
+
+    def test_appends_trailing_newline(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_json(target, {"k": 1})
+        assert target.read_text().endswith("}\n")
+
+    def test_compact_and_sorted_modes(self, tmp_path):
+        target = tmp_path / "artifact.json"
+        atomic_write_json(target, {"b": 1, "a": 2}, indent=None, sort_keys=True)
+        assert target.read_text() == '{"a": 2, "b": 1}\n'

@@ -110,3 +110,36 @@ class TestGridBinIndex:
     def test_invalid_bin_size(self):
         with pytest.raises(GeometryError):
             GridBinIndex(0)
+
+    def test_boundary_spanning_rect_queried_once(self):
+        # Straddles the bin boundary at x=50: registered in two bins, but
+        # a query overlapping both bins must report it exactly once.
+        index = GridBinIndex(50)
+        index.insert(Rect(40, 40, 60, 60), "straddler")
+        assert index.query(Rect(0, 0, 100, 100)) == ["straddler"]
+        assert index.query_pairs(Rect(0, 0, 100, 100)) == [
+            (Rect(40, 40, 60, 60), "straddler")
+        ]
+
+    def test_boundary_spanning_query_region_no_duplicates(self):
+        # The query region spans bins; items seen from several bins must
+        # still come back deduplicated, in insertion order.
+        index = GridBinIndex(10)
+        index.insert(Rect(0, 0, 35, 35), "a")
+        index.insert(Rect(5, 5, 25, 25), "b")
+        assert index.query(Rect(1, 1, 34, 34)) == ["a", "b"]
+        assert [item for _, item in index.query_pairs(Rect(1, 1, 34, 34))] == ["a", "b"]
+
+    def test_zero_area_query_is_empty(self):
+        index = GridBinIndex(50)
+        index.insert(Rect(0, 0, 100, 100), "a")
+        # Overlap is open-interior: a degenerate region overlaps nothing.
+        assert index.query(Rect(10, 10, 10, 10)) == []
+        assert index.query_pairs(Rect(10, 0, 10, 100)) == []
+
+    def test_out_of_bounds_query_is_empty(self):
+        index = GridBinIndex(50)
+        index.insert(Rect(0, 0, 100, 100), "a")
+        assert index.query(Rect(1000, 1000, 1100, 1100)) == []
+        assert index.query(Rect(-1100, -1100, -1000, -1000)) == []
+        assert index.query_pairs(Rect(1000, 1000, 1100, 1100)) == []

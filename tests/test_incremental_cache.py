@@ -1,0 +1,484 @@
+"""Incremental ECO re-fill: solution store, content digests, cache front.
+
+Covers the crown-jewel contract — a warm re-run against a primed cache is
+bit-identical to a cold run, for arbitrary seeded edit windows, under all
+three dispatch backends and under fault injection — plus the unit-level
+guarantees it stands on: store round-trip/versioning, digest sensitivity
+to every solve input (and insensitivity to scheduling-only knobs),
+eligibility gating, dirty-window invalidation, and copy isolation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.geometry import Rect
+from repro.pilfill import (
+    CachedEntry,
+    EngineConfig,
+    PILFillEngine,
+    SolutionCache,
+    SolutionStore,
+    cache_eligible,
+    copy_solution,
+    decode_entry,
+    encode_entry,
+    prepare,
+    run_context_digest,
+    tile_digest,
+)
+from repro.pilfill.robust import SolveReport
+from repro.pilfill.solution import TileSolution
+from repro.synth import edit_window
+from repro.tech import DensityRules, FillRules
+from repro.testing.faults import FaultRule, FaultSpec
+
+FILL = FillRules(fill_size=500, fill_gap=250, buffer_distance=250)
+DENSITY = DensityRules(window_size=16000, r=2, max_density=0.6)
+
+
+def make_cfg(method="dp", **kwargs):
+    return EngineConfig(fill_rules=FILL, density_rules=DENSITY, method=method, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def prepared(small_generated_layout):
+    return prepare(small_generated_layout, "metal3", FILL, DENSITY)
+
+
+def sample_entry():
+    solution = TileSolution(
+        counts=[2, 0, 1],
+        model_objective_ps=0.125,
+        nodes=7,
+        iterations=13,
+        site_indices=((0, 2), (), (1,)),
+    )
+    report = SolveReport(
+        key=(3, 4), requested_method="ilp2", used_method="ilp2", retries=1,
+        errors=("ilp2: transient",),
+    )
+    return CachedEntry(solution=solution, report=report)
+
+
+DIGEST = "ab" + "0" * 62
+
+
+class TestSolutionStore:
+    def test_memory_round_trip(self):
+        store = SolutionStore()
+        assert len(store) == 0
+        assert store.get(DIGEST) is None
+        entry = sample_entry()
+        store.put(DIGEST, entry)
+        assert len(store) == 1
+        assert store.get(DIGEST) is entry
+        assert not store.disk_backed
+
+    def test_disk_round_trip_across_stores(self, tmp_path):
+        writer = SolutionStore(cache_dir=tmp_path)
+        entry = sample_entry()
+        writer.put(DIGEST, entry)
+        path = writer.entry_path(DIGEST)
+        assert path.exists()
+        assert path.parent.name == DIGEST[:2]  # digest-prefix sharding
+
+        reader = SolutionStore(cache_dir=tmp_path)  # fresh process stand-in
+        loaded = reader.get(DIGEST)
+        assert loaded is not None
+        assert loaded.solution == entry.solution
+        assert loaded.report == entry.report
+        # The disk hit repopulated the memory layer.
+        assert len(reader) == 1
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        store = SolutionStore(cache_dir=tmp_path)
+        store.put(DIGEST, sample_entry())
+        path = store.entry_path(DIGEST)
+        payload = json.loads(path.read_text())
+        payload["version"] = payload["version"] + 1
+        path.write_text(json.dumps(payload))
+        assert SolutionStore(cache_dir=tmp_path).get(DIGEST) is None
+
+    def test_corrupt_file_reads_as_miss(self, tmp_path):
+        store = SolutionStore(cache_dir=tmp_path)
+        store.put(DIGEST, sample_entry())
+        store.entry_path(DIGEST).write_text("{ torn")
+        assert SolutionStore(cache_dir=tmp_path).get(DIGEST) is None
+
+    def test_evict_drops_memory_not_disk(self, tmp_path):
+        store = SolutionStore(cache_dir=tmp_path)
+        store.put(DIGEST, sample_entry())
+        assert store.evict(DIGEST)
+        assert not store.evict(DIGEST)  # already gone from memory
+        assert len(store) == 0
+        # Content-addressed disk layer is append-only: still readable.
+        assert store.get(DIGEST) is not None
+
+    def test_entry_path_requires_disk_layer(self):
+        with pytest.raises(ValueError):
+            SolutionStore().entry_path(DIGEST)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        entry = sample_entry()
+        decoded = decode_entry(encode_entry(DIGEST, entry))
+        assert decoded is not None
+        assert decoded.solution == entry.solution
+        assert decoded.report == entry.report
+
+    def test_round_trip_none_site_indices(self):
+        entry = CachedEntry(
+            solution=TileSolution(counts=[1], model_objective_ps=0.5),
+            report=SolveReport(key=(0, 0), requested_method="dp", used_method="dp"),
+        )
+        decoded = decode_entry(encode_entry(DIGEST, entry))
+        assert decoded is not None
+        assert decoded.solution.site_indices is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            [],
+            {},
+            {"schema": "pilfill-solution-store/v1", "version": 999},
+            {"schema": "something-else/v1", "version": 1},
+        ],
+        ids=["none", "list", "empty", "bad-version", "bad-schema"],
+    )
+    def test_rejects_foreign_payloads(self, payload):
+        assert decode_entry(payload) is None
+
+    def test_rejects_damaged_fields(self):
+        payload = encode_entry(DIGEST, sample_entry())
+        del payload["solution"]["counts"]  # type: ignore[union-attr]
+        assert decode_entry(payload) is None
+
+
+class TestCopyIsolation:
+    def test_copy_solution_is_independent(self):
+        original = sample_entry().solution
+        clone = copy_solution(original)
+        assert clone == original
+        clone.counts[0] += 1
+        assert clone != original
+
+    def test_materialize_returns_fresh_solution(self):
+        entry = sample_entry()
+        first, _ = entry.materialize()
+        second, _ = entry.materialize()
+        assert first is not second
+        first.counts[0] += 1
+        assert entry.solution.counts == [2, 0, 1]
+
+    def test_record_stores_a_copy(self):
+        cache = SolutionCache()
+        entry = sample_entry()
+        cache.record(DIGEST, entry.solution, entry.report)
+        entry.solution.counts[0] += 99  # caller keeps mutating rights
+        hit = cache.lookup(DIGEST)
+        assert hit is not None
+        assert hit[0].counts == [2, 0, 1]
+
+
+class TestDigests:
+    @pytest.fixture(scope="class")
+    def digest_inputs(self, prepared):
+        cfg = make_cfg()
+        costs = prepared.costs_for(cfg.weighted)
+        key = next(iter(sorted(costs)))
+        return cfg, costs, key
+
+    def test_deterministic(self, digest_inputs):
+        cfg, costs, key = digest_inputs
+        ctx = run_context_digest(cfg, "metal3")
+        assert ctx == run_context_digest(make_cfg(), "metal3")
+        assert tile_digest(ctx, key, costs[key], 5) == tile_digest(ctx, key, costs[key], 5)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"method": "greedy"},
+            {"weighted": False},
+            {"backend": "bundled"},
+            {"seed": 1},
+            {"fallback": False},
+            {"fill_rules": FillRules(fill_size=600, fill_gap=250, buffer_distance=250)},
+            {"density_rules": DensityRules(window_size=16000, r=4, max_density=0.6)},
+            {
+                "fault_spec": FaultSpec(
+                    rules=(FaultRule(kind="error", methods=("ilp2",)),)
+                )
+            },
+        ],
+        ids=lambda change: next(iter(change)),
+    )
+    def test_context_covers_output_knobs(self, change):
+        base = run_context_digest(make_cfg(), "metal3")
+        assert run_context_digest(dataclasses.replace(make_cfg(), **change), "metal3") != base
+
+    def test_context_covers_layer(self):
+        cfg = make_cfg()
+        assert run_context_digest(cfg, "metal3") != run_context_digest(cfg, "metal4")
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"workers": 4},
+            {"parallel_backend": "process"},
+            {"batch_tiles": 2},
+            {"telemetry": True},
+        ],
+        ids=lambda change: next(iter(change)),
+    )
+    def test_context_ignores_scheduling_knobs(self, change):
+        # Dispatch is bit-identical across backends, so scheduling must
+        # not fragment the cache key space.
+        base = run_context_digest(make_cfg(), "metal3")
+        assert run_context_digest(dataclasses.replace(make_cfg(), **change), "metal3") == base
+
+    def test_tile_digest_covers_budget_and_key(self, digest_inputs):
+        cfg, costs, key = digest_inputs
+        ctx = run_context_digest(cfg, "metal3")
+        base = tile_digest(ctx, key, costs[key], 5)
+        assert tile_digest(ctx, key, costs[key], 6) != base
+        assert tile_digest(ctx, (key[0] + 1, key[1]), costs[key], 5) != base
+
+    def test_tile_digest_covers_cost_content(self, digest_inputs):
+        cfg, costs, key = digest_inputs
+        ctx = run_context_digest(cfg, "metal3")
+        base = tile_digest(ctx, key, costs[key], 5)
+        mutated = list(costs[key])
+        bumped = dataclasses.replace(
+            mutated[0], exact=tuple(v + 1.0 for v in mutated[0].exact)
+        )
+        mutated[0] = bumped
+        assert tile_digest(ctx, key, mutated, 5) != base
+
+
+class TestCacheEligible:
+    def test_plain_config_is_eligible(self):
+        assert cache_eligible(make_cfg())
+
+    def test_deadlines_are_not(self):
+        assert not cache_eligible(make_cfg(tile_deadline_s=1.0))
+        assert not cache_eligible(make_cfg(run_deadline_s=10.0))
+
+    def test_fault_injection_is(self):
+        spec = FaultSpec(rules=(FaultRule(kind="error", methods=("ilp2",)),))
+        assert cache_eligible(make_cfg(fault_spec=spec))
+
+    def test_store_and_dir_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            SolutionCache(store=SolutionStore(), cache_dir="/tmp/anywhere")
+
+
+class TestEngineIntegration:
+    def test_warm_rerun_is_bit_identical_and_all_hits(
+        self, small_generated_layout, prepared
+    ):
+        cache = SolutionCache()
+        cold = PILFillEngine(
+            small_generated_layout, "metal3", make_cfg(solution_cache=cache),
+            prepared=prepared,
+        ).run()
+        assert cold.cache_stats is not None
+        assert cold.cache_stats["hits"] == 0
+        assert cold.cache_stats["stores"] == cold.cache_stats["misses"]
+
+        warm = PILFillEngine(
+            small_generated_layout, "metal3", make_cfg(solution_cache=cache),
+            prepared=prepared,
+        ).run()
+        assert warm.features == cold.features
+        assert warm.tile_solutions == cold.tile_solutions
+        assert warm.solve_reports == cold.solve_reports
+        assert warm.cache_stats is not None
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["hits"] == len(cold.tile_solutions)
+
+    def test_uncached_run_reports_no_stats(self, small_generated_layout, prepared):
+        result = PILFillEngine(
+            small_generated_layout, "metal3", make_cfg(), prepared=prepared
+        ).run()
+        assert result.cache_stats is None
+
+    def test_deadline_config_bypasses_cache(self, small_generated_layout, prepared):
+        cache = SolutionCache()
+        cfg = make_cfg(solution_cache=cache, run_deadline_s=3600.0)
+        result = PILFillEngine(
+            small_generated_layout, "metal3", cfg, prepared=prepared
+        ).run()
+        assert result.cache_stats is None
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0, "invalidated": 0}
+
+    def test_disk_cache_survives_cache_instances(
+        self, small_generated_layout, prepared, tmp_path
+    ):
+        cold = PILFillEngine(
+            small_generated_layout, "metal3",
+            make_cfg(solution_cache=SolutionCache(cache_dir=tmp_path)),
+            prepared=prepared,
+        ).run()
+        warm = PILFillEngine(
+            small_generated_layout, "metal3",
+            make_cfg(solution_cache=SolutionCache(cache_dir=tmp_path)),
+            prepared=prepared,
+        ).run()
+        assert warm.cache_stats is not None
+        assert warm.cache_stats["misses"] == 0
+        assert warm.cache_stats["hits"] == len(cold.tile_solutions)
+        assert warm.features == cold.features
+
+
+class TestInvalidateWindow:
+    def test_dirty_tiles_are_evicted_and_counted(
+        self, small_generated_layout, prepared
+    ):
+        cache = SolutionCache()
+        result = PILFillEngine(
+            small_generated_layout, "metal3", make_cfg(solution_cache=cache),
+            prepared=prepared,
+        ).run()
+        tile_rects = {t.key: t.rect for t in prepared.dissection.tiles()}
+        target = sorted(result.tile_solutions)[0]
+        before = len(cache.store)
+
+        dirty = cache.invalidate_window(prepared.tile_index(), tile_rects[target])
+        assert target in dirty
+        assert cache.invalidated == len(dirty)
+        assert len(cache.store) == before - len(dirty)
+        # The remembered run map was consumed: a second pass finds nothing.
+        assert cache.invalidate_window(prepared.tile_index(), tile_rects[target]) == ()
+
+    def test_disjoint_window_dirties_nothing(self, small_generated_layout, prepared):
+        cache = SolutionCache()
+        PILFillEngine(
+            small_generated_layout, "metal3", make_cfg(solution_cache=cache),
+            prepared=prepared,
+        ).run()
+        die = small_generated_layout.die
+        outside = Rect(die.xhi + 1000, die.yhi + 1000, die.xhi + 2000, die.yhi + 2000)
+        assert cache.invalidate_window(prepared.tile_index(), outside) == ()
+        assert cache.invalidated == 0
+
+
+class TestEditWindow:
+    WINDOW = Rect(8000, 8000, 24000, 24000)
+
+    def test_deterministic_per_seed(self, small_generated_layout):
+        first, summary1 = edit_window(small_generated_layout, self.WINDOW, seed=5)
+        second, summary2 = edit_window(small_generated_layout, self.WINDOW, seed=5)
+        assert summary1 == summary2
+        assert sorted(first.nets) == sorted(second.nets)
+
+    def test_leaves_original_untouched(self, small_generated_layout):
+        names = sorted(small_generated_layout.nets)
+        edited, summary = edit_window(small_generated_layout, self.WINDOW, seed=5)
+        assert sorted(small_generated_layout.nets) == names
+        assert edited is not small_generated_layout
+        if summary.action == "insert":
+            assert summary.net in edited.nets
+            assert summary.net not in small_generated_layout.nets
+        elif summary.action == "remove":
+            assert summary.net not in edited.nets
+            assert summary.net in small_generated_layout.nets
+
+    def test_unedited_nets_are_shared(self, small_generated_layout):
+        edited, summary = edit_window(small_generated_layout, self.WINDOW, seed=5)
+        for name, net in small_generated_layout.nets.items():
+            if name != summary.net:
+                # Structural sharing: the engine never mutates nets.
+                assert edited.nets[name] is net
+
+    def test_dirty_rect_stays_near_the_window(self, small_generated_layout):
+        grown = self.WINDOW.expanded(4000)
+        for seed in range(8):
+            _, summary = edit_window(small_generated_layout, self.WINDOW, seed=seed)
+            if summary.action == "insert":
+                assert grown.overlaps(summary.rect) or grown == summary.rect
+                assert summary.rect.xlo >= self.WINDOW.xlo
+                assert summary.rect.xhi <= self.WINDOW.xhi
+
+    def test_window_off_die_raises(self, small_generated_layout):
+        die = small_generated_layout.die
+        off = Rect(die.xhi + 1, die.yhi + 1, die.xhi + 100, die.yhi + 100)
+        with pytest.raises(LayoutError):
+            edit_window(small_generated_layout, off, seed=0)
+
+
+#: (workers, parallel_backend, fault_spec) triples for the contract sweep.
+CONTRACT_VARIANTS = [
+    pytest.param(1, "thread", None, id="serial"),
+    pytest.param(2, "thread", None, id="thread"),
+    pytest.param(2, "process", None, id="process"),
+    pytest.param(
+        1,
+        "thread",
+        FaultSpec(rules=(FaultRule(kind="error", methods=("ilp2",)),)),
+        id="serial-faulted",
+    ),
+]
+
+
+@pytest.mark.slow
+class TestIncrementalContract:
+    """Property: for any seeded edit window, warm == cold, bit for bit."""
+
+    @pytest.mark.parametrize("workers,backend,fault_spec", CONTRACT_VARIANTS)
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=(HealthCheck.function_scoped_fixture,),
+    )
+    @given(
+        x0=st.integers(min_value=0, max_value=36000),
+        y0=st.integers(min_value=0, max_value=36000),
+        size=st.integers(min_value=4000, max_value=12000),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    def test_warm_refill_matches_cold(
+        self, small_generated_layout, prepared,
+        workers, backend, fault_spec, x0, y0, size, seed,
+    ):
+        method = "ilp2" if fault_spec is not None else "dp"
+        window = Rect(x0, y0, x0 + size, y0 + size)
+        edited, summary = edit_window(small_generated_layout, window, seed=seed)
+
+        def cfg(cache):
+            return make_cfg(
+                method=method, workers=workers, parallel_backend=backend,
+                fault_spec=fault_spec, solution_cache=cache,
+            )
+
+        cache = SolutionCache()
+        PILFillEngine(
+            small_generated_layout, "metal3", cfg(cache), prepared=prepared
+        ).run()
+
+        edited_prep = prepare(edited, "metal3", FILL, DENSITY)
+        cache.invalidate_window(edited_prep.tile_index(), summary.rect)
+
+        cold = PILFillEngine(
+            edited, "metal3", cfg(None), prepared=edited_prep
+        ).run()
+        warm = PILFillEngine(
+            edited, "metal3", cfg(cache), prepared=edited_prep
+        ).run()
+
+        assert warm.features == cold.features
+        assert warm.tile_solutions == cold.tile_solutions
+        assert warm.solve_reports == cold.solve_reports
+        assert warm.cache_stats is not None
+        stats = warm.cache_stats
+        # Every dispatched tile (failed ones included) got exactly one
+        # digest lookup.
+        assert stats["hits"] + stats["misses"] == len(cold.tile_solutions)
