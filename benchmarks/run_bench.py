@@ -21,7 +21,12 @@ Measures, on the T1 testcase:
 * **ECO re-fill** — on T2, a full fill primes the content-addressed
   tile-solution cache, a deterministic ~1%-area window edit is applied,
   and a warm incremental re-fill is timed against a cold one; the warm
-  result is asserted bit-identical and ``warm_speedup > 5`` is the gate.
+  result is asserted bit-identical and ``warm_speedup > 5`` is the gate,
+* **T3 streaming** — the chip-scale scenario: the band-sorted T3 DEF is
+  parsed both materialized and streaming (tracemalloc peaks compared;
+  gate ``stream_peak < 50%``), and window densities are computed with the
+  direct summed-area oracle vs the FFT backend (asserted bit-identical;
+  gate ``density_speedup > 3``).
 
 Results land in a dated JSON file (``BENCH_YYYY-MM-DD.json`` by default;
 same-day reruns get a ``.1``/``.2`` suffix instead of overwriting) so the
@@ -419,6 +424,177 @@ def bench_eco_refill(window: int = 20, r: int = 8, method: str = "ilp2") -> dict
     }
 
 
+def bench_t3_streaming(
+    n_nets: int = 7000, window: int = 20, r: int = 8, seed: int = 3
+) -> dict:
+    """Chip-scale streaming parse + FFT density on the T3 testcase.
+
+    The scenario the streaming DEF-lite reader and the FFT density
+    backend were built for: a 768 µm die with thousands of nets, too big
+    to round-trip comfortably through a materialized layout. The
+    band-sorted T3 DEF is generated to a temp file *outside* every timed
+    region, then both input paths consume the same bytes:
+
+    * **materialized** — ``read_text`` + :func:`parse_def` (the full text
+      string and the full ``RoutedLayout`` resident at once), then the
+      per-tile density accumulation via ``DensityMap.from_layout``,
+    * **streaming** — :func:`parse_def_streaming` with ``keep_nets=False``
+      union-folding each net's clipped rects into the per-tile area grid
+      as the net is parsed and discarded; only one net and the parser's
+      single-statement state are ever resident.
+
+    Peak *allocation* is measured with ``tracemalloc`` (portable,
+    interpreter-level — unlike RSS it cannot be confused by allocator
+    reuse across the two phases). The :class:`FixedDissection` — tens of
+    MB of tile objects at this grid, identical infrastructure for both
+    paths — is built once from a header-only pre-pass, *outside* both
+    measured regions, so the peaks compare what actually differs: the
+    resident input representation. tracemalloc instrumentation slows
+    both parses by a similar factor, so the wall-clock fields are
+    indicative only; the **ratios** are the signal, as everywhere in
+    this file.
+
+    The streamed tile-area map is asserted exactly equal to the
+    materialized one, and the FFT window densities (and stats) exactly
+    equal to the direct oracle's — the integral-snap contract at full
+    chip scale. Gates: ``density_speedup > 3`` (fft vs direct) and
+    ``stream_peak < 50%`` of the materialized parse peak. Both are
+    single-core properties, so neither needs a host-capability skip.
+    """
+    import tempfile
+    import tracemalloc
+
+    from repro.dissection.density import DensityMap
+    from repro.dissection.fixed import FixedDissection
+    from repro.geometry import total_area
+    from repro.io.deflite import parse_def, parse_def_streaming
+    from repro.synth import density_rules_for, iter_t3_def_lines
+    from repro.tech.process import default_stack
+
+    layer = "metal3"
+    stack = default_stack()
+    density_rules = density_rules_for(window, r, stack)
+
+    with tempfile.TemporaryDirectory(prefix="t3-bench-") as tmp:
+        path = Path(tmp) / "t3.def"
+        t0 = time.perf_counter()
+        n_lines = 0
+        with path.open("w") as fh:
+            for line in iter_t3_def_lines(stack, seed=seed, n_nets=n_nets):
+                fh.write(line)
+                fh.write("\n")
+                n_lines += 1
+        generate_s = time.perf_counter() - t0
+        def_bytes = path.stat().st_size
+
+        # Header-only pre-pass: stop at DIEAREA, build the shared
+        # dissection before either measured region starts.
+        class _DieFound(Exception):
+            pass
+
+        def _grab_die(die) -> None:
+            holder["die"] = die
+            raise _DieFound
+
+        holder: dict = {}
+        try:
+            with path.open() as fh:
+                parse_def_streaming(fh, stack, on_die=_grab_die, keep_nets=False)
+        except _DieFound:
+            pass
+        dissection = FixedDissection(holder["die"], density_rules)
+
+        # -- materialized path: whole text + whole layout resident ------
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        text = path.read_text()
+        layout = parse_def(text, stack)
+        parse_mat_s = time.perf_counter() - t0
+        mat_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        nets_parsed = len(layout.nets)
+        t0 = time.perf_counter()
+        dmap_direct = DensityMap.from_layout(dissection, layout, layer)
+        density_build_s = time.perf_counter() - t0
+        del text, layout
+
+        # -- streaming path: one net resident at a time ------------------
+        # Each net's clips are union-folded into the area grid and
+        # dropped immediately, so the resident state is O(die grid), not
+        # O(input). The per-net fold is exact because a cross-net
+        # same-layer overlap would be an electrical short — illegal in
+        # any real layout — and every partial sum is an exact float64
+        # integer; the equality assert against the union-exact
+        # ``from_layout`` oracle below backs the claim.
+        stream_area = np.zeros((dissection.nx, dissection.ny), dtype=np.float64)
+
+        def on_net(net, start_line: int) -> None:
+            net_clips: dict[tuple[int, int], list] = {}
+            for seg in net.segments:
+                if seg.layer != layer:
+                    continue
+                rect = seg.rect
+                for tile in dissection.tiles_overlapping(rect):
+                    clipped = rect.intersection(tile.rect)
+                    if clipped is not None:
+                        net_clips.setdefault(tile.key, []).append(clipped)
+            for key, clips in net_clips.items():
+                stream_area[key] += total_area(clips)
+
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        with path.open() as fh:
+            parse_def_streaming(fh, stack, on_net=on_net, keep_nets=False)
+        parse_stream_s = time.perf_counter() - t0
+        stream_peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+
+    if not np.array_equal(stream_area, dmap_direct.tile_area):
+        raise AssertionError("t3_streaming: streamed tile areas diverged from materialized")
+
+    # -- density phase: direct oracle vs FFT backend on the same map ----
+    dmap_fft = DensityMap(dmap_direct.dissection, dmap_direct.tile_area, backend="fft")
+    t_direct = _time(lambda: dmap_direct.window_density())
+    t_fft = _time(lambda: dmap_fft.window_density())
+    if not np.array_equal(dmap_direct.window_density(), dmap_fft.window_density()):
+        raise AssertionError("t3_streaming: fft window densities diverged from direct")
+    if dmap_direct.stats() != dmap_fft.stats():
+        raise AssertionError("t3_streaming: fft density stats diverged from direct")
+
+    wx = max(0, dissection.nx - r + 1)
+    wy = max(0, dissection.ny - r + 1)
+    density_speedup = round(t_direct / t_fft, 2)
+    peak_ratio = round(stream_peak / mat_peak, 4) if mat_peak else None
+    return {
+        "testcase": "T3",
+        "n_nets": n_nets,
+        "nets_parsed": nets_parsed,
+        "window_um": window,
+        "r": r,
+        "def_lines": n_lines,
+        "def_bytes": def_bytes,
+        "grid": [dissection.nx, dissection.ny],
+        "windows": wx * wy,
+        "generate_s": round(generate_s, 4),
+        "parse_materialized_s": round(parse_mat_s, 4),
+        "parse_streaming_s": round(parse_stream_s, 4),
+        "materialized_peak_mb": round(mat_peak / 1e6, 2),
+        "streaming_peak_mb": round(stream_peak / 1e6, 2),
+        "streaming_peak_ratio": peak_ratio,
+        "density_build_s": round(density_build_s, 4),
+        "density_direct_s": round(t_direct, 6),
+        "density_fft_s": round(t_fft, 6),
+        "density_speedup": density_speedup,
+        "bit_identical": True,
+        "gate": {
+            "density_speedup_gt_3": density_speedup > 3.0,
+            "stream_peak_lt_half": peak_ratio is not None and peak_ratio < 0.5,
+            "skipped": False,
+            "skip_reason": None,
+        },
+    }
+
+
 def git_sha() -> str | None:
     """Current commit SHA, or None outside a git checkout."""
     try:
@@ -459,6 +635,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the r=8 large-grid persistent-pool scenario")
     parser.add_argument("--skip-eco", action="store_true",
                         help="skip the incremental ECO re-fill scenario")
+    parser.add_argument("--skip-t3", action="store_true",
+                        help="skip the chip-scale T3 streaming scenario")
+    parser.add_argument("--t3-nets", type=int, default=7000,
+                        help="net count for the T3 streaming scenario")
     args = parser.parse_args(argv)
 
     layout = make_t1()
@@ -478,6 +658,10 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_eco:
         print("benchmarking incremental ECO re-fill ...")
         eco_refill = bench_eco_refill()
+    t3_streaming = None
+    if not args.skip_t3:
+        print("benchmarking chip-scale T3 streaming ...")
+        t3_streaming = bench_t3_streaming(n_nets=args.t3_nets)
 
     now = datetime.datetime.now(datetime.timezone.utc)
     payload = {
@@ -495,6 +679,7 @@ def main(argv: list[str] | None = None) -> int:
         "solve_sweep": sweep,
         "large_grid": large_grid,
         "eco_refill": eco_refill,
+        "t3_streaming": t3_streaming,
     }
     if args.out:
         out_path = Path(args.out)  # explicit path: overwrite is intentional

@@ -14,7 +14,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.dissection import DensityMap, FixedDissection
+from repro.dissection import DENSITY_BACKENDS, DensityMap, FixedDissection
 from repro.experiments.ablation import STUDIES, run_study
 from repro.experiments.tables import TableSpec, run_table
 from repro.io import write_def
@@ -50,6 +50,7 @@ def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
         batch_tiles=args.batch_tiles, persistent_pool=not args.ephemeral_pool,
         tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
         telemetry=telemetry, cache_dir=cache_dir,
+        density_backend=args.density_backend,
     )
     if args.quick:
         spec = TableSpec(
@@ -58,6 +59,7 @@ def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
             batch_tiles=args.batch_tiles, persistent_pool=not args.ephemeral_pool,
             tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
             telemetry=telemetry, cache_dir=cache_dir,
+            density_backend=args.density_backend,
         )
     table = run_table(
         weighted=weighted, spec=spec, progress=lambda label: print(f"  done {label}")
@@ -99,7 +101,9 @@ def _cmd_density(args: argparse.Namespace) -> int:
     layout = _layout_for(args.testcase)
     rules = density_rules_for(args.window, args.r, layout.stack)
     dissection = FixedDissection(layout.die, rules)
-    density = DensityMap.from_layout(dissection, layout, args.layer)
+    density = DensityMap.from_layout(
+        dissection, layout, args.layer, backend=args.density_backend
+    )
     stats = density.stats()
     print(f"{args.testcase} {args.layer} W={args.window}um r={args.r}")
     print(f"  tiles: {dissection.nx} x {dissection.ny}, windows: {dissection.window_count}")
@@ -119,6 +123,7 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         density_rules=density_rules_for(args.window, args.r, layout.stack),
         method=args.method,
         weighted=not args.unweighted,
+        density_backend=args.density_backend,
         seed=args.seed,
         workers=args.workers,
         parallel_backend=args.backend,
@@ -252,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-cell run reports (spans + solve "
                             "reports + metrics) as JSON to this path; "
                             "enables telemetry for every run")
+        p.add_argument("--density-backend", default="direct",
+                       choices=DENSITY_BACKENDS,
+                       help="window-density aggregation: direct summed-area "
+                            "oracle or one-pass FFT (bit-identical on real "
+                            "layouts, much faster on large grids)")
         p.add_argument("--metrics-out", default=None,
                        help="write per-cell metrics JSON to this path; "
                             "enables telemetry for every run")
@@ -261,6 +271,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--layer", default="metal3")
     p.add_argument("--window", type=int, default=32)
     p.add_argument("-r", type=int, default=2, dest="r")
+    p.add_argument("--density-backend", default="direct", choices=DENSITY_BACKENDS,
+                   help="direct summed-area oracle or one-pass FFT")
 
     p = sub.add_parser("fill", help="run one fill configuration")
     p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
@@ -294,6 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="disable the tile-solution cache even when "
                         "--cache-dir is given")
+    p.add_argument("--density-backend", default="direct", choices=DENSITY_BACKENDS,
+                   help="window-density aggregation backend (direct | fft)")
     p.add_argument("--out", help="write filled DEF-lite to this path")
     p.add_argument("--trace-out", default=None,
                    help="write the run report (config, spans, metrics, "

@@ -53,6 +53,10 @@ class TableSpec:
     #: then merges cached tile solutions instead of re-solving them.
     #: ``None`` (default) → no caching.
     cache_dir: str | None = None
+    #: Window-density aggregation backend (``"direct"``/``"fft"``; see
+    #: :class:`~repro.pilfill.engine.EngineConfig`). Bit-identical
+    #: results either way on real layouts; FFT wins on large grids.
+    density_backend: str = "direct"
 
 
 @dataclass
@@ -195,6 +199,7 @@ def run_table(
                     fault_spec=spec.fault_spec,
                     telemetry=spec.telemetry,
                     cache_dir=spec.cache_dir,
+                    density_backend=spec.density_backend,
                 )
                 table.rows.append(row)
                 if progress is not None:

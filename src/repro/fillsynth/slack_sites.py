@@ -17,27 +17,55 @@ from repro.tech.rules import FillRules
 
 
 class SiteLegality:
-    """Per-layer legality oracle for fill sites."""
+    """Per-layer legality oracle for fill sites.
+
+    Construct from a layout (historical API) or from bare geometry via
+    :meth:`from_rects` — the streaming preprocessor feeds blockage rects
+    one net at a time with :meth:`add_blockage` and never materializes a
+    :class:`RoutedLayout`. Incremental insertion is sound for queries
+    below the stream's watermark: a site already judged legal can only
+    be invalidated by a rect overlapping its grown square, and streamed
+    geometry always arrives above it.
+    """
 
     def __init__(self, layout: RoutedLayout, layer: str, rules: FillRules):
-        self.layout = layout
+        self._init_from(layout.die, layer, rules, layout.feature_rects(layer))
+
+    def _init_from(
+        self, die: Rect, layer: str, rules: FillRules, rects: list[Rect]
+    ) -> None:
+        self.die = die
         self.layer = layer
         self.rules = rules
         self.grid = SiteGrid(
-            origin_x=layout.die.xlo + rules.buffer_distance,
-            origin_y=layout.die.ylo + rules.buffer_distance,
+            origin_x=die.xlo + rules.buffer_distance,
+            origin_y=die.ylo + rules.buffer_distance,
             site_size=rules.fill_size,
             site_gap=rules.fill_gap,
         )
-        bin_size = max(1, max(layout.die.width, layout.die.height) // 32)
+        bin_size = max(1, max(die.width, die.height) // 32)
         self._blockages: GridBinIndex[int] = GridBinIndex(bin_size)
-        for i, rect in enumerate(layout.feature_rects(layer)):
-            self._blockages.insert(rect, i)
-        self._rects = layout.feature_rects(layer)
+        self._rects: list[Rect] = []
+        for rect in rects:
+            self.add_blockage(rect)
+
+    @classmethod
+    def from_rects(
+        cls, die: Rect, layer: str, rules: FillRules, rects: list[Rect]
+    ) -> "SiteLegality":
+        """Build from bare blockage geometry (no layout object needed)."""
+        oracle = cls.__new__(cls)
+        oracle._init_from(die, layer, rules, rects)
+        return oracle
+
+    def add_blockage(self, rect: Rect) -> None:
+        """Register one more blockage rect (streaming construction)."""
+        self._blockages.insert(rect, len(self._rects))
+        self._rects.append(rect)
 
     def is_legal(self, site_rect: Rect) -> bool:
         """True when a fill feature at ``site_rect`` is design-rule legal."""
-        if not self.layout.die.contains_rect(site_rect):
+        if not self.die.contains_rect(site_rect):
             return False
         grown = site_rect.expanded(self.rules.buffer_distance)
         for idx in self._blockages.query(grown):

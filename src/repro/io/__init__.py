@@ -1,6 +1,26 @@
 """Layout and technology I/O: LEF-lite and DEF-lite text dialects."""
 
+from repro.io.deflite import (
+    DefWindow,
+    DefWindowStream,
+    iter_def_windows,
+    layout_digest,
+    parse_def,
+    parse_def_streaming,
+    write_def,
+    write_def_lines,
+)
 from repro.io.leflite import parse_lef, write_lef
-from repro.io.deflite import parse_def, write_def
 
-__all__ = ["parse_lef", "write_lef", "parse_def", "write_def"]
+__all__ = [
+    "DefWindow",
+    "DefWindowStream",
+    "iter_def_windows",
+    "layout_digest",
+    "parse_def",
+    "parse_def_streaming",
+    "parse_lef",
+    "write_def",
+    "write_def_lines",
+    "write_lef",
+]

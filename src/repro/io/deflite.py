@@ -22,13 +22,32 @@ driver/sink pins, and fill features — in DEF-flavoured syntax::
 
 All coordinates in DBU. Segment order within a net is free; the RC-tree
 builder re-orients by signal flow.
+
+Two readers share one line-fed statement machine (:class:`_DefMachine`):
+
+* :func:`parse_def` materializes the whole layout from a text string —
+  the historical API.
+* :func:`parse_def_streaming` consumes any line source (string, open
+  file, iterator) and hands each net to a callback the moment its
+  terminating ``;`` arrives, so a chip-scale DEF never has to be held
+  in memory at once. :class:`DefWindowStream` / :func:`iter_def_windows`
+  build on it to group nets into horizontal bands for window-by-window
+  processing with bounded peak memory on band-sorted input.
+
+Both readers attribute *every* error to a physical input line — including
+net-level validation failures (unknown layer, geometry leaving the die),
+which the materialized reader used to raise long after the parse loop
+with no line information at all.
 """
 
 from __future__ import annotations
 
+import hashlib
 import re
+from dataclasses import dataclass, field
+from typing import IO, Callable, Iterable, Iterator
 
-from repro.errors import ParseError
+from repro.errors import LayoutError, ParseError
 from repro.geometry import Point, Rect
 from repro.layout import FillFeature, Net, Pin, RoutedLayout, WireSegment
 from repro.tech.process import ProcessStack
@@ -36,121 +55,431 @@ from repro.tech.process import ProcessStack
 _PAREN = re.compile(r"[()]")
 
 
-def write_def(layout: RoutedLayout) -> str:
-    """Serialize a layout to DEF-lite text."""
-    die = layout.die
-    out = [
-        "VERSION 1.0 ;",
-        f"DESIGN {layout.name} ;",
-        f"UNITS DISTANCE MICRONS {layout.stack.dbu_per_micron} ;",
-        f"DIEAREA ( {die.xlo} {die.ylo} ) ( {die.xhi} {die.yhi} ) ;",
-        f"NETS {len(layout.nets)} ;",
-    ]
-    for net in layout.nets.values():
-        out.append(f"- {net.name}")
+# ---------------------------------------------------------------------------
+# writing
+
+
+def write_def_lines(
+    name: str,
+    die: Rect,
+    dbu_per_micron: int,
+    nets: Iterable[Net],
+    fills: Iterable[FillFeature] = (),
+    *,
+    net_count: int | None = None,
+    fill_count: int | None = None,
+) -> Iterator[str]:
+    """Yield DEF-lite lines one at a time.
+
+    The streaming dual of :func:`write_def`: ``nets`` may be a lazy
+    iterator (pass ``net_count`` so the ``NETS n ;`` header can be
+    emitted before the first net is realized — the readers never check
+    the declared count, but round-trips should still be faithful).
+    When counts are omitted the iterables are materialized to count them.
+    """
+    if net_count is None:
+        nets = list(nets)
+        net_count = len(nets)
+    if fill_count is None:
+        fills = list(fills)
+        fill_count = len(fills)
+    yield "VERSION 1.0 ;"
+    yield f"DESIGN {name} ;"
+    yield f"UNITS DISTANCE MICRONS {dbu_per_micron} ;"
+    yield f"DIEAREA ( {die.xlo} {die.ylo} ) ( {die.xhi} {die.yhi} ) ;"
+    yield f"NETS {net_count} ;"
+    for net in nets:
+        yield f"- {net.name}"
         for pin in net.pins:
             if pin.is_driver:
-                out.append(
+                yield (
                     f"  + PIN {pin.name} ( {pin.point.x} {pin.point.y} ) "
                     f"LAYER {pin.layer} DRIVER RES {pin.driver_res_ohm:g}"
                 )
             else:
-                out.append(
+                yield (
                     f"  + PIN {pin.name} ( {pin.point.x} {pin.point.y} ) "
                     f"LAYER {pin.layer} CAP {pin.load_cap_ff:g}"
                 )
         for seg in net.segments:
-            out.append(
+            yield (
                 f"  + ROUTED {seg.layer} ( {seg.start.x} {seg.start.y} ) "
                 f"( {seg.end.x} {seg.end.y} ) WIDTH {seg.width}"
             )
-        out.append(";")
-    out.append("END NETS")
-    out.append(f"FILLS {len(layout.fills)} ;")
-    for fill in layout.fills:
+        yield ";"
+    yield "END NETS"
+    yield f"FILLS {fill_count} ;"
+    for fill in fills:
         r = fill.rect
-        out.append(f"- LAYER {fill.layer} RECT ( {r.xlo} {r.ylo} {r.xhi} {r.yhi} ) ;")
-    out.append("END FILLS")
-    out.append("END DESIGN")
-    return "\n".join(out) + "\n"
+        yield f"- LAYER {fill.layer} RECT ( {r.xlo} {r.ylo} {r.xhi} {r.yhi} ) ;"
+    yield "END FILLS"
+    yield "END DESIGN"
 
 
-def parse_def(text: str, stack: ProcessStack) -> RoutedLayout:
-    """Parse DEF-lite text against a process stack."""
-    name = "design"
-    die: Rect | None = None
-    layout: RoutedLayout | None = None
-    current_net: Net | None = None
-    pending_nets: list[Net] = []
-    fills: list[FillFeature] = []
-    section = None  # None | "nets" | "fills"
-    declared_dbu: int | None = None
+def write_def(layout: RoutedLayout) -> str:
+    """Serialize a layout to DEF-lite text."""
+    lines = write_def_lines(
+        layout.name,
+        layout.die,
+        layout.stack.dbu_per_micron,
+        layout.nets.values(),
+        layout.fills,
+        net_count=len(layout.nets),
+        fill_count=len(layout.fills),
+    )
+    return "\n".join(lines) + "\n"
 
-    for line_no, raw in enumerate(text.splitlines(), start=1):
+
+def layout_digest(layout: RoutedLayout) -> str:
+    """sha256 of the layout's canonical DEF-lite serialization.
+
+    Streamed line by line, so digesting a chip-scale layout never builds
+    the full text. Two layouts digest equal iff :func:`write_def` would
+    produce identical text — the equivalence oracle for the streaming
+    reader and for ECO round-trips.
+    """
+    h = hashlib.sha256()
+    lines = write_def_lines(
+        layout.name,
+        layout.die,
+        layout.stack.dbu_per_micron,
+        layout.nets.values(),
+        layout.fills,
+        net_count=len(layout.nets),
+        fill_count=len(layout.fills),
+    )
+    for line in lines:
+        h.update(line.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# parsing
+
+
+class _DefMachine:
+    """Line-fed DEF-lite statement machine.
+
+    Feed physical lines in order via :meth:`feed`; terminated nets and
+    fill records are handed to the callbacks as soon as they complete.
+    The machine never retains nets, so the caller decides what survives.
+    """
+
+    def __init__(
+        self,
+        stack: ProcessStack,
+        on_net: Callable[[Net, int], None],
+        on_fill: Callable[[FillFeature, int], None],
+    ):
+        self.stack = stack
+        self.on_net = on_net
+        self.on_fill = on_fill
+        self.name = "design"
+        self.die: Rect | None = None
+        self.done = False
+        self._section: str | None = None  # None | "nets" | "fills"
+        self._net: Net | None = None
+        self._net_start_line = 0
+
+    def _close_net(self) -> None:
+        if self._net is not None:
+            self.on_net(self._net, self._net_start_line)
+            self._net = None
+
+    def feed(self, line_no: int, raw: str) -> bool:
+        """Process one physical line; True once ``END DESIGN`` was seen."""
+        if self.done:
+            return True
         tokens = _PAREN.sub(" ", raw).replace(";", " ; ").split()
         if not tokens or tokens[0].startswith("#"):
-            continue
+            return False
         tokens = [t for t in tokens if t != ";"] or ["_SEMI_ONLY_"]
         head = tokens[0].upper()
         try:
             if head == "_SEMI_ONLY_":
                 # bare ';' — terminates the current net
-                if section == "nets" and current_net is not None:
-                    pending_nets.append(current_net)
-                    current_net = None
+                if self._section == "nets":
+                    self._close_net()
             elif head == "VERSION":
-                continue
+                pass
             elif head == "DESIGN":
-                name = tokens[1]
+                self.name = tokens[1]
             elif head == "UNITS":
                 declared_dbu = int(tokens[3])
-                if declared_dbu != stack.dbu_per_micron:
+                if declared_dbu != self.stack.dbu_per_micron:
                     raise ParseError(
                         f"DEF units {declared_dbu} do not match stack "
-                        f"units {stack.dbu_per_micron}",
+                        f"units {self.stack.dbu_per_micron}",
                         line_no,
                     )
             elif head == "DIEAREA":
                 x1, y1, x2, y2 = (int(t) for t in tokens[1:5])
-                die = Rect(x1, y1, x2, y2)
-                layout = RoutedLayout(name, die, stack)
+                self.die = Rect(x1, y1, x2, y2)
             elif head == "NETS":
-                section = "nets"
+                self._section = "nets"
             elif head == "FILLS":
-                section = "fills"
+                self._section = "fills"
             elif head == "END":
                 what = tokens[1].upper() if len(tokens) > 1 else ""
                 if what in ("NETS", "FILLS"):
-                    section = None
+                    self._close_net()
+                    self._section = None
                 elif what == "DESIGN":
-                    break
+                    self._close_net()
+                    self.done = True
+                    return True
             elif head == "-":
-                if section == "nets":
-                    if current_net is not None:
-                        pending_nets.append(current_net)
-                    current_net = Net(tokens[1])
-                elif section == "fills":
-                    _parse_fill(tokens, fills, line_no)
+                if self._section == "nets":
+                    self._close_net()
+                    self._net = Net(tokens[1])
+                    self._net_start_line = line_no
+                elif self._section == "fills":
+                    self.on_fill(_parse_fill(tokens, line_no), line_no)
                 else:
                     raise ParseError("'-' outside NETS/FILLS section", line_no)
             elif head == "+":
-                if section != "nets" or current_net is None:
+                if self._section != "nets" or self._net is None:
                     raise ParseError("'+' outside a net statement", line_no)
-                _parse_net_item(tokens, current_net, line_no)
+                _parse_net_item(tokens, self._net, line_no)
             else:
                 raise ParseError(f"unexpected token {tokens[0]!r}", line_no)
         except (ValueError, IndexError) as exc:
             raise ParseError(f"malformed statement: {exc}", line_no) from exc
+        return False
 
-    if layout is None:
+    def finish(self) -> None:
+        """Flush an unterminated trailing net (missing ';' at EOF)."""
+        self._close_net()
+
+
+def _iter_lines(source: "str | IO[str] | Iterable[str]") -> Iterator[str]:
+    """Physical lines of any line source, newline characters stripped."""
+    if isinstance(source, str):
+        yield from source.splitlines()
+    else:
+        for raw in source:
+            yield raw.rstrip("\r\n")
+
+
+def parse_def_streaming(
+    source: "str | IO[str] | Iterable[str]",
+    stack: ProcessStack,
+    *,
+    on_die: Callable[[Rect], None] | None = None,
+    on_net: Callable[[Net, int], None] | None = None,
+    keep_nets: bool = True,
+) -> RoutedLayout:
+    """Parse DEF-lite from any line source, streaming nets as they close.
+
+    ``on_die(rect)`` fires once, as soon as the ``DIEAREA`` statement is
+    read — streaming consumers (the streaming preprocessor, window
+    banding) need the die before the first net arrives.
+    ``on_net(net, start_line)`` fires as soon as a net's terminating
+    ``;`` is read — the net's start line lets callers attribute their own
+    validation errors to the input. With ``keep_nets=False`` the returned
+    layout is a *shell* (die, stack, fills — no nets), so peak memory is
+    bounded by one net plus whatever the callback retains. With the
+    default ``keep_nets=True`` the result is identical to
+    :func:`parse_def`.
+
+    Net-level validation (unknown layer, geometry leaving the die) is
+    performed here per net and raises :class:`ParseError` carrying the
+    net's opening line.
+    """
+    collected: list[tuple[Net, int]] = []
+
+    def _collect(net: Net, start_line: int) -> None:
+        if on_net is not None:
+            on_net(net, start_line)
+        if keep_nets:
+            collected.append((net, start_line))
+
+    fills: list[tuple[FillFeature, int]] = []
+
+    def _fill(fill: FillFeature, line_no: int) -> None:
+        fills.append((fill, line_no))
+
+    machine = _DefMachine(stack, _collect, _fill)
+    for line_no, raw in enumerate(_iter_lines(source), start=1):
+        done = machine.feed(line_no, raw)
+        if on_die is not None and machine.die is not None:
+            on_die(machine.die)
+            on_die = None
+        if done:
+            break
+    machine.finish()
+
+    if machine.die is None:
         raise ParseError("missing DIEAREA statement")
-    if current_net is not None:
-        pending_nets.append(current_net)
-    for net in pending_nets:
-        layout.add_net(net)
-    for fill in fills:
-        layout.add_fill(fill)
+    layout = RoutedLayout(machine.name, machine.die, stack)
+    for net, start_line in collected:
+        _add_net_checked(layout, net, start_line)
+    for fill, line_no in fills:
+        try:
+            layout.add_fill(fill)
+        except LayoutError as exc:
+            raise ParseError(str(exc), line_no) from exc
     return layout
+
+
+def parse_def(text: str, stack: ProcessStack) -> RoutedLayout:
+    """Parse DEF-lite text against a process stack."""
+    return parse_def_streaming(text, stack)
+
+
+def _add_net_checked(layout: RoutedLayout, net: Net, start_line: int) -> None:
+    """Add a parsed net, converting validation failures to ParseError.
+
+    The historical reader batch-added nets after the parse loop, so a
+    net whose geometry left the die surfaced as a bare ``LayoutError``
+    with no line reference (and naive wrapping at the terminator blamed
+    the ``;`` line, one past the offending statement). Attributing to
+    the net's opening ``-`` line is stable however many continuation
+    lines the net spans.
+    """
+    try:
+        layout.add_net(net)
+    except LayoutError as exc:
+        raise ParseError(str(exc), start_line) from exc
+
+
+# ---------------------------------------------------------------------------
+# window streaming
+
+
+@dataclass
+class DefWindow:
+    """One horizontal band of nets from a streamed DEF.
+
+    ``index`` is the band number (``y_lo = die.ylo + index * band_dbu``);
+    nets are assigned by the y-low of their bounding box and appear in
+    file order within the band.
+    """
+
+    index: int
+    y_lo: int
+    y_hi: int
+    nets: list[Net] = field(default_factory=list)
+
+
+def net_ylo(net: Net) -> int:
+    """Bounding-box y-low of a net's geometry (segments and pins) —
+    the banding key for window streaming and the streaming preprocessor's
+    sweep-watermark contract."""
+    coords = [seg.rect.ylo for seg in net.segments]
+    coords.extend(pin.point.y for pin in net.pins)
+    if not coords:
+        raise LayoutError(f"net {net.name}: no geometry to band")
+    return min(coords)
+
+
+class DefWindowStream:
+    """Stream a DEF-lite source as horizontal bands of nets.
+
+    Iterate :meth:`windows` to receive :class:`DefWindow` batches. While
+    the input's nets arrive sorted by band (ascending bounding-box y-low,
+    as :func:`repro.synth.testcases.iter_t3_def_lines` emits them), each
+    band is yielded as soon as the first net of a later band arrives, so
+    peak memory holds roughly one band. Unsorted input is still parsed
+    correctly — remaining bands are buffered and yielded in index order
+    at EOF (a band index already yielded eagerly may then appear a
+    second time carrying only its late nets; windows are batches, not
+    exclusive partitions, on unsorted input).
+
+    ``die``, ``name`` and ``fills`` are populated as parsing proceeds;
+    ``die`` is guaranteed set before the first window is yielded.
+    """
+
+    def __init__(
+        self,
+        source: "str | IO[str] | Iterable[str]",
+        stack: ProcessStack,
+        band_dbu: int,
+    ):
+        if band_dbu <= 0:
+            raise ValueError(f"band_dbu must be positive, got {band_dbu}")
+        self.stack = stack
+        self.band_dbu = band_dbu
+        self.name = "design"
+        self.die: Rect | None = None
+        self.fills: list[FillFeature] = []
+        self.sorted_input = True
+        self._source = source
+        self._bands: dict[int, DefWindow] = {}
+        self._max_band = -1
+
+    def _band_of(self, net: Net) -> int:
+        assert self.die is not None
+        return max(0, (net_ylo(net) - self.die.ylo) // self.band_dbu)
+
+    def _window(self, index: int) -> DefWindow:
+        win = self._bands.get(index)
+        if win is None:
+            assert self.die is not None
+            win = DefWindow(
+                index=index,
+                y_lo=self.die.ylo + index * self.band_dbu,
+                y_hi=self.die.ylo + (index + 1) * self.band_dbu,
+            )
+            self._bands[index] = win
+        return win
+
+    def windows(self) -> Iterator[DefWindow]:
+        """Parse lazily, yielding each completed band exactly once."""
+        pending: list[Net] = []
+
+        def _on_net(net: Net, _start_line: int) -> None:
+            pending.append(net)
+
+        def _on_fill(fill: FillFeature, _line_no: int) -> None:
+            self.fills.append(fill)
+
+        machine = _DefMachine(self.stack, _on_net, _on_fill)
+        for line_no, raw in enumerate(_iter_lines(self._source), start=1):
+            done = machine.feed(line_no, raw)
+            if machine.die is not None and self.die is None:
+                self.die = machine.die
+                self.name = machine.name
+            while pending:
+                net = pending.pop(0)
+                band = self._band_of(net)
+                if band < self._max_band:
+                    self.sorted_input = False
+                self._max_band = max(self._max_band, band)
+                self._window(band).nets.append(net)
+                if self.sorted_input:
+                    # Every band strictly below the newest net's band is
+                    # complete: later nets can only land at `band` or above.
+                    for idx in sorted(self._bands):
+                        if idx >= band:
+                            break
+                        yield self._bands.pop(idx)
+            if done:
+                break
+        machine.finish()
+        if machine.die is None:
+            raise ParseError("missing DIEAREA statement")
+        self.name = machine.name
+        for idx in sorted(self._bands):
+            yield self._bands.pop(idx)
+
+
+def iter_def_windows(
+    source: "str | IO[str] | Iterable[str]",
+    stack: ProcessStack,
+    band_dbu: int,
+) -> Iterator[DefWindow]:
+    """Convenience wrapper: yield :class:`DefWindow` bands from a source.
+
+    Use :class:`DefWindowStream` directly when the die rect, design name
+    or fill records are needed alongside the windows.
+    """
+    yield from DefWindowStream(source, stack, band_dbu).windows()
+
+
+# ---------------------------------------------------------------------------
+# statement parsers (shared by both readers)
 
 
 def _parse_net_item(tokens: list[str], net: Net, line_no: int) -> None:
@@ -170,6 +499,8 @@ def _parse_net_item(tokens: list[str], net: Net, line_no: int) -> None:
                     driver_res_ohm=float(tokens[9]))
             )
         elif rest[:1] == ["CAP"]:
+            if len(tokens) < 9:
+                raise ParseError("sink pin needs 'CAP <ff>'", line_no)
             net.add_pin(
                 Pin(pin_name, Point(x, y), layer, load_cap_ff=float(tokens[8]))
             )
@@ -188,9 +519,14 @@ def _parse_net_item(tokens: list[str], net: Net, line_no: int) -> None:
         raise ParseError(f"unknown net item {tokens[1]!r}", line_no)
 
 
-def _parse_fill(tokens: list[str], fills: list[FillFeature], line_no: int) -> None:
+def _parse_fill(tokens: list[str], line_no: int) -> FillFeature:
+    if len(tokens) < 8:
+        raise ParseError(
+            "truncated fill record: expected '- LAYER <name> RECT ( x1 y1 x2 y2 )'",
+            line_no,
+        )
     if tokens[1].upper() != "LAYER" or tokens[3].upper() != "RECT":
         raise ParseError("expected '- LAYER <name> RECT ( x1 y1 x2 y2 )'", line_no)
     layer = tokens[2]
     x1, y1, x2, y2 = (int(t) for t in tokens[4:8])
-    fills.append(FillFeature(layer=layer, rect=Rect(x1, y1, x2, y2)))
+    return FillFeature(layer=layer, rect=Rect(x1, y1, x2, y2))

@@ -66,7 +66,7 @@ from repro.pilfill.parallel import (
     solve_tile_payload,
     tile_rng,
 )
-from repro.pilfill.prepare import PreparedInstance, prepare
+from repro.pilfill.prepare import PreparedInstance, prepare, prepare_streaming
 from repro.pilfill.robust import (
     RobustSolve,
     SolveReport,
@@ -76,9 +76,12 @@ from repro.pilfill.robust import (
 from repro.pilfill.ilp1 import solve_tile_ilp1
 from repro.pilfill.ilp2 import solve_tile_ilp2
 from repro.pilfill.scanline import (
+    ColumnGridder,
     GapBlock,
+    IncrementalSweep,
     SweepLine,
     extract_columns,
+    extract_columns_from_lines,
     layer_sweep_lines,
     sweep_gap_blocks,
 )
@@ -141,6 +144,7 @@ __all__ = [
     "tile_rng",
     "PreparedInstance",
     "prepare",
+    "prepare_streaming",
     "RobustSolve",
     "SolveReport",
     "fallback_chain",
@@ -152,9 +156,12 @@ __all__ = [
     "refine_placement",
     "solve_tile_ilp1",
     "solve_tile_ilp2",
+    "ColumnGridder",
     "GapBlock",
+    "IncrementalSweep",
     "SweepLine",
     "extract_columns",
+    "extract_columns_from_lines",
     "layer_sweep_lines",
     "sweep_gap_blocks",
     "TileSolution",

@@ -28,22 +28,36 @@ happens.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import IO, TYPE_CHECKING, Iterable
+
+import numpy as np
 
 from repro.cap.lut import LUTCache
 from repro.dissection.density import DensityMap
 from repro.dissection.fixed import FixedDissection
-from repro.errors import FillError
+from repro.errors import FillError, ParseError
 from repro.fillsynth.budget import hybrid_budget, lp_minvar_budget, montecarlo_budget
 from repro.fillsynth.slack_sites import SiteLegality
+from repro.geometry import Rect, total_area
 from repro.geometry.spatial import GridBinIndex
+from repro.io.deflite import net_ylo, parse_def_streaming
 from repro.layout.layout import RoutedLayout
+from repro.layout.net import Net
+from repro.layout.rctree import RCTree
 from repro.obs.trace import NULL_TRACER, TracerLike
 from repro.pilfill.columns import SlackColumn, SlackColumnDef
 from repro.pilfill.costs import ColumnCosts, build_costs
-from repro.pilfill.scanline import extract_columns
+from repro.pilfill.scanline import (
+    ColumnGridder,
+    IncrementalSweep,
+    SweepLine,
+    extract_columns,
+    extract_columns_from_lines,
+)
+from repro.tech.process import ProcessStack
 from repro.tech.rules import DensityRules, FillRules
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -73,6 +87,7 @@ class PreparedInstance:
     dissection: FixedDissection
     legality: SiteLegality
     columns_by_tile: dict[TileKey, list[SlackColumn]]
+    density_backend: str = "direct"
     phase_seconds: dict[str, float] = field(default_factory=dict)
     lut_stats: dict[str, int] = field(default_factory=dict)
     _density: DensityMap | None = field(default=None, repr=False)
@@ -101,7 +116,10 @@ class PreparedInstance:
         """
         if self._density is None:
             t0 = time.perf_counter()
-            self._density = DensityMap.from_layout(self.dissection, self.layout, self.layer)
+            self._density = DensityMap.from_layout(
+                self.dissection, self.layout, self.layer,
+                backend=self.density_backend,
+            )
             self.phase_seconds["density"] = time.perf_counter() - t0
         return self._density
 
@@ -272,6 +290,65 @@ class PreparedInstance:
                 f"prepared instance uses column definition {self.column_def}, "
                 f"config asks for {config.column_def}"
             )
+        if config.density_backend != self.density_backend:
+            raise FillError(
+                f"prepared instance uses density backend {self.density_backend!r}, "
+                f"config asks for {config.density_backend!r}"
+            )
+
+    def digest(self) -> str:
+        """Content digest of the prepared state the solve phase consumes.
+
+        Covers the geometry key (layer, rules, column definition), the
+        dissection grid, the exact per-tile density bytes, and every
+        slack column's full content — site rects, gap class, and both
+        timing neighbors, serialized exactly like the incremental
+        cache's :func:`~repro.pilfill.incremental.tile_digest`. Two
+        instances digest equal iff every downstream budget and tile
+        solve is bit-identical, which makes this the equivalence oracle
+        for the streaming preprocessor: ``prepare_streaming`` over a DEF
+        must digest equal to :func:`prepare` over the materialized
+        layout. Forces the (lazy) density build on first call. The
+        ``density_backend`` is deliberately excluded — it is a compute
+        hint, and the FFT path's canonical rounding keeps the density
+        bytes themselves identical.
+        """
+        from repro.pilfill.incremental import _neighbor_payload, _rect_payload, _sha256
+
+        d = self.dissection
+        rules = self.fill_rules
+        density_rules = self.density_rules
+        tile_area = self.density.tile_area
+        columns: dict[str, list[dict[str, object]]] = {}
+        for (ix, iy), cols in sorted(self.columns_by_tile.items()):
+            columns[f"{ix},{iy}"] = [
+                {
+                    "col": column.col,
+                    "sites": [_rect_payload(site) for site in column.sites],
+                    "gap_um": column.gap_um,
+                    "below": _neighbor_payload(column.below),
+                    "above": _neighbor_payload(column.above),
+                }
+                for column in cols
+            ]
+        payload: dict[str, object] = {
+            "layer": self.layer,
+            "column_def": self.column_def.name,
+            "fill_rules": [rules.fill_size, rules.fill_gap, rules.buffer_distance],
+            "density_rules": [
+                density_rules.window_size,
+                density_rules.r,
+                density_rules.min_density,
+                density_rules.max_density,
+            ],
+            "die": _rect_payload(d.die),
+            "grid": [d.nx, d.ny, d.tile_size],
+            "tile_area": hashlib.sha256(
+                np.ascontiguousarray(tile_area).tobytes()
+            ).hexdigest(),
+            "columns": columns,
+        }
+        return _sha256(payload)
 
 
 def prepare(
@@ -281,6 +358,7 @@ def prepare(
     density_rules: DensityRules,
     column_def: SlackColumnDef = SlackColumnDef.FULL_LAYOUT,
     tracer: TracerLike | None = None,
+    density_backend: str = "direct",
 ) -> PreparedInstance:
     """Run the shared preprocessing once and capture it.
 
@@ -320,5 +398,170 @@ def prepare(
         dissection=dissection,
         legality=legality,
         columns_by_tile=columns_by_tile,
+        density_backend=density_backend,
         phase_seconds=phase_seconds,
+    )
+
+
+def prepare_streaming(
+    source: "str | IO[str] | Iterable[str]",
+    stack: ProcessStack,
+    layer: str,
+    fill_rules: FillRules,
+    density_rules: DensityRules,
+    column_def: SlackColumnDef = SlackColumnDef.FULL_LAYOUT,
+    tracer: TracerLike | None = None,
+    density_backend: str = "direct",
+    banded: bool = False,
+) -> PreparedInstance:
+    """Build a :class:`PreparedInstance` straight from a DEF-lite source.
+
+    The chip-scale entry point: nets are parsed, timed
+    (:meth:`RCTree.build`), folded into the legality oracle, the density
+    accumulator, and the scan-line sweep one at a time, then discarded —
+    the full net list is never resident. The result :meth:`digests
+    <PreparedInstance.digest>` equal to ``prepare(parse_def(text), ...)``
+    *by construction*: both paths drive the same
+    :class:`~repro.pilfill.scanline.IncrementalSweep` state machine over
+    the same globally ordered event sequence, insert the same blockage
+    rects, and accumulate the same per-tile clip lists in the same
+    (file) order.
+
+    ``banded=True`` declares the input *band-sorted* (nets emitted in
+    ascending bounding-box y-low, as the chip-scale T3 emitter writes
+    them) and unlocks incremental sweep feeding on horizontal
+    FULL_LAYOUT runs: whenever a net arrives whose bounding-box y-low
+    ``b`` exceeds the previous watermark, every pending line below ``b``
+    is complete (later geometry lies at or above ``b``), so its gap
+    blocks are closed and gridded immediately and their memory released.
+    A net arriving *below* an already-fed watermark voids the
+    declaration and raises :class:`FillError` — fail loud, never emit
+    columns a late rect could have invalidated. The default
+    ``banded=False`` accepts arbitrarily ordered input (typical
+    ``write_def`` output is net-insertion order, not band order) by
+    collecting sweep lines and sweeping once at EOF — same state
+    machine, one feed. Vertical layers and Definitions I/II always take
+    the collect-then-sweep path (their sweeps cross the banding axis);
+    parsing, legality, and density still stream net-by-net either way.
+
+    The returned instance carries a *shell* layout (die, stack, fills —
+    no nets): everything :meth:`PILFillEngine.run` consumes lives in the
+    prepared state, but post-hoc evaluation against the routed nets
+    (``evaluate_impact``) needs the materialized layout. Per-net work
+    (tree build, blockage insertion, clip accumulation, sweep feeds) is
+    accounted to the ``scanline`` phase; the final per-tile union-area
+    aggregation to ``density``, which is pre-built eagerly here.
+    """
+    if not stack.has_layer(layer):
+        raise FillError(f"process stack has no layer {layer!r}")
+    trc = tracer if tracer is not None else NULL_TRACER
+    clock = time.perf_counter
+    phase_seconds: dict[str, float] = {"setup": 0.0, "scanline": 0.0}
+
+    horizontal = stack.layer(layer).direction == "h"
+    dbu = stack.dbu_per_micron
+    incremental = banded and horizontal and column_def is SlackColumnDef.FULL_LAYOUT
+
+    dissection: FixedDissection | None = None
+    legality: SiteLegality | None = None
+    sweep: IncrementalSweep | None = None
+    gridder: ColumnGridder | None = None
+    pending: list[SweepLine] = []
+    clips_by_tile: dict[TileKey, list[Rect]] = {}
+    net_count = 0
+    # Highest bbox-ylo at which lines were actually fed (and blocks
+    # gridded): the commitment level the band-sorted contract protects.
+    fed_watermark: int | None = None
+
+    def _on_die(die: Rect) -> None:
+        nonlocal dissection, legality, sweep, gridder
+        t0 = clock()
+        dissection = FixedDissection(die, density_rules)
+        legality = SiteLegality.from_rects(die, layer, fill_rules, [])
+        if incremental:
+            sweep = IncrementalSweep(die, horizontal)
+            gridder = ColumnGridder(layer, dissection, legality, fill_rules, horizontal, dbu)
+        phase_seconds["setup"] += clock() - t0
+
+    def _consume(net: Net, start_line: int) -> None:
+        nonlocal net_count, fed_watermark
+        if dissection is None or legality is None:
+            raise ParseError(
+                "DIEAREA must precede NETS for streaming preparation", start_line
+            )
+        t0 = clock()
+        net_count += 1
+        tree = RCTree.build(net, stack)
+        for seg in net.segments:
+            if seg.layer != layer:
+                continue
+            rect = seg.rect
+            legality.add_blockage(rect)
+            for tile in dissection.tiles_overlapping(rect):
+                clipped = rect.intersection(tile.rect)
+                if clipped is not None:
+                    clips_by_tile.setdefault(tile.key, []).append(clipped)
+        pending.extend(
+            SweepLine(rect=line.segment.rect, timing=line)
+            for line in tree.lines
+            if line.segment.layer == layer and line.segment.is_horizontal == horizontal
+        )
+        if sweep is not None and gridder is not None:
+            ylo = net_ylo(net)
+            if fed_watermark is not None and ylo < fed_watermark:
+                raise FillError(
+                    f"net {net.name!r} (bbox y-low {ylo}) arrived below the fed "
+                    f"sweep watermark {fed_watermark}; streamed input must be "
+                    f"band-sorted — re-run with banded=False"
+                )
+            # This net's own lines sit at or above its bbox y-low, so
+            # splitting pending at `ylo` after extending is still exact.
+            ready = [line for line in pending if line.rect.ylo < ylo]
+            if ready:
+                pending[:] = [line for line in pending if line.rect.ylo >= ylo]
+                gridder.grid(sweep.feed(ready))
+                fed_watermark = ylo
+        phase_seconds["scanline"] += clock() - t0
+
+    with trc.span("prepare.stream") as span:
+        shell = parse_def_streaming(
+            source, stack, on_die=_on_die, on_net=_consume, keep_nets=False
+        )
+        assert dissection is not None and legality is not None
+
+        t0 = clock()
+        if sweep is not None and gridder is not None:
+            if pending:
+                gridder.grid(sweep.feed(pending))
+            gridder.grid(sweep.finish())
+            columns_by_tile = gridder.out
+        else:
+            columns_by_tile = extract_columns_from_lines(
+                pending, horizontal, shell.die, dbu, layer, dissection, legality,
+                fill_rules, column_def,
+            )
+        phase_seconds["scanline"] += clock() - t0
+
+        t0 = clock()
+        area = np.zeros((dissection.nx, dissection.ny), dtype=np.float64)
+        for key, clips in clips_by_tile.items():
+            area[key] = total_area(clips)
+        density = DensityMap(dissection, area, backend=density_backend)
+        phase_seconds["density"] = clock() - t0
+        span.set("nets", net_count)
+        span.set("tiles", len(columns_by_tile))
+
+    PreparedInstance.build_count += 1
+    return PreparedInstance(
+        layout=shell,
+        layer=layer,
+        fill_rules=fill_rules,
+        density_rules=density_rules,
+        column_def=column_def,
+        dissection=dissection,
+        legality=legality,
+        columns_by_tile=columns_by_tile,
+        density_backend=density_backend,
+        phase_seconds=phase_seconds,
+        _density=density,
     )

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import FillError
 from repro.fillsynth.slack_sites import SiteLegality
 from repro.dissection.fixed import FixedDissection
 from repro.geometry import Interval, Rect
@@ -97,6 +98,110 @@ class _Axes:
         return Rect(cross.lo, along.lo, cross.hi, along.hi)
 
 
+class IncrementalSweep:
+    """The Fig. 7 sweep as a feed/finish state machine.
+
+    :func:`sweep_gap_blocks` is one ``feed`` of every line followed by
+    ``finish`` — the streaming preprocessor instead feeds lines in
+    watermark batches as a chip-scale DEF arrives. Because both paths
+    run this one state machine over the same globally ordered event
+    sequence, streamed output is bit-identical to materialized output
+    *by construction*, not by testing alone.
+
+    Batches must be monotone: every event key ``(cross_lo, along_lo)``
+    fed must be >= every key of earlier batches (violations raise
+    :class:`FillError` rather than silently reordering the sweep).
+    Within a batch, ties keep arrival order — matching the stable sort
+    of the one-shot path.
+    """
+
+    def __init__(self, region: Rect, horizontal: bool):
+        self.axes = _Axes(horizontal)
+        self.region_along = self.axes.along_iv(region)
+        self.region_cross = self.axes.cross_iv(region)
+        self._fragments: list[_Fragment] = [
+            _Fragment(self.region_along, self.region_cross.lo, None)
+        ]
+        self._max_key: tuple[int, int] | None = None
+        self._finished = False
+
+    def _key(self, line: SweepLine) -> tuple[int, int]:
+        return (self.axes.cross_iv(line.rect).lo, self.axes.along_iv(line.rect).lo)
+
+    def feed(self, lines: list[SweepLine]) -> list[GapBlock]:
+        """Process one batch of lines; returns the blocks they closed."""
+        if self._finished:
+            raise FillError("IncrementalSweep.feed after finish")
+        events = sorted(lines, key=self._key)
+        if events and self._max_key is not None and self._key(events[0]) < self._max_key:
+            raise FillError(
+                f"non-monotone sweep feed: key {self._key(events[0])} after "
+                f"{self._max_key}"
+            )
+        if events:
+            self._max_key = self._key(events[-1])
+        blocks: list[GapBlock] = []
+        fragments = self._fragments
+        for line in events:
+            span = self.axes.along_iv(line.rect)
+            band = self.axes.cross_iv(line.rect)
+            new_fragments: list[_Fragment] = []
+            for frag in fragments:
+                overlap = frag.along.intersection(span)
+                if overlap is None:
+                    new_fragments.append(frag)
+                    continue
+                # Left remainder keeps the old gap open.
+                if frag.along.lo < overlap.lo:
+                    new_fragments.append(
+                        _Fragment(Interval(frag.along.lo, overlap.lo), frag.start_cross, frag.below)
+                    )
+                # Right remainder likewise.
+                if overlap.hi < frag.along.hi:
+                    new_fragments.append(
+                        _Fragment(Interval(overlap.hi, frag.along.hi), frag.start_cross, frag.below)
+                    )
+                # The covered part closes (emit block) and reopens above the line.
+                if frag.start_cross < band.lo:
+                    blocks.append(
+                        GapBlock(
+                            along=overlap,
+                            cross_lo=frag.start_cross,
+                            cross_hi=band.lo,
+                            below=frag.below,
+                            above=line,
+                        )
+                    )
+                if band.hi >= frag.start_cross:
+                    new_fragments.append(_Fragment(overlap, band.hi, line))
+                else:
+                    # The arriving line is entirely below the open gap (overlap
+                    # with an earlier, taller line): the old gap stays open.
+                    new_fragments.append(_Fragment(overlap, frag.start_cross, frag.below))
+            fragments = sorted(new_fragments, key=lambda f: f.along.lo)
+        self._fragments = fragments
+        return blocks
+
+    def finish(self) -> list[GapBlock]:
+        """Close surviving fragments against the region boundary."""
+        if self._finished:
+            raise FillError("IncrementalSweep.finish called twice")
+        self._finished = True
+        blocks: list[GapBlock] = []
+        for frag in self._fragments:
+            if frag.start_cross < self.region_cross.hi:
+                blocks.append(
+                    GapBlock(
+                        along=frag.along,
+                        cross_lo=frag.start_cross,
+                        cross_hi=self.region_cross.hi,
+                        below=frag.below,
+                        above=None,
+                    )
+                )
+        return blocks
+
+
 def sweep_gap_blocks(
     lines: list[SweepLine],
     region: Rect,
@@ -108,67 +213,9 @@ def sweep_gap_blocks(
     overlap each other (same-net junction overlaps are tolerated); gaps of
     non-positive extent are skipped.
     """
-    axes = _Axes(horizontal)
-    region_along = axes.along_iv(region)
-    region_cross = axes.cross_iv(region)
-
-    events = sorted(
-        lines, key=lambda ln: (axes.cross_iv(ln.rect).lo, axes.along_iv(ln.rect).lo)
-    )
-    fragments: list[_Fragment] = [_Fragment(region_along, region_cross.lo, None)]
-    blocks: list[GapBlock] = []
-
-    for line in events:
-        span = axes.along_iv(line.rect)
-        band = axes.cross_iv(line.rect)
-        new_fragments: list[_Fragment] = []
-        replaced: list[_Fragment] = []
-        for frag in fragments:
-            overlap = frag.along.intersection(span)
-            if overlap is None:
-                new_fragments.append(frag)
-                continue
-            replaced.append(frag)
-            # Left remainder keeps the old gap open.
-            if frag.along.lo < overlap.lo:
-                new_fragments.append(
-                    _Fragment(Interval(frag.along.lo, overlap.lo), frag.start_cross, frag.below)
-                )
-            # Right remainder likewise.
-            if overlap.hi < frag.along.hi:
-                new_fragments.append(
-                    _Fragment(Interval(overlap.hi, frag.along.hi), frag.start_cross, frag.below)
-                )
-            # The covered part closes (emit block) and reopens above the line.
-            if frag.start_cross < band.lo:
-                blocks.append(
-                    GapBlock(
-                        along=overlap,
-                        cross_lo=frag.start_cross,
-                        cross_hi=band.lo,
-                        below=frag.below,
-                        above=line,
-                    )
-                )
-            if band.hi >= frag.start_cross:
-                new_fragments.append(_Fragment(overlap, band.hi, line))
-            else:
-                # The arriving line is entirely below the open gap (overlap
-                # with an earlier, taller line): the old gap stays open.
-                new_fragments.append(_Fragment(overlap, frag.start_cross, frag.below))
-        fragments = sorted(new_fragments, key=lambda f: f.along.lo)
-
-    for frag in fragments:
-        if frag.start_cross < region_cross.hi:
-            blocks.append(
-                GapBlock(
-                    along=frag.along,
-                    cross_lo=frag.start_cross,
-                    cross_hi=region_cross.hi,
-                    below=frag.below,
-                    above=None,
-                )
-            )
+    sweep = IncrementalSweep(region, horizontal)
+    blocks = sweep.feed(lines)
+    blocks.extend(sweep.finish())
     return blocks
 
 
@@ -186,6 +233,85 @@ def layer_sweep_lines(layout: RoutedLayout, layer: str) -> tuple[list[SweepLine]
     return lines, horizontal
 
 
+class ColumnGridder:
+    """Grids gap blocks into per-tile slack columns, batch by batch.
+
+    Wraps the ``_grid_block`` pass so the streaming preprocessor can
+    grid each :class:`IncrementalSweep` feed's blocks the moment they
+    close (their legality queries only look below the stream watermark,
+    so late-arriving geometry can never invalidate them). Feeding all
+    blocks at once reproduces :func:`extract_columns_from_lines`
+    exactly — same code, same order.
+    """
+
+    def __init__(
+        self,
+        layer: str,
+        dissection: FixedDissection,
+        legality: SiteLegality,
+        rules: FillRules,
+        horizontal: bool,
+        dbu: int,
+    ):
+        self.layer = layer
+        self.dissection = dissection
+        self.legality = legality
+        self.rules = rules
+        self.axes = _Axes(horizontal)
+        self.dbu = dbu
+        self.out: dict[tuple[int, int], list[SlackColumn]] = {
+            t.key: [] for t in dissection.tiles()
+        }
+
+    def grid(self, blocks: list[GapBlock], only_tile: tuple[int, int] | None = None) -> None:
+        """Append the columns of ``blocks`` in emission order."""
+        for block in blocks:
+            _grid_block(
+                block, only_tile, self.layer, self.dissection, self.legality,
+                self.rules, self.axes, self.dbu, self.out,
+            )
+
+
+def extract_columns_from_lines(
+    lines: list[SweepLine],
+    horizontal: bool,
+    die: Rect,
+    dbu: int,
+    layer: str,
+    dissection: FixedDissection,
+    legality: SiteLegality,
+    rules: FillRules,
+    definition: SlackColumnDef = SlackColumnDef.FULL_LAYOUT,
+) -> dict[tuple[int, int], list[SlackColumn]]:
+    """Slack columns per tile from pre-collected sweep lines.
+
+    The layout-free core of :func:`extract_columns` — the streaming
+    preprocessor calls it (or drives :class:`ColumnGridder` directly)
+    without ever materializing a :class:`RoutedLayout`.
+    """
+    axes = _Axes(horizontal)
+    out: dict[tuple[int, int], list[SlackColumn]] = {t.key: [] for t in dissection.tiles()}
+
+    if definition is SlackColumnDef.FULL_LAYOUT:
+        gridder = ColumnGridder(layer, dissection, legality, rules, horizontal, dbu)
+        gridder.grid(sweep_gap_blocks(lines, die, horizontal))
+        return gridder.out
+
+    # Definitions I and II sweep each tile independently with clipped lines.
+    for tile in dissection.tiles():
+        clipped: list[SweepLine] = []
+        for line in lines:
+            inter = line.rect.intersection(tile.rect)
+            if inter is not None:
+                clipped.append(SweepLine(rect=inter, timing=line.timing))
+        blocks = sweep_gap_blocks(clipped, tile.rect, horizontal)
+        if definition is SlackColumnDef.WITHIN_TILE:
+            blocks = [b for b in blocks if b.below is not None and b.above is not None]
+        for block in blocks:
+            _grid_block(block, tile.key, layer, dissection, legality, rules, axes, dbu, out)
+    return out
+
+
 def extract_columns(
     layout: RoutedLayout,
     layer: str,
@@ -201,35 +327,15 @@ def extract_columns(
     into these sites is design-rule clean.
     """
     lines, horizontal = layer_sweep_lines(layout, layer)
-    axes = _Axes(horizontal)
-    dbu = layout.stack.dbu_per_micron
-    out: dict[tuple[int, int], list[SlackColumn]] = {t.key: [] for t in dissection.tiles()}
-
-    if definition is SlackColumnDef.FULL_LAYOUT:
-        blocks = sweep_gap_blocks(lines, layout.die, horizontal)
-        for block in blocks:
-            _grid_block(block, None, layout, layer, dissection, legality, rules, axes, dbu, out)
-        return out
-
-    # Definitions I and II sweep each tile independently with clipped lines.
-    for tile in dissection.tiles():
-        clipped: list[SweepLine] = []
-        for line in lines:
-            inter = line.rect.intersection(tile.rect)
-            if inter is not None:
-                clipped.append(SweepLine(rect=inter, timing=line.timing))
-        blocks = sweep_gap_blocks(clipped, tile.rect, horizontal)
-        if definition is SlackColumnDef.WITHIN_TILE:
-            blocks = [b for b in blocks if b.below is not None and b.above is not None]
-        for block in blocks:
-            _grid_block(block, tile.key, layout, layer, dissection, legality, rules, axes, dbu, out)
-    return out
+    return extract_columns_from_lines(
+        lines, horizontal, layout.die, layout.stack.dbu_per_micron,
+        layer, dissection, legality, rules, definition,
+    )
 
 
 def _grid_block(
     block: GapBlock,
     only_tile: tuple[int, int] | None,
-    layout: RoutedLayout,
     layer: str,
     dissection: FixedDissection,
     legality: SiteLegality,

@@ -1,16 +1,26 @@
 """Synthetic routed-layout generation and the T1/T2 testcase presets."""
 
 from repro.synth.editing import EditSummary, edit_window
-from repro.synth.generator import GeneratorSpec, Hotspot, generate_layout
+from repro.synth.generator import (
+    GeneratorSpec,
+    Hotspot,
+    generate_layout,
+    iter_layout_nets,
+    spec_die,
+)
 from repro.synth.testcases import (
     R_VALUES,
     WINDOW_SIZES_UM,
     default_fill_rules,
     density_rules_for,
+    iter_banded_def_lines,
+    iter_t3_def_lines,
     make_t1,
     make_t2,
+    make_t3,
     t1_spec,
     t2_spec,
+    t3_spec,
 )
 
 __all__ = [
@@ -19,12 +29,18 @@ __all__ = [
     "GeneratorSpec",
     "Hotspot",
     "generate_layout",
+    "iter_layout_nets",
+    "spec_die",
+    "iter_banded_def_lines",
+    "iter_t3_def_lines",
     "R_VALUES",
     "WINDOW_SIZES_UM",
     "default_fill_rules",
     "density_rules_for",
     "make_t1",
     "make_t2",
+    "make_t3",
     "t1_spec",
     "t2_spec",
+    "t3_spec",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import LayoutError
 from repro.geometry import GridBinIndex, Point, Rect
@@ -63,6 +64,13 @@ class GeneratorSpec:
     jog_len_um: tuple[float, float] = (1.0, 3.0)
 
 
+def spec_die(spec: GeneratorSpec, stack: ProcessStack | None = None) -> Rect:
+    """Die rectangle a spec generates into (square, origin at 0)."""
+    dbu = (stack or default_stack()).dbu_per_micron
+    die_side = um_to_dbu(spec.die_um, dbu)
+    return Rect(0, 0, die_side, die_side)
+
+
 def generate_layout(spec: GeneratorSpec, stack: ProcessStack | None = None) -> RoutedLayout:
     """Generate a routed layout from ``spec``.
 
@@ -72,10 +80,33 @@ def generate_layout(spec: GeneratorSpec, stack: ProcessStack | None = None) -> R
     """
     if stack is None:
         stack = default_stack()
+    layout = RoutedLayout(spec.name, spec_die(spec, stack), stack)
+    placed = 0
+    for net in iter_layout_nets(spec, stack):
+        layout.add_net(net)
+        placed += 1
+    if placed == 0:
+        raise LayoutError(f"{spec.name}: no nets could be placed; spec too congested")
+    return layout
+
+
+def iter_layout_nets(spec: GeneratorSpec, stack: ProcessStack | None = None) -> Iterator[Net]:
+    """Yield the spec's nets one at a time, in placement (RNG) order.
+
+    The lazy core of :func:`generate_layout`: collecting every yielded
+    net into a layout reproduces ``generate_layout`` bit for bit (one
+    shared RNG stream, occupancy claimed inside the generator before
+    each yield). Chip-scale emitters consume this directly so a T3-sized
+    instance never has to exist as a materialized layout just to be
+    written out. The occupancy index grows with the drawn geometry —
+    that is inherent to short-free rejection sampling — but net objects
+    themselves are yielded and forgotten.
+    """
+    if stack is None:
+        stack = default_stack()
     dbu = stack.dbu_per_micron
-    die_side = um_to_dbu(spec.die_um, dbu)
-    die = Rect(0, 0, die_side, die_side)
-    layout = RoutedLayout(spec.name, die, stack)
+    die = spec_die(spec, stack)
+    die_side = die.xhi
     rng = random.Random(spec.seed)
 
     width = um_to_dbu(spec.wire_width_um, dbu)
@@ -123,7 +154,6 @@ def generate_layout(spec: GeneratorSpec, stack: ProcessStack | None = None) -> R
             y = rng.uniform(0, die_side)
         return int(x), int(y)
 
-    placed = 0
     for net_no in range(spec.n_nets):
         net = _try_place_net(
             f"net{net_no}", spec, rng, die, margin, width, dbu,
@@ -134,12 +164,7 @@ def generate_layout(spec: GeneratorSpec, stack: ProcessStack | None = None) -> R
         # Commit geometry to the occupancy structures.
         for seg in net.segments:
             claim(seg.layer, seg.rect)
-        layout.add_net(net)
-        placed += 1
-
-    if placed == 0:
-        raise LayoutError(f"{spec.name}: no nets could be placed; spec too congested")
-    return layout
+        yield net
 
 
 def _try_place_net(

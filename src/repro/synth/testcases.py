@@ -13,8 +13,17 @@ these die sizes yields tile grids in the same regime the paper sweeps.
 
 from __future__ import annotations
 
+from typing import Iterator
+
+from repro.io.deflite import net_ylo, write_def_lines
 from repro.layout.layout import RoutedLayout
-from repro.synth.generator import GeneratorSpec, Hotspot, generate_layout
+from repro.synth.generator import (
+    GeneratorSpec,
+    Hotspot,
+    generate_layout,
+    iter_layout_nets,
+    spec_die,
+)
 from repro.tech.process import ProcessStack, default_stack
 from repro.tech.rules import DensityRules, FillRules
 from repro.units import um_to_dbu
@@ -58,6 +67,29 @@ def t2_spec(seed: int = 2) -> GeneratorSpec:
     )
 
 
+def t3_spec(seed: int = 3, n_nets: int = 7000) -> GeneratorSpec:
+    """T3: the chip-scale streaming testcase — a 768 µm die (64x the T2
+    area) at T2's density and fanout profile, so its feature mass lands
+    roughly 60x T2's. Too big to round-trip comfortably through
+    materialized text at interactive speed; it exists to exercise the
+    streaming DEF reader and the FFT density backend at the scale they
+    were built for."""
+    return GeneratorSpec(
+        name="T3",
+        die_um=768.0,
+        n_nets=n_nets,
+        seed=seed,
+        trunk_len_um=(16.0, 60.0),
+        branch_len_um=(2.0, 12.0),
+        sinks_per_net=(2, 5),
+        driver_res_ohm=(100.0, 400.0),
+        hotspots=(
+            Hotspot(0.25, 0.7, 0.12, 0.35),
+            Hotspot(0.75, 0.3, 0.10, 0.25),
+        ),
+    )
+
+
 def make_t1(stack: ProcessStack | None = None, seed: int = 1) -> RoutedLayout:
     """Build the T1 stand-in layout."""
     return generate_layout(t1_spec(seed), stack)
@@ -66,6 +98,48 @@ def make_t1(stack: ProcessStack | None = None, seed: int = 1) -> RoutedLayout:
 def make_t2(stack: ProcessStack | None = None, seed: int = 2) -> RoutedLayout:
     """Build the T2 stand-in layout."""
     return generate_layout(t2_spec(seed), stack)
+
+
+def make_t3(stack: ProcessStack | None = None, seed: int = 3) -> RoutedLayout:
+    """Materialize the chip-scale T3 layout.
+
+    Expensive (thousands of nets) — generated on demand, never at
+    import. Chip-scale flows should prefer :func:`iter_t3_def_lines` +
+    :func:`repro.pilfill.prepare.prepare_streaming`, which never build
+    this object; ``make_t3`` exists as the equivalence oracle."""
+    return generate_layout(t3_spec(seed), stack)
+
+
+def iter_banded_def_lines(
+    spec: GeneratorSpec, stack: ProcessStack | None = None
+) -> Iterator[str]:
+    """DEF-lite lines of a spec's layout, nets band-sorted, one at a time.
+
+    Nets are emitted in ascending bounding-box y-low order — the
+    band-sorted contract :class:`repro.io.deflite.DefWindowStream` and
+    ``prepare_streaming(banded=True)`` key on. Net objects are generated
+    lazily and held only for the sort (a few hundred bytes each); the
+    full DEF text is never assembled. The emitted *design* is identical
+    to ``generate_layout(spec)`` — same nets, same geometry — only the
+    statement order differs, and the readers' results are order-independent.
+    """
+    stack = stack or default_stack()
+    nets = sorted(iter_layout_nets(spec, stack), key=net_ylo)
+    yield from write_def_lines(
+        spec.name,
+        spec_die(spec, stack),
+        stack.dbu_per_micron,
+        nets,
+        net_count=len(nets),
+    )
+
+
+def iter_t3_def_lines(
+    stack: ProcessStack | None = None, seed: int = 3, n_nets: int = 7000
+) -> Iterator[str]:
+    """Band-sorted DEF-lite lines of the T3 testcase (see
+    :func:`iter_banded_def_lines`)."""
+    yield from iter_banded_def_lines(t3_spec(seed, n_nets), stack)
 
 
 def default_fill_rules(stack: ProcessStack | None = None) -> FillRules:

@@ -1,0 +1,126 @@
+"""Property tests: the FFT density backend against the direct oracle.
+
+The contract of ``DensityMap(backend="fft")`` (see
+:mod:`repro.dissection.density`):
+
+* on **arbitrary float maps** the FFT window areas agree with the direct
+  summed-area oracle within an ULP-scaled tolerance of the total mass
+  (FFT round-off is relative to the whole transform, not per window),
+* on **integer-valued maps** — every map derived from drawn geometry —
+  the canonical ``np.rint`` snap makes the FFT backend *bit-identical*
+  to the oracle: window areas, window densities, and ``stats()`` are all
+  exactly equal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dissection import DENSITY_BACKENDS, DensityMap, FixedDissection
+from repro.geometry import Rect
+from repro.tech.rules import DensityRules
+
+
+@st.composite
+def dissections(draw):
+    """A small dissection: tile size, r, grid extent, and a die that may
+    end mid-tile on either axis (clipped edge tiles)."""
+    r = draw(st.integers(1, 4))
+    tile = draw(st.integers(2, 40))
+    nx = draw(st.integers(1, 10))
+    ny = draw(st.integers(1, 10))
+    # Shrink the die below a whole tile multiple to exercise edge clipping;
+    # keep at least one positive unit so the die stays non-empty.
+    dx = draw(st.integers(0, tile - 1)) if nx > 1 else 0
+    dy = draw(st.integers(0, tile - 1)) if ny > 1 else 0
+    die = Rect(0, 0, nx * tile - dx, ny * tile - dy)
+    rules = DensityRules(window_size=tile * r, r=r, max_density=1.0)
+    return FixedDissection(die, rules)
+
+
+@st.composite
+def float_maps(draw):
+    """A dissection plus an arbitrary non-negative float tile-area map."""
+    d = draw(dissections())
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False,
+                      allow_infinity=False),
+            min_size=d.nx * d.ny, max_size=d.nx * d.ny,
+        )
+    )
+    return d, np.asarray(values, dtype=np.float64).reshape(d.nx, d.ny)
+
+
+@st.composite
+def integer_maps(draw):
+    """A dissection plus an integer-valued tile-area map (as geometry
+    produces: exact float64 integers, well below 2**53)."""
+    d = draw(dissections())
+    values = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=2**40),
+            min_size=d.nx * d.ny, max_size=d.nx * d.ny,
+        )
+    )
+    return d, np.asarray(values, dtype=np.float64).reshape(d.nx, d.ny)
+
+
+@settings(max_examples=80, deadline=None)
+@given(float_maps())
+def test_fft_matches_direct_within_ulp_tolerance(case):
+    dissection, tile_area = case
+    direct = DensityMap(dissection, tile_area, backend="direct").window_area()
+    fft = DensityMap(dissection, tile_area, backend="fft").window_area()
+    assert fft.shape == direct.shape
+    # FFT round-off scales with the transform's total mass, not with any
+    # single window: a handful of ULPs of the map's mass bounds it.
+    tol = 64 * np.spacing(max(1.0, float(np.abs(tile_area).sum())))
+    assert np.all(np.abs(fft - direct) <= tol)
+
+
+@settings(max_examples=80, deadline=None)
+@given(integer_maps())
+def test_fft_exact_on_integer_maps(case):
+    dissection, tile_area = case
+    direct = DensityMap(dissection, tile_area, backend="direct")
+    fft = DensityMap(dissection, tile_area, backend="fft")
+    assert np.array_equal(fft.window_area(), direct.window_area())
+    assert np.array_equal(fft.window_density(), direct.window_density())
+
+
+@settings(max_examples=80, deadline=None)
+@given(integer_maps())
+def test_stats_exact_after_canonical_rounding(case):
+    dissection, tile_area = case
+    direct = DensityMap(dissection, tile_area, backend="direct")
+    fft = DensityMap(dissection, tile_area, backend="fft")
+    # DensityStats is a frozen dataclass of floats: == here means every
+    # summary statistic is bit-identical, not merely close.
+    assert fft.stats() == direct.stats()
+
+
+@settings(max_examples=40, deadline=None)
+@given(integer_maps())
+def test_added_preserves_backend_and_identity(case):
+    dissection, tile_area = case
+    extra = np.ones_like(tile_area)
+    fft = DensityMap(dissection, tile_area, backend="fft").added(extra)
+    direct = DensityMap(dissection, tile_area, backend="direct").added(extra)
+    assert fft.backend == "fft"
+    assert np.array_equal(fft.window_area(), direct.window_area())
+
+
+def test_unknown_backend_rejected():
+    rules = DensityRules(window_size=8, r=2, max_density=1.0)
+    dissection = FixedDissection(Rect(0, 0, 16, 16), rules)
+    area = np.zeros((dissection.nx, dissection.ny))
+    with pytest.raises(ValueError, match="unknown density backend"):
+        DensityMap(dissection, area, backend="simd")
+
+
+def test_backends_registry():
+    assert DENSITY_BACKENDS == ("direct", "fft")
