@@ -12,6 +12,13 @@ package checks them *statically*:
   worker-reachable modules), C202 (payload registry picklability),
   C203/C204 (lock-guarded caches);
 * :mod:`repro.analysis.rules_typing` — T301 (strict-typing gate);
+* interprocedural families over the function-level call graph
+  (:mod:`repro.analysis.callgraph`): :mod:`repro.analysis.rules_taint`
+  — X101 (determinism source reaching a digest/payload sink, with the
+  full source→sink chain); :mod:`repro.analysis.rules_lockorder` —
+  X201 (lock-order cycles), X202 (lock held across pool dispatch);
+  :mod:`repro.analysis.rules_purity` — X301 (worker-reachable writes to
+  unshipped module state);
 * suppressions: ``# pilfill: allow[rule-id] -- justification`` (the
   justification is mandatory — A001 flags blanket allows).
 
@@ -22,25 +29,48 @@ finding over ``src/repro``.
 
 from __future__ import annotations
 
-from repro.analysis.findings import Finding
+from repro.analysis.callgraph import CallGraph, ModuleUnit, ProgramContext
+from repro.analysis.findings import Finding, TraceStep
 from repro.analysis.policy import DEFAULT_POLICY, LintPolicy
-from repro.analysis.registry import FileContext, Rule, all_rules, known_rule_ids
+from repro.analysis.registry import (
+    FileContext,
+    ProgramRule,
+    Rule,
+    all_program_rules,
+    all_rules,
+    known_rule_ids,
+)
 from repro.analysis.report import findings_from_json, render_json, render_text
-from repro.analysis.runner import LintReport, collect_files, lint_paths, lint_source
+from repro.analysis.runner import (
+    LintReport,
+    collect_files,
+    lint_modules,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
+    "CallGraph",
     "DEFAULT_POLICY",
     "FileContext",
     "Finding",
     "LintPolicy",
     "LintReport",
+    "ModuleUnit",
+    "ProgramContext",
+    "ProgramRule",
     "Rule",
+    "TraceStep",
+    "all_program_rules",
     "all_rules",
     "collect_files",
     "findings_from_json",
     "known_rule_ids",
+    "lint_modules",
     "lint_paths",
     "lint_source",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -1,0 +1,55 @@
+"""Git-backed change detection for ``pilfill lint --changed``.
+
+A pre-commit lint does not need the whole tree: only files that differ
+from ``HEAD`` (staged, unstaged, or untracked) can introduce new
+findings directly — plus, because the X-family facts cross file
+boundaries, every file whose import closure touches a changed module.
+This module supplies the first half (the git query); the runner combines
+it with :meth:`~repro.analysis.modgraph.ModuleGraph.dependents_of` for
+the closure half.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+
+def _git_lines(args: list[str], cwd: Path) -> list[str] | None:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_paths(cwd: Path) -> frozenset[Path] | None:
+    """Resolved paths of files that differ from HEAD (tracked changes,
+    staged or not, plus untracked files). None when the git state cannot
+    be determined — callers should fall back to a full lint, never to an
+    empty one."""
+    top_lines = _git_lines(["rev-parse", "--show-toplevel"], cwd)
+    if not top_lines:
+        return None
+    top = Path(top_lines[0])
+    diff = _git_lines(["diff", "--name-only", "HEAD"], cwd)
+    untracked = _git_lines(
+        ["ls-files", "--others", "--exclude-standard"], cwd
+    )
+    if diff is None or untracked is None:
+        return None
+    out: set[Path] = set()
+    for rel in diff + untracked:
+        candidate = top / rel
+        if candidate.exists():
+            out.add(candidate.resolve())
+    return frozenset(out)

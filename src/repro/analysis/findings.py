@@ -2,13 +2,37 @@
 
 A :class:`Finding` is one rule violation at one source location. Findings
 are plain, ordered, JSON-serializable values so the text reporter, the
-JSON reporter, the per-file cache, and the pytest self-check gate all
-speak the same currency.
+JSON reporter, the SARIF reporter, the per-file cache, and the pytest
+self-check gate all speak the same currency.
+
+Interprocedural rules (the X families) attach a :class:`TraceStep`
+chain — source location, intermediate call sites, sink location — so a
+cross-module taint report carries the whole path, not just its endpoint.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class TraceStep:
+    """One hop of an interprocedural finding's call chain.
+
+    Attributes:
+        path: file the hop is in.
+        line: 1-based source line of the hop.
+        note: what happens at this hop (``"source: ..."``, ``"call ..."``,
+            ``"sink: ..."``).
+    """
+
+    path: str
+    line: int
+    note: str
+
+    def format(self) -> str:
+        """``path:line: note`` — one indented line under the finding."""
+        return f"{self.path}:{self.line}: {self.note}"
 
 
 @dataclass(frozen=True, order=True)
@@ -21,6 +45,8 @@ class Finding:
         col: 0-based column offset.
         rule_id: the violated rule (e.g. ``"D104"``).
         message: human-readable description of the violation.
+        trace: optional interprocedural call chain, ordered source →
+            intermediate calls → sink (empty for single-location rules).
     """
 
     path: str
@@ -28,22 +54,42 @@ class Finding:
     col: int
     rule_id: str
     message: str
+    trace: tuple[TraceStep, ...] = field(default=())
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready mapping (inverse of :meth:`from_dict`)."""
-        return asdict(self)
+        data = asdict(self)
+        if not self.trace:
+            del data["trace"]
+        return data
 
     @staticmethod
     def from_dict(data: dict[str, object]) -> "Finding":
         """Rebuild a finding from :meth:`to_dict` output."""
+        raw_trace = data.get("trace", ())
+        if not isinstance(raw_trace, (list, tuple)):
+            raise ValueError(f"trace must be a list, got {type(raw_trace).__name__}")
+        trace = tuple(
+            TraceStep(
+                path=str(step["path"]),
+                line=int(step["line"]),  # type: ignore[call-overload]
+                note=str(step["note"]),
+            )
+            for step in raw_trace
+        )
         return Finding(
             path=str(data["path"]),
             line=int(data["line"]),  # type: ignore[call-overload]
             col=int(data["col"]),  # type: ignore[call-overload]
             rule_id=str(data["rule_id"]),
             message=str(data["message"]),
+            trace=trace,
         )
 
     def format(self) -> str:
-        """``path:line:col: RULE message`` — the text-reporter line."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        """``path:line:col: RULE message`` plus indented trace lines."""
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if not self.trace:
+            return head
+        steps = "\n".join(f"    {step.format()}" for step in self.trace)
+        return f"{head}\n{steps}"

@@ -1,15 +1,22 @@
-"""Import graph over the source tree, for worker-reachability.
+"""Import graph over the source tree, for cross-module facts.
 
 The C-family rules need to know which modules run inside process-pool
 workers: everything transitively imported from the worker entry modules
 (``repro.pilfill.parallel``). Imports are collected from the AST —
 including function-local imports, which the solve path uses deliberately
 — so the reachable set matches what a worker process actually loads.
+
+The interprocedural passes (PR 9) lean on the same graph for cache
+soundness: :meth:`ModuleGraph.closure_digest` hashes a module's whole
+import closure so per-file cache entries invalidate when *any* imported
+module changes, and :meth:`ModuleGraph.dependents_of` inverts the edges
+for ``pilfill lint --changed``.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
 from pathlib import Path
 
 
@@ -62,13 +69,18 @@ class ModuleGraph:
         self.root = root.resolve()
         self._edges: dict[str, set[str]] = {}
         self._paths: dict[str, Path] = {}
+        self._sources: dict[str, str] = {}
+        self._closures: dict[str, frozenset[str]] = {}
+        self._closure_digests: dict[str, str] = {}
         for file in sorted(self.root.rglob("*.py")):
             module = module_name_for(file)
             if not module:
                 continue
             self._paths[module] = file
+            source = file.read_text(encoding="utf-8")
+            self._sources[module] = source
             try:
-                tree = ast.parse(file.read_text(encoding="utf-8"))
+                tree = ast.parse(source)
             except SyntaxError:
                 continue
             self._edges[module] = _imports_of(
@@ -78,6 +90,60 @@ class ModuleGraph:
     def modules(self) -> tuple[str, ...]:
         """Every module in the graph, sorted."""
         return tuple(sorted(self._paths))
+
+    def path_of(self, module: str) -> Path | None:
+        """Source path of ``module``, or None when unknown."""
+        return self._paths.get(module)
+
+    def source_of(self, module: str) -> str | None:
+        """Source text of ``module`` as read at graph build time."""
+        return self._sources.get(module)
+
+    def closure_of(self, module: str) -> frozenset[str]:
+        """``module`` plus everything it transitively imports (within
+        the root). Memoized — the runner asks per linted file."""
+        cached = self._closures.get(module)
+        if cached is None:
+            cached = self.reachable_from((module,))
+            self._closures[module] = cached
+        return cached
+
+    def closure_digest(self, module: str) -> str:
+        """sha256 over the sorted (module, source) pairs of
+        :meth:`closure_of` — the cache-key ingredient that makes
+        cross-module lint facts invalidate when any dependency edits."""
+        cached = self._closure_digests.get(module)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        for name in sorted(self.closure_of(module)):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(self._sources.get(name, "").encode("utf-8"))
+            digest.update(b"\x01")
+        out = digest.hexdigest()
+        self._closure_digests[module] = out
+        return out
+
+    def program_source_digest(self) -> str:
+        """sha256 over every module's source, sorted by name — the
+        whole-program ingredient for program-scoped rule caching."""
+        digest = hashlib.sha256()
+        for name in sorted(self._sources):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(self._sources[name].encode("utf-8"))
+            digest.update(b"\x01")
+        return digest.hexdigest()
+
+    def dependents_of(self, modules: frozenset[str]) -> frozenset[str]:
+        """``modules`` plus every module whose import closure touches
+        one of them — the re-lint set for ``--changed``."""
+        out: set[str] = set()
+        for module in sorted(self._paths):
+            if module in modules or (self.closure_of(module) & modules):
+                out.add(module)
+        return frozenset(out)
 
     def reachable_from(self, entries: tuple[str, ...]) -> frozenset[str]:
         """Modules transitively imported from ``entries`` (inclusive),

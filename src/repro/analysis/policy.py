@@ -12,6 +12,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
+def _default_taint_sinks() -> tuple[str, ...]:
+    return (
+        # Content-digest helpers: anything nondeterministic reaching one
+        # of these poisons a cache key / store digest far from its source.
+        "repro.pilfill.incremental._sha256",
+        "repro.pilfill.incremental.run_context_digest",
+        "repro.pilfill.incremental.tile_digest",
+        "repro.analysis.cache.context_digest",
+        "repro.analysis.cache.entry_digest",
+        "repro.analysis.cache.program_digest",
+        "repro.io.deflite.layout_digest",
+    )
+
+
+def _default_worker_entry_functions() -> tuple[str, ...]:
+    return (
+        # Everything a pool worker actually executes hangs off these.
+        "repro.pilfill.executor.solve_tile_batch",
+        "repro.pilfill.executor._worker_init",
+        "repro.pilfill.parallel.solve_tile_payload",
+        "repro.pilfill.parallel._solve_payload_isolated",
+    )
+
+
 def _default_payload_registry() -> tuple[str, ...]:
     return (
         # Shipped to pool workers (the request side of the boundary).
@@ -64,6 +88,21 @@ class LintPolicy:
             mypy's ``disallow_untyped_defs`` gate).
         rng_factory_names: callables D101 accepts as *seeded* RNG
             constructors (their first positional argument is the seed).
+        taint_sink_functions: dotted function names whose inputs feed a
+            content digest; the X101 interprocedural taint pass reports
+            any call chain from a nondeterminism source into one of
+            these (payload-registry constructors are sinks too).
+        pool_dispatch_functions: dotted function names that hand work to
+            a process pool; X202 reports any lock held across a call
+            that (transitively) reaches one, alongside the built-in
+            ``<pool>.submit(...)`` detection.
+        worker_entry_functions: dotted function names pool workers
+            execute directly; X301 walks the call graph from these and
+            reports module-state writes that bypass the shared-memory
+            store protocol.
+        worker_state_allowlist: dotted module-level names reachable
+            worker code may legitimately mutate (the content-hash-keyed
+            shared-store resolver cache — the sanctioned shipping path).
     """
 
     float_eq_packages: tuple[str, ...] = ("repro.pilfill", "repro.ilp", "repro.cap")
@@ -107,6 +146,19 @@ class LintPolicy:
         "repro.obs",
     )
     rng_factory_names: tuple[str, ...] = ("Random", "SystemRandom", "default_rng", "SeedSequence")
+    taint_sink_functions: tuple[str, ...] = field(default_factory=_default_taint_sinks)
+    pool_dispatch_functions: tuple[str, ...] = (
+        "repro.pilfill.executor.dispatch_batches",
+        "repro.pilfill.parallel.dispatch_tile_payloads",
+    )
+    worker_entry_functions: tuple[str, ...] = field(
+        default_factory=_default_worker_entry_functions
+    )
+    worker_state_allowlist: tuple[str, ...] = (
+        # The per-process shared-store resolver cache: mutation *is* the
+        # sanctioned re-sync mechanism (content-hash handshake, PR 6).
+        "repro.pilfill.executor._STORE_CACHE",
+    )
 
     def in_float_eq_scope(self, module: str) -> bool:
         """Whether D104 applies to ``module``."""

@@ -1,9 +1,21 @@
-"""Rule base class, registry, and the per-file analysis context.
+"""Rule base classes, registries, and the per-file analysis context.
 
-Rules self-register at import time via :func:`register`; the runner asks
-:func:`all_rules` for the catalog. Each rule sees a :class:`FileContext`
-— one parsed file plus everything repo-level the rule families need
-(module name, worker reachability, policy) — and yields findings.
+Rules self-register at import time via :func:`register` (per-file) or
+:func:`register_program` (interprocedural); the runner asks
+:func:`all_rules` / :func:`all_program_rules` for the catalogs. A
+per-file rule sees a :class:`FileContext` — one parsed file plus
+everything repo-level the rule families need (module name, worker
+reachability, policy). A :class:`ProgramRule` sees the whole
+:class:`~repro.analysis.callgraph.ProgramContext` instead and declares a
+``scope``:
+
+* ``"file"`` — every finding is explained by the finding-file's import
+  closure, so the runner may cache it per file under a closure digest
+  (X101 taint chains, X202 lock-across-dispatch).
+* ``"program"`` — findings depend on facts outside any single closure
+  (lock-order cycles across unrelated files, reverse reachability from
+  worker entries), so they are cached only under a whole-program digest
+  (X201, X301).
 """
 
 from __future__ import annotations
@@ -11,10 +23,14 @@ from __future__ import annotations
 import abc
 import ast
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.analysis.findings import Finding
 from repro.analysis.policy import DEFAULT_POLICY, LintPolicy
 from repro.errors import FillError
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import ProgramContext
 
 
 @dataclass
@@ -65,7 +81,31 @@ class Rule(abc.ABC):
         )
 
 
+class ProgramRule(abc.ABC):
+    """One interprocedural rule over the whole program.
+
+    Findings from a program rule must be anchored (``path``) at a file
+    of the program so suppressions and per-file filtering apply; rules
+    with ``scope == "file"`` additionally promise every finding is fully
+    determined by that file's import closure.
+    """
+
+    #: Unique id, e.g. ``"X101"``. Families: X1xx = determinism taint,
+    #: X2xx = lock order, X3xx = shard purity.
+    rule_id: str = ""
+    #: One-line description shown by ``pilfill lint --rules``.
+    summary: str = ""
+    #: ``"file"`` when findings are closure-local (cacheable per file),
+    #: ``"program"`` when they depend on the whole program.
+    scope: str = "file"
+
+    @abc.abstractmethod
+    def check_program(self, ctx: ProgramContext) -> list[Finding]:
+        """Findings for the whole program (empty when clean)."""
+
+
 _RULES: dict[str, Rule] = {}
+_PROGRAM_RULES: dict[str, ProgramRule] = {}
 
 
 def register(rule_cls: type[Rule]) -> type[Rule]:
@@ -73,26 +113,52 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
     rule = rule_cls()
     if not rule.rule_id:
         raise FillError(f"rule {rule_cls.__name__} has no rule_id")
-    if rule.rule_id in _RULES:
+    if rule.rule_id in _RULES or rule.rule_id in _PROGRAM_RULES:
         raise FillError(f"duplicate rule id {rule.rule_id!r}")
     _RULES[rule.rule_id] = rule
     return rule_cls
 
 
+def register_program(rule_cls: type[ProgramRule]) -> type[ProgramRule]:
+    """Class decorator adding a program rule to the registry."""
+    rule = rule_cls()
+    if not rule.rule_id:
+        raise FillError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule.rule_id in _RULES or rule.rule_id in _PROGRAM_RULES:
+        raise FillError(f"duplicate rule id {rule.rule_id!r}")
+    if rule.scope not in ("file", "program"):
+        raise FillError(f"rule {rule.rule_id} has invalid scope {rule.scope!r}")
+    _PROGRAM_RULES[rule.rule_id] = rule
+    return rule_cls
+
+
 def all_rules() -> tuple[Rule, ...]:
-    """Every registered rule, ordered by id (import side effects load
-    the built-in rule modules)."""
+    """Every registered per-file rule, ordered by id (import side
+    effects load the built-in rule modules)."""
     _load_builtin_rules()
     return tuple(_RULES[rule_id] for rule_id in sorted(_RULES))
+
+
+def all_program_rules() -> tuple[ProgramRule, ...]:
+    """Every registered interprocedural rule, ordered by id."""
+    _load_builtin_rules()
+    return tuple(_PROGRAM_RULES[rule_id] for rule_id in sorted(_PROGRAM_RULES))
 
 
 def known_rule_ids() -> frozenset[str]:
     """The ids suppression comments may reference."""
     _load_builtin_rules()
-    return frozenset(_RULES)
+    return frozenset(_RULES) | frozenset(_PROGRAM_RULES)
 
 
 def _load_builtin_rules() -> None:
     # Imported lazily (not at module top) to avoid a registry/rules
     # import cycle; idempotent because registration is keyed by id.
-    from repro.analysis import rules_concurrency, rules_determinism, rules_typing  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        rules_concurrency,
+        rules_determinism,
+        rules_lockorder,
+        rules_purity,
+        rules_taint,
+        rules_typing,
+    )

@@ -1,0 +1,286 @@
+"""X1xx: interprocedural determinism taint.
+
+The D-family rules catch a nondeterminism source where it is *used*; the
+taint pass catches one where it *matters* — a wall-clock read or
+``os.environ`` lookup three calls away from a sha256 digest helper
+poisons a cache key just as surely as one inline. X101 walks the call
+graph: for every call site whose callee is a policy-listed digest sink
+(or a C202 payload-registry constructor), any nondeterminism source in
+the calling function or its transitive callees is reported with the full
+source → call chain → sink trace.
+
+Approximation: value-flow is not tracked — a source anywhere in the
+sink-caller's forward call cone is assumed to be able to reach the sink
+arguments. That over-approximates, but the sources are things
+deterministic code has no business touching near a digest anyway, and
+the same allowlists that scope D101/D102 scope the taint sources here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    ModuleUnit,
+    ProgramContext,
+    owned_statements,
+)
+from repro.analysis.findings import Finding, TraceStep
+from repro.analysis.registry import ProgramRule, register_program
+from repro.analysis.rules_determinism import (
+    _DATETIME_FNS,
+    _NP_GLOBAL_RNG_FNS,
+    _RANDOM_MODULE_OK,
+    _TIME_FNS,
+    _from_imports,
+    _is_set_expr,
+    _module_aliases,
+)
+
+
+@dataclass(frozen=True)
+class TaintSource:
+    """One nondeterminism source occurrence inside a function."""
+
+    qualname: str
+    path: str
+    line: int
+    desc: str
+
+
+@dataclass
+class _ModuleSourceTables:
+    """Per-module alias tables needed to spot sources."""
+
+    time_aliases: set[str]
+    time_fns: set[str]
+    datetime_aliases: set[str]
+    os_aliases: set[str]
+    environ_names: set[str]
+    getenv_names: set[str]
+    random_aliases: set[str]
+    random_fns: set[str]
+    numpy_aliases: set[str]
+    nprandom_aliases: set[str]
+
+
+def _tables_for(unit: ModuleUnit) -> _ModuleSourceTables:
+    os_imports = _from_imports(unit.tree, "os")
+    return _ModuleSourceTables(
+        time_aliases=_module_aliases(unit.tree, "time"),
+        time_fns={
+            local
+            for local, orig in _from_imports(unit.tree, "time").items()
+            if orig in _TIME_FNS
+        },
+        datetime_aliases=_module_aliases(unit.tree, "datetime")
+        | set(_from_imports(unit.tree, "datetime")),
+        os_aliases=_module_aliases(unit.tree, "os"),
+        environ_names={
+            local for local, orig in os_imports.items() if orig == "environ"
+        },
+        getenv_names={
+            local for local, orig in os_imports.items() if orig == "getenv"
+        },
+        random_aliases=_module_aliases(unit.tree, "random"),
+        random_fns={
+            local
+            for local, orig in _from_imports(unit.tree, "random").items()
+            if orig not in _RANDOM_MODULE_OK
+        },
+        numpy_aliases=_module_aliases(unit.tree, "numpy"),
+        nprandom_aliases=_module_aliases(unit.tree, "numpy.random"),
+    )
+
+
+def _attr_base_name(node: ast.Attribute) -> str | None:
+    return node.value.id if isinstance(node.value, ast.Name) else None
+
+
+def function_sources(
+    info: FunctionInfo, unit: ModuleUnit, tables: _ModuleSourceTables, clock_ok: bool
+) -> list[TaintSource]:
+    """Nondeterminism sources inside one function's owned statements."""
+    out: list[TaintSource] = []
+
+    def add(node: ast.AST, desc: str) -> None:
+        out.append(
+            TaintSource(
+                qualname=info.qualname,
+                path=info.path,
+                line=getattr(node, "lineno", info.lineno),
+                desc=desc,
+            )
+        )
+
+    # ``id()``/``hash()`` inside __hash__ are the identity hash itself —
+    # flagging them there flags the language, not the program.
+    in_hash_dunder = info.name == "__hash__"
+    for root in owned_statements(info):
+        for node in ast.walk(root):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name):
+                    if func.id in ("id", "hash") and not in_hash_dunder:
+                        add(node, f"process-dependent builtin {func.id}()")
+                    elif func.id in tables.random_fns:
+                        add(node, f"global RNG function {func.id!r}")
+                    elif func.id in tables.getenv_names:
+                        add(node, "environment read os.getenv(...)")
+                elif isinstance(func, ast.Attribute):
+                    base = _attr_base_name(func)
+                    if base in tables.random_aliases and (
+                        func.attr not in _RANDOM_MODULE_OK
+                    ):
+                        add(node, f"module-global RNG 'random.{func.attr}'")
+                    elif base in tables.os_aliases and func.attr == "getenv":
+                        add(node, "environment read os.getenv(...)")
+                    elif func.attr in _NP_GLOBAL_RNG_FNS and (
+                        base in tables.nprandom_aliases
+                        or (
+                            isinstance(func.value, ast.Attribute)
+                            and func.value.attr == "random"
+                            and _attr_base_name(func.value) in tables.numpy_aliases
+                        )
+                    ):
+                        add(node, f"legacy global numpy RNG 'np.random.{func.attr}'")
+            if isinstance(node, ast.Attribute):
+                base = _attr_base_name(node)
+                if not clock_ok:
+                    if base in tables.time_aliases and node.attr in _TIME_FNS:
+                        add(node, f"wall-clock read 'time.{node.attr}'")
+                    elif node.attr in _DATETIME_FNS:
+                        root_expr: ast.expr = node.value
+                        while isinstance(root_expr, ast.Attribute):
+                            root_expr = root_expr.value
+                        if (
+                            isinstance(root_expr, ast.Name)
+                            and root_expr.id in tables.datetime_aliases
+                        ):
+                            add(node, f"wall-clock read 'datetime...{node.attr}'")
+                if base in tables.os_aliases and node.attr == "environ":
+                    add(node, "environment read os.environ")
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in tables.environ_names:
+                    add(node, "environment read os.environ")
+                elif node.id in tables.time_fns and not clock_ok:
+                    add(node, f"wall-clock read {node.id!r}")
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    add(it, "iteration over a set expression (hash order)")
+    return sorted(out, key=lambda s: (s.line, s.desc))
+
+
+def _chain_trace(
+    graph: CallGraph, source: TaintSource, sink_caller: str
+) -> list[TraceStep]:
+    """Trace ordered source → intermediate call sites → (sink appended
+    by the caller). The chain runs from the sink-calling function down
+    to the source function, reversed so the taint's journey reads
+    source-first."""
+    steps = [
+        TraceStep(path=source.path, line=source.line, note=f"source: {source.desc}")
+    ]
+    path = graph.call_path(sink_caller, source.qualname)
+    if path:
+        for site in reversed(path):
+            caller_info = graph.functions[site.caller]
+            steps.append(
+                TraceStep(
+                    path=caller_info.path,
+                    line=site.line,
+                    note=f"call: {site.caller} -> {site.callee}",
+                )
+            )
+    return steps
+
+
+@register_program
+class DeterminismTaintRule(ProgramRule):
+    """X101: no nondeterminism source may reach a digest/payload sink."""
+
+    rule_id = "X101"
+    summary = (
+        "nondeterminism source (clock, environ, global RNG, id()/hash(), "
+        "set-order iteration) reaches a digest or payload sink through the "
+        "call graph — the full source→sink chain is attached"
+    )
+    scope = "file"
+
+    def check_program(self, ctx: ProgramContext) -> list[Finding]:
+        graph = ctx.callgraph
+        sinks = frozenset(ctx.policy.taint_sink_functions) | frozenset(
+            ctx.policy.payload_registry
+        )
+        tables = {
+            module: _tables_for(unit) for module, unit in sorted(ctx.units.items())
+        }
+        sources: dict[str, list[TaintSource]] = {}
+        for qualname in sorted(graph.functions):
+            info = graph.functions[qualname]
+            unit = ctx.units.get(info.module)
+            if unit is None:
+                continue
+            found = function_sources(
+                info,
+                unit,
+                tables[info.module],
+                clock_ok=ctx.policy.wall_clock_allowed(info.module),
+            )
+            if found:
+                sources[qualname] = found
+        if not sources:
+            return []
+        findings: list[Finding] = []
+        seen: set[tuple[str, int, str, str]] = set()
+        for qualname in sorted(graph.functions):
+            sink_sites = [
+                site for site in graph.sites_of(qualname) if site.callee in sinks
+            ]
+            if not sink_sites:
+                continue
+            cone = graph.reachable_from((qualname,))
+            tainted = sorted(fn for fn in cone if fn in sources)
+            if not tainted:
+                continue
+            info = graph.functions[qualname]
+            for site in sink_sites:
+                for fn in tainted:
+                    source = sources[fn][0]
+                    key = (info.path, site.line, site.callee, fn)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    trace = _chain_trace(graph, source, qualname)
+                    trace.append(
+                        TraceStep(
+                            path=info.path,
+                            line=site.line,
+                            note=f"sink: call of {site.callee}",
+                        )
+                    )
+                    findings.append(
+                        Finding(
+                            path=info.path,
+                            line=site.line,
+                            col=site.col,
+                            rule_id=self.rule_id,
+                            message=(
+                                f"nondeterminism source in {fn} "
+                                f"({source.desc}) reaches digest sink "
+                                f"{site.callee}"
+                            ),
+                            trace=tuple(trace),
+                        )
+                    )
+        return sorted(findings)

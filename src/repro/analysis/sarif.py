@@ -1,0 +1,98 @@
+"""SARIF 2.1.0 reporter over a finding list.
+
+SARIF is the interchange format GitHub code scanning ingests, so the CI
+lint job can publish findings as repository annotations instead of a
+log to scrape. One ``run`` per report; every registered rule appears in
+``tool.driver.rules`` (so rule metadata is browsable even on a clean
+run), and interprocedural findings carry their source→sink chain as a
+``codeFlows`` thread flow — the standard SARIF rendering of a taint
+trace.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_program_rules, all_rules
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _location(path: str, line: int, col: int, message: str | None = None) -> dict[str, object]:
+    physical: dict[str, object] = {
+        "artifactLocation": {"uri": path},
+        "region": {"startLine": max(line, 1), "startColumn": col + 1},
+    }
+    out: dict[str, object] = {"physicalLocation": physical}
+    if message is not None:
+        out["message"] = {"text": message}
+    return out
+
+
+def _rule_catalog() -> list[dict[str, object]]:
+    rules: list[dict[str, object]] = []
+    catalog = [(r.rule_id, r.summary) for r in all_rules()]
+    catalog += [(r.rule_id, r.summary) for r in all_program_rules()]
+    for rule_id, summary in sorted(catalog):
+        rules.append(
+            {
+                "id": rule_id,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    return rules
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [_location(finding.path, finding.line, finding.col)],
+    }
+    if finding.trace:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": _location(
+                                    step.path, step.line, 0, step.note
+                                )
+                            }
+                            for step in finding.trace
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def render_sarif(findings: list[Finding], files_checked: int) -> str:
+    """SARIF 2.1.0 document for ``findings`` (sorted, stable output)."""
+    document = {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "pilfill-lint",
+                        "informationUri": "https://example.invalid/pilfill",
+                        "rules": _rule_catalog(),
+                    }
+                },
+                "properties": {"filesChecked": files_checked},
+                "results": [_result(f) for f in sorted(findings)],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -71,26 +71,37 @@ def parse_suppressions(source: str) -> list[Suppression]:
     return out
 
 
-def apply_suppressions(
-    path: str,
-    findings: list[Finding],
-    suppressions: list[Suppression],
-    known_rule_ids: frozenset[str],
+def filter_suppressed(
+    findings: list[Finding], suppressions: list[Suppression]
 ) -> list[Finding]:
-    """Drop suppressed findings; add A001/A002 hygiene findings.
+    """Findings not covered by any allow comment (order preserved).
 
-    A001 fires on an allow comment with no ``--`` justification, A002 on
-    an allow naming an unknown rule id. Hygiene findings cannot be
-    suppressed (an allow comment must not excuse itself).
+    Idempotent — the runner applies it separately to per-file and
+    interprocedural findings of the same file without double-counting.
     """
-    kept = [
+    return [
         f
         for f in findings
         if not any(s.covers(f.rule_id, f.line) for s in suppressions)
     ]
+
+
+def hygiene_findings(
+    path: str,
+    suppressions: list[Suppression],
+    known_rule_ids: frozenset[str],
+) -> list[Finding]:
+    """A001/A002 findings for the allow comments themselves.
+
+    A001 fires on an allow comment with no ``--`` justification, A002 on
+    an allow naming an unknown rule id. Hygiene findings cannot be
+    suppressed (an allow comment must not excuse itself). Emitted once
+    per file, by the per-file pass only.
+    """
+    out: list[Finding] = []
     for sup in suppressions:
         if not sup.justification:
-            kept.append(
+            out.append(
                 Finding(
                     path=path,
                     line=sup.line,
@@ -104,7 +115,7 @@ def apply_suppressions(
             )
         unknown = sorted(set(sup.rule_ids) - known_rule_ids)
         for rule_id in unknown:
-            kept.append(
+            out.append(
                 Finding(
                     path=path,
                     line=sup.line,
@@ -113,4 +124,18 @@ def apply_suppressions(
                     message=f"allow names unknown rule id {rule_id!r}",
                 )
             )
+    return out
+
+
+def apply_suppressions(
+    path: str,
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    known_rule_ids: frozenset[str],
+) -> list[Finding]:
+    """Drop suppressed findings and add A001/A002 hygiene findings
+    (the one-shot combination of :func:`filter_suppressed` and
+    :func:`hygiene_findings`)."""
+    kept = filter_suppressed(findings, suppressions)
+    kept.extend(hygiene_findings(path, suppressions, known_rule_ids))
     return sorted(kept)

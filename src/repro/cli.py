@@ -191,14 +191,27 @@ def _cmd_fill(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.analysis import lint_paths, render_json, render_text
+    from repro.analysis import lint_paths, render_json, render_sarif, render_text
 
     cache_path = None if args.no_cache else Path(args.cache)
-    report = lint_paths(args.paths, cache_path=cache_path)
+    report = lint_paths(
+        args.paths,
+        cache_path=cache_path,
+        jobs=max(args.jobs, 1),
+        changed_only=args.changed,
+    )
     if args.format == "json":
-        print(render_json(report.findings, report.files_checked))
+        rendered = render_json(report.findings, report.files_checked)
+    elif args.format == "sarif":
+        rendered = render_sarif(report.findings, report.files_checked)
     else:
-        print(render_text(report.findings, report.files_checked))
+        rendered = render_text(report.findings, report.files_checked)
+    print(rendered)
+    if args.sarif_out:
+        Path(args.sarif_out).write_text(
+            render_sarif(report.findings, report.files_checked) + "\n",
+            encoding="utf-8",
+        )
     return 0 if report.clean else 1
 
 
@@ -330,12 +343,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*", default=["src/repro"],
                    help="files or directories to lint (default: src/repro)")
-    p.add_argument("--format", default="text", choices=("text", "json"),
-                   help="report format (json round-trips; used by CI)")
+    p.add_argument("--format", default="text", choices=("text", "json", "sarif"),
+                   help="report format (json round-trips; sarif feeds "
+                        "GitHub code scanning)")
+    p.add_argument("--sarif-out", default=None,
+                   help="additionally write a SARIF report to this path")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the content-hash result cache")
     p.add_argument("--cache", default=".pilfill-lint-cache.json",
                    help="cache file path (content-digest keyed)")
+    p.add_argument("--changed", action="store_true",
+                   help="lint only files changed per git plus their "
+                        "import-closure dependents (falls back to a full "
+                        "lint when git state is unavailable)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel file-scan threads (output is identical "
+                        "for any value)")
 
     p = sub.add_parser("report", help="full markdown reproduction report")
     p.add_argument("-o", "--out", default="REPORT.md")

@@ -1,0 +1,20 @@
+"""X101 fail: an environment read flows into a digest sink two calls away."""
+
+import hashlib
+import os
+
+
+def read_host() -> str:
+    return os.environ.get("PILFILL_HOST", "local")
+
+
+def build_payload() -> str:
+    return "payload:" + read_host()
+
+
+def digest_key(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_key() -> str:
+    return digest_key(build_payload())

@@ -1,0 +1,15 @@
+"""X101 pass: the digest input is a pure function of its arguments."""
+
+import hashlib
+
+
+def build_payload(host: str) -> str:
+    return "payload:" + host
+
+
+def digest_key(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_key(host: str) -> str:
+    return digest_key(build_payload(host))

@@ -1,0 +1,20 @@
+"""X201 fail: two locks nested in opposite orders — a deadlock window."""
+
+from threading import Lock
+
+
+class Pair:
+    def __init__(self) -> None:
+        self._a = Lock()
+        self._b = Lock()
+        self.value = 0
+
+    def forward(self) -> None:
+        with self._a:
+            with self._b:
+                self.value += 1
+
+    def backward(self) -> None:
+        with self._b:
+            with self._a:
+                self.value -= 1

@@ -1,0 +1,20 @@
+"""X201 pass: both paths take the locks in the same global order."""
+
+from threading import Lock
+
+
+class Pair:
+    def __init__(self) -> None:
+        self._a = Lock()
+        self._b = Lock()
+        self.value = 0
+
+    def forward(self) -> None:
+        with self._a:
+            with self._b:
+                self.value += 1
+
+    def backward(self) -> None:
+        with self._a:
+            with self._b:
+                self.value -= 1

@@ -1,0 +1,17 @@
+"""X202 pass: bookkeeping under the lock, submits after it is released."""
+
+from concurrent.futures import ThreadPoolExecutor
+from threading import Lock
+
+
+class Dispatcher:
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._pool = ThreadPoolExecutor(max_workers=2)
+        self.pending = 0
+
+    def run(self, items: list[int]) -> None:
+        with self._lock:
+            self.pending += len(items)
+        for item in items:
+            self._pool.submit(print, item)

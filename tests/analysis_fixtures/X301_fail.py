@@ -1,0 +1,11 @@
+"""X301 fail: a worker entry reaches a module-level accumulator write."""
+
+_RESULTS: list[int] = []
+
+
+def record(value: int) -> None:
+    _RESULTS.append(value)
+
+
+def worker_main(value: int) -> None:
+    record(value * 2)

@@ -1,0 +1,9 @@
+"""X301 pass: the worker is a pure function of its payload."""
+
+
+def record(value: int) -> int:
+    return value
+
+
+def worker_main(value: int) -> int:
+    return record(value * 2)

@@ -1,0 +1,14 @@
+"""Cross-module X101 fail, sink half: imports the tainted helper and
+feeds its value into the digest sink."""
+
+import hashlib
+
+from repro.experiments.fx_src import read_host
+
+
+def digest_key(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_key() -> str:
+    return digest_key("payload:" + read_host())

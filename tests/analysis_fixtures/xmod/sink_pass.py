@@ -1,0 +1,13 @@
+"""Cross-module X101 pass, sink half: digest of a pure value."""
+
+import hashlib
+
+from repro.experiments.fx_src import read_host
+
+
+def digest_key(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cache_key(host: str) -> str:
+    return digest_key("payload:" + read_host(host))

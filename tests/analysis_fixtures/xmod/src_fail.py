@@ -1,0 +1,7 @@
+"""Cross-module X101 fail, source half: the environment read lives here."""
+
+import os
+
+
+def read_host() -> str:
+    return os.environ.get("PILFILL_HOST", "local")

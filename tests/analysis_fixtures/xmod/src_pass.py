@@ -1,0 +1,5 @@
+"""Cross-module X101 pass, source half: the helper is pure."""
+
+
+def read_host(host: str) -> str:
+    return host or "local"

@@ -1,0 +1,103 @@
+"""The linter obeys its own contract: byte-identical, order-stable output.
+
+A lint gate that itself leaks set order or thread scheduling into its
+report would fail the very property it enforces. These tests run the
+full pipeline repeatedly — cold, warm, shuffled input order, and under a
+parallelized file scan — and require byte-identical reports every time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintPolicy, lint_paths, render_json, render_sarif, render_text
+
+_POLICY = LintPolicy(taint_sink_functions=("detpkg.sink.digest_key",))
+
+_FILES = {
+    "__init__.py": "",
+    "src.py": (
+        "import os\n\n\n"
+        "def read_host(host: str) -> str:\n"
+        '    return os.environ.get("PILFILL_HOST", host)\n'
+    ),
+    "sink.py": (
+        "import hashlib\n\n"
+        "from detpkg.src import read_host\n\n\n"
+        "def digest_key(payload: str) -> str:\n"
+        '    return hashlib.sha256(payload.encode("utf-8")).hexdigest()\n\n\n'
+        "def cache_key(host: str) -> str:\n"
+        '    return digest_key("payload:" + read_host(host))\n'
+    ),
+    "clocky.py": (
+        "import time\n\n\n"
+        "def stamp() -> float:\n"
+        "    return time.time()\n"
+    ),
+    "floaty.py": "def near(x: float) -> bool:\n    return x == 0.5\n",
+}
+
+
+@pytest.fixture()
+def pkg(tmp_path: Path) -> Path:
+    root = tmp_path / "detpkg"
+    root.mkdir()
+    for name, body in _FILES.items():
+        (root / name).write_text(body, encoding="utf-8")
+    return root
+
+
+def _render_all(report) -> tuple[str, str, str]:
+    return (
+        render_text(report.findings, report.files_checked),
+        render_json(report.findings, report.files_checked),
+        render_sarif(report.findings, report.files_checked),
+    )
+
+
+def test_repeated_runs_are_byte_identical(pkg: Path, tmp_path: Path) -> None:
+    cache = tmp_path / "cache.json"
+    baseline = lint_paths([str(pkg)], policy=_POLICY, cache_path=cache)
+    assert baseline.findings, "corpus should produce findings"
+    rendered = _render_all(baseline)
+    for _ in range(3):
+        again = lint_paths([str(pkg)], policy=_POLICY, cache_path=cache)
+        assert _render_all(again) == rendered
+    # No-cache runs agree with cached runs too.
+    nocache = lint_paths([str(pkg)], policy=_POLICY)
+    assert _render_all(nocache) == rendered
+
+
+def test_input_order_does_not_matter(pkg: Path) -> None:
+    files = sorted(str(p) for p in pkg.glob("*.py"))
+    forward = lint_paths(files, policy=_POLICY)
+    backward = lint_paths(list(reversed(files)), policy=_POLICY)
+    assert _render_all(forward) == _render_all(backward)
+
+
+@pytest.mark.parametrize("jobs", [2, 4, 8])
+def test_parallel_scan_matches_serial(pkg: Path, jobs: int) -> None:
+    serial = lint_paths([str(pkg)], policy=_POLICY, jobs=1)
+    parallel = lint_paths([str(pkg)], policy=_POLICY, jobs=jobs)
+    assert _render_all(parallel) == _render_all(serial)
+
+
+def test_parallel_scan_populates_the_same_cache(pkg: Path, tmp_path: Path) -> None:
+    serial_cache = tmp_path / "serial.json"
+    parallel_cache = tmp_path / "parallel.json"
+    lint_paths([str(pkg)], policy=_POLICY, cache_path=serial_cache, jobs=1)
+    lint_paths([str(pkg)], policy=_POLICY, cache_path=parallel_cache, jobs=4)
+    assert serial_cache.read_text(encoding="utf-8") == parallel_cache.read_text(
+        encoding="utf-8"
+    )
+    # And a warm read of the parallel-written cache hits everything.
+    warm = lint_paths([str(pkg)], policy=_POLICY, cache_path=parallel_cache)
+    assert warm.cache_hits >= len(_FILES)
+
+
+def test_findings_are_sorted_by_location(pkg: Path) -> None:
+    report = lint_paths([str(pkg)], policy=_POLICY)
+    keys = [(f.path, f.line, f.col, f.rule_id) for f in report.findings]
+    assert keys == sorted(keys)

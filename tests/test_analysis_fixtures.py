@@ -17,6 +17,7 @@ from repro.analysis import (
     DEFAULT_POLICY,
     LintPolicy,
     findings_from_json,
+    lint_modules,
     lint_paths,
     lint_source,
     render_json,
@@ -33,6 +34,10 @@ STRICT = "repro.pilfill.fx"
 
 #: Policy that registers the C202 fixture's class as a pool payload.
 C202_POLICY = LintPolicy(payload_registry=(f"{NEUTRAL}.Payload",))
+#: Policy naming the X101 fixtures' digest helper as the taint sink.
+X101_POLICY = LintPolicy(taint_sink_functions=(f"{NEUTRAL}.digest_key",))
+#: Policy naming the X301 fixtures' entry point as a pool-worker root.
+X301_POLICY = LintPolicy(worker_entry_functions=(f"{NEUTRAL}.worker_main",))
 
 #: rule id -> (module, worker_reachable, policy) the fixture pair runs under.
 CONTEXTS: dict[str, tuple[str, bool, LintPolicy | None]] = {
@@ -47,6 +52,10 @@ CONTEXTS: dict[str, tuple[str, bool, LintPolicy | None]] = {
     "T301": (STRICT, False, None),
     "A001": (NEUTRAL, False, None),
     "A002": (NEUTRAL, False, None),
+    "X101": (NEUTRAL, False, X101_POLICY),
+    "X201": (NEUTRAL, False, None),
+    "X202": (NEUTRAL, False, None),
+    "X301": (NEUTRAL, False, X301_POLICY),
 }
 
 #: Pass-side overrides: D102's passing case IS the allowlist membership.
@@ -136,6 +145,42 @@ def test_every_fixture_has_a_pair() -> None:
         assert f"{stem}_fail.py" in names
         assert f"{stem}_pass.py" in names
     assert names == {f"{s}_{kind}.py" for s in stems for kind in ("fail", "pass")}
+
+
+#: Policy for the cross-module pair under ``analysis_fixtures/xmod/``:
+#: the sink lives in one fixture module, the source in another.
+XMOD_POLICY = LintPolicy(
+    taint_sink_functions=("repro.experiments.fx_sink.digest_key",)
+)
+
+
+def _xmod_sources(kind: str) -> dict[str, str]:
+    return {
+        "repro.experiments.fx_src": (FIXTURES / "xmod" / f"src_{kind}.py").read_text(
+            encoding="utf-8"
+        ),
+        "repro.experiments.fx_sink": (FIXTURES / "xmod" / f"sink_{kind}.py").read_text(
+            encoding="utf-8"
+        ),
+    }
+
+
+def test_cross_module_taint_fail_reports_full_chain() -> None:
+    findings = lint_modules(_xmod_sources("fail"), policy=XMOD_POLICY)
+    assert {f.rule_id for f in findings} == {"X101"}, render_text(findings, 2)
+    (finding,) = findings
+    # The chain spans both modules: source in fx_src, sink in fx_sink.
+    notes = [step.note for step in finding.trace]
+    assert notes[0].startswith("source:")
+    assert notes[-1].startswith("sink:")
+    paths = {step.path for step in finding.trace}
+    assert "repro/experiments/fx_src.py" in paths
+    assert "repro/experiments/fx_sink.py" in paths
+
+
+def test_cross_module_taint_pass_is_clean() -> None:
+    findings = lint_modules(_xmod_sources("pass"), policy=XMOD_POLICY)
+    assert findings == [], render_text(findings, 2)
 
 
 def test_suppression_requires_matching_rule_id() -> None:

@@ -27,3 +27,33 @@ def test_analysis_package_checks_itself() -> None:
     report = lint_paths([str(SRC / "analysis")])
     assert report.files_checked >= 10
     assert report.clean, "\n" + render_text(report.findings, report.files_checked)
+
+
+def test_interprocedural_rules_are_live_over_the_tree() -> None:
+    # A clean tree must be clean because the X passes *ran and found
+    # nothing*, not because they were skipped: the default policy's
+    # sinks, dispatch functions, and worker entries must all resolve in
+    # the real call graph.
+    from repro.analysis import DEFAULT_POLICY, all_program_rules
+    from repro.analysis.modgraph import ModuleGraph
+    from repro.analysis.runner import _build_whole_program
+
+    assert {r.rule_id for r in all_program_rules()} == {"X101", "X201", "X202", "X301"}
+    graph = ModuleGraph(SRC.parent)
+    program = _build_whole_program(graph, DEFAULT_POLICY, {})
+    functions = program.callgraph.functions
+    for entry in DEFAULT_POLICY.worker_entry_functions:
+        assert entry in functions, f"worker entry {entry} not in call graph"
+    for fn in DEFAULT_POLICY.pool_dispatch_functions:
+        assert fn in functions, f"dispatch function {fn} not in call graph"
+    for sink in DEFAULT_POLICY.taint_sink_functions:
+        assert sink in functions, f"taint sink {sink} not in call graph"
+    # The digest sinks are actually *called* somewhere — the taint pass
+    # has real edges to examine.
+    sink_calls = {
+        site.callee
+        for qual in functions
+        for site in program.callgraph.sites_of(qual)
+        if site.callee in set(DEFAULT_POLICY.taint_sink_functions)
+    }
+    assert sink_calls, "no call sites of any taint sink resolved"

@@ -1,5 +1,8 @@
-"""CLI: ablation and report subcommands, plus render helpers not covered
-elsewhere."""
+"""CLI: ablation, report, and lint subcommands, plus render helpers not
+covered elsewhere."""
+
+import json
+import subprocess
 
 import pytest
 
@@ -32,6 +35,76 @@ class TestReportCommand:
         assert "T1/32/2" in text
         # quick mode skips ablations
         assert "Ablation A" not in text
+
+
+class TestLintCommand:
+    @staticmethod
+    def _write_pkg(root):
+        pkg = root / "clipkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "mod.py").write_text("VALUE = 1\n", encoding="utf-8")
+        return pkg
+
+    def test_sarif_format_prints_a_valid_document(self, tmp_path, capsys):
+        pkg = self._write_pkg(tmp_path)
+        assert main(["lint", str(pkg), "--no-cache", "--format", "sarif"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        assert document["runs"][0]["results"] == []
+
+    def test_sarif_out_writes_alongside_text(self, tmp_path, capsys):
+        pkg = self._write_pkg(tmp_path)
+        sarif_path = tmp_path / "lint.sarif"
+        assert main(
+            ["lint", str(pkg), "--no-cache", "--sarif-out", str(sarif_path)]
+        ) == 0
+        assert "0 findings" in capsys.readouterr().out
+        document = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert document["runs"][0]["tool"]["driver"]["name"] == "pilfill-lint"
+
+    def test_jobs_flag_accepted(self, tmp_path, capsys):
+        pkg = self._write_pkg(tmp_path)
+        assert main(["lint", str(pkg), "--no-cache", "--jobs", "4"]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_changed_lints_only_dirty_closure(self, tmp_path, capsys, monkeypatch):
+        pkg = self._write_pkg(tmp_path)
+        (pkg / "dep.py").write_text("BASE = 1\n", encoding="utf-8")
+        (pkg / "user.py").write_text(
+            "from clipkg.dep import BASE\n\nTOTAL = BASE + 1\n", encoding="utf-8"
+        )
+
+        def git(*args):
+            subprocess.run(
+                ["git", "-c", "user.name=t", "-c", "user.email=t@example.com", *args],
+                cwd=tmp_path,
+                check=True,
+                capture_output=True,
+            )
+
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-qm", "seed")
+        monkeypatch.chdir(tmp_path)
+
+        # Clean tree: nothing to lint.
+        assert main(["lint", str(pkg), "--no-cache", "--changed"]) == 0
+        assert "0 file(s)" in capsys.readouterr().out
+
+        # Touch the dependency: it AND its dependent are selected.
+        (pkg / "dep.py").write_text("BASE = 2\n", encoding="utf-8")
+        assert main(["lint", str(pkg), "--no-cache", "--changed"]) == 0
+        assert "2 file(s)" in capsys.readouterr().out
+
+    def test_changed_outside_git_falls_back_to_full_lint(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        pkg = self._write_pkg(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nonexistent-gitdir"))
+        assert main(["lint", str(pkg), "--no-cache", "--changed"]) == 0
+        assert "2 file(s)" in capsys.readouterr().out
 
 
 class TestQuickstartCommand:
