@@ -26,7 +26,13 @@ Measures, on the T1 testcase:
   parsed both materialized and streaming (tracemalloc peaks compared;
   gate ``stream_peak < 50%``), and window densities are computed with the
   direct summed-area oracle vs the FFT backend (asserted bit-identical;
-  gate ``density_speedup > 3``).
+  gate ``density_speedup > 3``),
+* **T3 sharding** — the solve phase on the full 308×308 T3 grid, run
+  sharded (``EngineConfig.shards``, row-band cost tables built and
+  released per shard) and unsharded (every cost table resident at once);
+  gates ``digest_equal`` (bit-identical placements, via
+  :func:`~repro.pilfill.shard.result_digest`) and
+  ``shard_peak_lt_unsharded`` (tracemalloc peaks).
 
 Results land in a dated JSON file (``BENCH_YYYY-MM-DD.json`` by default;
 same-day reruns get a ``.1``/``.2`` suffix instead of overwriting) so the
@@ -595,6 +601,128 @@ def bench_t3_streaming(
     }
 
 
+def bench_t3_shard(
+    n_nets: int = 3000,
+    window: int = 20,
+    r: int = 8,
+    seed: int = 3,
+    shards: int = 4,
+    die_um: float | None = None,
+    budget_per_tile: int = 4,
+) -> dict:
+    """Sharded vs unsharded solve on the chip-scale T3 grid (308×308).
+
+    The scenario the grid-sharding machinery targets: a solve phase whose
+    cost tables no longer fit comfortably resident all at once. One
+    shared :class:`PreparedInstance` (the dissection / legality /
+    scan-line columns are identical infrastructure for both arms, built
+    outside both measured regions) feeds two engine runs:
+
+    * **sharded** — ``EngineConfig.shards`` row-band shards; each shard
+      builds only its band's cost tables
+      (:meth:`~repro.pilfill.prepare.PreparedInstance.costs_for_tiles`,
+      which never memoizes) and releases them when the shard merges,
+    * **unsharded** — the classic path, materializing every tile's cost
+      table before the first solve.
+
+    The sharded arm runs *first* so the unsharded arm's memoized full
+    cost build cannot leak into the sharded peak. Peak allocation is
+    tracemalloc around each ``engine.run()`` only — the same
+    interpreter-level measure the T3 streaming bench uses, and the same
+    caveat: instrumented wall-clocks are indicative, ratios are the
+    signal.
+
+    Both arms run the same explicit uniform per-tile budget: at ~95 000
+    tiles the min-variance density LP is a scenario of its own, not the
+    subject here, and a fixed budget keeps the two arms (and reruns
+    across hosts) trivially comparable. The budget is part of the digest,
+    so the gate still covers it.
+
+    Gates: ``digest_equal`` — :func:`~repro.pilfill.shard.result_digest`
+    of the two runs must match exactly (features in order, budgets,
+    per-tile counts/site indices, float objective: the bit-identity crown
+    jewel at full chip scale) — and ``shard_peak_lt_unsharded``.
+    ``die_um`` scales the die down for smoke runs (``None`` → the full
+    768 µm chip); the grid side scales with it, everything else is
+    unchanged.
+    """
+    import tracemalloc
+    from dataclasses import replace as dc_replace
+
+    from repro.pilfill.shard import plan_shards, result_digest
+    from repro.synth import generate_layout, t3_spec
+    from repro.tech.process import default_stack
+
+    stack = default_stack()
+    spec = t3_spec(seed=seed, n_nets=n_nets)
+    if die_um is not None:
+        spec = dc_replace(spec, die_um=die_um)
+    layout = generate_layout(spec, stack)
+    fill_rules = default_fill_rules(stack)
+    density_rules = density_rules_for(window, r, stack)
+
+    t0 = time.perf_counter()
+    prepared = prepare(layout, "metal3", fill_rules, density_rules)
+    prepare_s = time.perf_counter() - t0
+    dissection = prepared.dissection
+    budget = {tile.key: budget_per_tile for tile in dissection.tiles()}
+    plan = plan_shards(prepared, n_shards=shards)
+
+    def run_arm(n_shards: int):
+        cfg = EngineConfig(
+            fill_rules=fill_rules, density_rules=density_rules,
+            method="greedy", backend="scipy", seed=0, shards=n_shards,
+        )
+        engine = PILFillEngine(layout, "metal3", cfg, prepared=prepared)
+        tracemalloc.start()
+        t0 = time.perf_counter()
+        result = engine.run(budget=dict(budget))
+        elapsed = time.perf_counter() - t0
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        return result, elapsed, peak
+
+    sharded, sharded_s, sharded_peak = run_arm(shards)
+    unsharded, unsharded_s, unsharded_peak = run_arm(1)
+    sharded_digest = result_digest(sharded)
+    unsharded_digest = result_digest(unsharded)
+    prepared.close()
+
+    digest_equal = sharded_digest == unsharded_digest
+    peak_ratio = (
+        round(sharded_peak / unsharded_peak, 4) if unsharded_peak else None
+    )
+    return {
+        "testcase": "T3",
+        "n_nets": n_nets,
+        "die_um": die_um if die_um is not None else spec.die_um,
+        "window_um": window,
+        "r": r,
+        "grid": [dissection.nx, dissection.ny],
+        "tiles": dissection.tile_count,
+        "shards": plan.n_shards,
+        "shard_rows": [s.rows for s in plan.shards],
+        "budget_per_tile": budget_per_tile,
+        "prepare_s": round(prepare_s, 4),
+        "sharded_s": round(sharded_s, 4),
+        "unsharded_s": round(unsharded_s, 4),
+        "sharded_peak_mb": round(sharded_peak / 1e6, 2),
+        "unsharded_peak_mb": round(unsharded_peak / 1e6, 2),
+        "shard_peak_ratio": peak_ratio,
+        "features": unsharded.total_features,
+        "digest": unsharded_digest,
+        "digest_equal": digest_equal,
+        "gate": {
+            "digest_equal": digest_equal,
+            "shard_peak_lt_unsharded": (
+                peak_ratio is not None and peak_ratio < 1.0
+            ),
+            "skipped": False,
+            "skip_reason": None,
+        },
+    }
+
+
 def git_sha() -> str | None:
     """Current commit SHA, or None outside a git checkout."""
     try:
@@ -639,6 +767,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="skip the chip-scale T3 streaming scenario")
     parser.add_argument("--t3-nets", type=int, default=7000,
                         help="net count for the T3 streaming scenario")
+    parser.add_argument("--skip-t3-shard", action="store_true",
+                        help="skip the chip-scale T3 sharded-solve scenario")
+    parser.add_argument("--t3-shard-nets", type=int, default=3000,
+                        help="net count for the T3 sharded-solve scenario")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count for the T3 sharded-solve scenario")
     args = parser.parse_args(argv)
 
     layout = make_t1()
@@ -662,6 +796,10 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_t3:
         print("benchmarking chip-scale T3 streaming ...")
         t3_streaming = bench_t3_streaming(n_nets=args.t3_nets)
+    t3_shard = None
+    if not args.skip_t3_shard:
+        print("benchmarking chip-scale T3 sharded solve ...")
+        t3_shard = bench_t3_shard(n_nets=args.t3_shard_nets, shards=args.shards)
 
     now = datetime.datetime.now(datetime.timezone.utc)
     payload = {
@@ -680,6 +818,7 @@ def main(argv: list[str] | None = None) -> int:
         "large_grid": large_grid,
         "eco_refill": eco_refill,
         "t3_streaming": t3_streaming,
+        "t3_shard": t3_shard,
     }
     if args.out:
         out_path = Path(args.out)  # explicit path: overwrite is intentional

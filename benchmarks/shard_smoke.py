@@ -1,0 +1,85 @@
+"""CI smoke check for sharded chip-scale fill: bit-identity + peak memory.
+
+Runs :func:`run_bench.bench_t3_shard` — the T3 solve phase executed
+sharded (row-band cost tables, built and released per shard) and
+unsharded on one shared prepared instance — and exits nonzero unless
+both acceptance gates hold:
+
+* ``digest_equal`` — the sharded placement's
+  :func:`~repro.pilfill.shard.result_digest` matches the unsharded one
+  exactly (features in order, budgets, per-tile counts/site indices,
+  float objective: the bit-identity crown jewel),
+* ``shard_peak_lt_unsharded`` — the sharded arm's tracemalloc peak is
+  below the unsharded arm's.
+
+CI runs a die scaled to 1/4 side (1/16 area, same net density profile)
+so the smoke stays in seconds; the full 768 µm / 308×308 scenario lives
+in ``run_bench.py`` and lands in the ``BENCH_<date>.json`` trajectory.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/shard_smoke.py [--shards 2] \
+        [--die-um 192] [--nets 440] [--out-dir obs-artifacts]
+
+Writes the bench row to ``--out-dir``/t3-shard.json so CI can upload it
+next to the other telemetry artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import run_bench
+
+from repro.io.atomic import atomic_write_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="obs-artifacts",
+                        help="directory for the bench-row artifact")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard count for the sharded arm")
+    parser.add_argument("--die-um", type=float, default=192.0,
+                        help="die side in microns (768 = full chip scale)")
+    parser.add_argument("--nets", type=int, default=440,
+                        help="net count (scale with die area to keep density)")
+    args = parser.parse_args(argv)
+
+    print(
+        f"sharded T3 solve smoke ({args.shards} shards, "
+        f"{args.die_um:g} um die, {args.nets} nets) ..."
+    )
+    row = run_bench.bench_t3_shard(
+        n_nets=args.nets, shards=args.shards, die_um=args.die_um
+    )
+
+    out_path = Path(args.out_dir) / "t3-shard.json"
+    atomic_write_json(out_path, row)
+    print(json.dumps(row, indent=2))
+    print(f"bench row written to {out_path}")
+
+    failures = []
+    if not row["gate"]["digest_equal"]:
+        failures.append("sharded placement digest diverged from unsharded")
+    if not row["gate"]["shard_peak_lt_unsharded"]:
+        failures.append(
+            f"sharded peak ratio {row['shard_peak_ratio']} >= 1.0"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print(
+        f"OK: {row['shards']} shards on a {row['grid'][0]}x{row['grid'][1]} grid; "
+        f"peak {row['sharded_peak_mb']} MB vs unsharded "
+        f"{row['unsharded_peak_mb']} MB; digests equal"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

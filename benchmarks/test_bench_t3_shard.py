@@ -1,0 +1,49 @@
+"""Sharded-solve benchmark gate (slow; CI runs it separately).
+
+The acceptance check of the grid-sharding machinery: the sharded solve
+must place bit for bit what the unsharded solve places (equal
+:func:`~repro.pilfill.shard.result_digest`, which covers the feature
+list in order, both budget maps, per-tile counts / site indices, and the
+float objective) while holding a strictly lower tracemalloc peak —
+per-shard cost tables instead of the whole grid's. Run at a quarter of
+the die side (1/16 area, same T3 density profile): both gates are
+properties of the band-at-a-time residency asymmetry, which only widens
+with grid size — the full 768 µm / 308×308 row is produced by
+``run_bench.py`` / ``shard_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+import run_bench
+
+#: Quarter-side T3: a 77x77 grid (~6 000 tiles), seconds under
+#: tracemalloc, same gates as full chip scale.
+DIE_UM = 192.0
+N_NETS = 440
+SHARDS = 4
+
+
+@pytest.mark.slow
+class TestT3ShardGate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench.bench_t3_shard(
+            n_nets=N_NETS, shards=SHARDS, die_um=DIE_UM
+        )
+
+    def test_grid_and_plan_shape(self, report):
+        # W=20 µm / r=8 on a 192 µm die: 2.5 µm tiles, 77 per side.
+        assert report["grid"] == [77, 77]
+        assert report["shards"] == SHARDS
+        assert sum(report["shard_rows"]) == 77
+        assert max(report["shard_rows"]) - min(report["shard_rows"]) <= 1
+
+    def test_digest_equality_gate(self, report):
+        gate = report["gate"]
+        assert not gate["skipped"]
+        assert gate["digest_equal"], report["digest"]
+        assert report["features"] > 0
+
+    def test_shard_peak_gate(self, report):
+        assert report["gate"]["shard_peak_lt_unsharded"], report["shard_peak_ratio"]

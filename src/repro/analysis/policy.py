@@ -33,6 +33,9 @@ def _default_worker_entry_functions() -> tuple[str, ...]:
         "repro.pilfill.executor._worker_init",
         "repro.pilfill.parallel.solve_tile_payload",
         "repro.pilfill.parallel._solve_payload_isolated",
+        # The sharded dispatch's pool entry (a solve_tile_batch wrapper):
+        # anchoring it keeps the purity walk live over the shard cone.
+        "repro.pilfill.shard.solve_shard_batch",
     )
 
 
@@ -111,6 +114,7 @@ class LintPolicy:
         "repro.pilfill.robust",
         "repro.pilfill.parallel",
         "repro.pilfill.prepare",
+        "repro.pilfill.shard",
         "repro.ilp.branchbound",
         "repro.experiments.harness",
         # The telemetry clock: the single sanctioned wall-clock read for
@@ -120,6 +124,9 @@ class LintPolicy:
     worker_entry_modules: tuple[str, ...] = (
         "repro.pilfill.parallel",
         "repro.pilfill.executor",
+        # Unpickling the sharded batch solver imports this module (and
+        # its closure) inside every pool worker.
+        "repro.pilfill.shard",
     )
     payload_registry: tuple[str, ...] = field(default_factory=_default_payload_registry)
     picklable_type_names: tuple[str, ...] = (

@@ -50,7 +50,7 @@ def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
         batch_tiles=args.batch_tiles, persistent_pool=not args.ephemeral_pool,
         tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
         telemetry=telemetry, cache_dir=cache_dir,
-        density_backend=args.density_backend,
+        density_backend=args.density_backend, shards=args.shards,
     )
     if args.quick:
         spec = TableSpec(
@@ -59,7 +59,7 @@ def _cmd_table(args: argparse.Namespace, weighted: bool) -> int:
             batch_tiles=args.batch_tiles, persistent_pool=not args.ephemeral_pool,
             tile_deadline_s=args.tile_deadline, run_deadline_s=args.run_deadline,
             telemetry=telemetry, cache_dir=cache_dir,
-            density_backend=args.density_backend,
+            density_backend=args.density_backend, shards=args.shards,
         )
     table = run_table(
         weighted=weighted, spec=spec, progress=lambda label: print(f"  done {label}")
@@ -133,6 +133,7 @@ def _cmd_fill(args: argparse.Namespace) -> int:
         run_deadline_s=args.run_deadline,
         telemetry=bool(args.trace_out or args.metrics_out),
         solution_cache=solution_cache,
+        shards=args.shards,
     )
     engine = PILFillEngine(layout, args.layer, cfg)
     result = engine.run()
@@ -278,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics-out", default=None,
                        help="write per-cell metrics JSON to this path; "
                             "enables telemetry for every run")
+        p.add_argument("--shards", type=int, default=1,
+                       help="row-band shards for the solve phase; each "
+                            "shard builds only its own cost tables, so "
+                            "peak memory holds one band (results are "
+                            "bit-identical for any shard count)")
 
     p = sub.add_parser("density", help="density analysis of a testcase")
     p.add_argument("--testcase", default="T1", choices=("T1", "T2"))
@@ -329,6 +335,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None,
                    help="write the run's metrics as JSON to this path; "
                         "enables telemetry for the run")
+    p.add_argument("--shards", type=int, default=1,
+                   help="row-band shards for the solve phase; each shard "
+                        "builds only its own cost tables, so peak memory "
+                        "holds one band (results are bit-identical for "
+                        "any shard count)")
 
     sub.add_parser("quickstart", help="tiny end-to-end demo")
 

@@ -114,6 +114,7 @@ def run_config(
     cache_dir: str | None = None,
     solution_cache: SolutionCache | None = None,
     density_backend: str = "direct",
+    shards: int = 1,
 ) -> ConfigResult:
     """Run every method on one configuration with a shared budget.
 
@@ -144,6 +145,9 @@ def run_config(
         density_backend: window-density aggregation backend
             (``"direct"``/``"fft"``; see :class:`EngineConfig`) — FFT is
             bit-identical on real layouts and much faster on large grids.
+        shards: row-band shards for the solve phase (see
+            :mod:`repro.pilfill.shard`); results are bit-identical for
+            any value, sharding only bounds peak memory.
     """
     if solution_cache is None and cache_dir is not None:
         solution_cache = SolutionCache(cache_dir=cache_dir)
@@ -178,6 +182,7 @@ def run_config(
             fault_spec=fault_spec,
             telemetry=telemetry,
             solution_cache=solution_cache,
+            shards=shards,
         )
         engine = PILFillEngine(layout, layer, cfg, prepared=prepared)
         run = engine.run(budget=budget)

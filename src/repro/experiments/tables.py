@@ -57,6 +57,10 @@ class TableSpec:
     #: :class:`~repro.pilfill.engine.EngineConfig`). Bit-identical
     #: results either way on real layouts; FFT wins on large grids.
     density_backend: str = "direct"
+    #: Row-band shards for the solve phase (see
+    #: :mod:`repro.pilfill.shard`); 1 (default) → unsharded. Results are
+    #: bit-identical for any value — sharding only bounds peak memory.
+    shards: int = 1
 
 
 @dataclass
@@ -200,6 +204,7 @@ def run_table(
                     telemetry=spec.telemetry,
                     cache_dir=spec.cache_dir,
                     density_backend=spec.density_backend,
+                    shards=spec.shards,
                 )
                 table.rows.append(row)
                 if progress is not None:

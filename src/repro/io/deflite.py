@@ -47,7 +47,7 @@ import re
 from dataclasses import dataclass, field
 from typing import IO, Callable, Iterable, Iterator
 
-from repro.errors import LayoutError, ParseError
+from repro.errors import FillError, LayoutError, ParseError
 from repro.geometry import Point, Rect
 from repro.layout import FillFeature, Net, Pin, RoutedLayout, WireSegment
 from repro.tech.process import ProcessStack
@@ -377,15 +377,20 @@ def net_ylo(net: Net) -> int:
 class DefWindowStream:
     """Stream a DEF-lite source as horizontal bands of nets.
 
-    Iterate :meth:`windows` to receive :class:`DefWindow` batches. While
-    the input's nets arrive sorted by band (ascending bounding-box y-low,
-    as :func:`repro.synth.testcases.iter_t3_def_lines` emits them), each
-    band is yielded as soon as the first net of a later band arrives, so
-    peak memory holds roughly one band. Unsorted input is still parsed
-    correctly — remaining bands are buffered and yielded in index order
-    at EOF (a band index already yielded eagerly may then appear a
-    second time carrying only its late nets; windows are batches, not
-    exclusive partitions, on unsorted input).
+    Iterate :meth:`windows` to receive :class:`DefWindow` partitions.
+    While the input's nets arrive sorted by band (ascending bounding-box
+    y-low, as :func:`repro.synth.testcases.iter_t3_def_lines` emits
+    them), each band is yielded as soon as the first net of a later band
+    arrives, so peak memory holds roughly one band. Out-of-order input
+    *above* the yield watermark flips ``sorted_input`` and degrades to
+    buffering — remaining bands are held and yielded in index order at
+    EOF, still exactly once per index. A net landing in a band that was
+    **already yielded** is unrecoverable for a streaming consumer (the
+    partition it belongs to is gone), so it raises
+    :class:`~repro.errors.FillError` rather than silently re-emitting a
+    duplicate band index with a partial net list. Every yielded window
+    is therefore an exclusive partition: one window per band index,
+    carrying all of that band's nets.
 
     ``die``, ``name`` and ``fills`` are populated as parsing proceeds;
     ``die`` is guaranteed set before the first window is yielded.
@@ -408,6 +413,7 @@ class DefWindowStream:
         self._source = source
         self._bands: dict[int, DefWindow] = {}
         self._max_band = -1
+        self._yielded_max = -1
 
     def _band_of(self, net: Net) -> int:
         assert self.die is not None
@@ -444,6 +450,14 @@ class DefWindowStream:
             while pending:
                 net = pending.pop(0)
                 band = self._band_of(net)
+                if band <= self._yielded_max:
+                    raise FillError(
+                        f"line {line_no}: net {net.name!r} lands in band "
+                        f"{band}, already yielded (watermark "
+                        f"{self._yielded_max}); windows emitted so far are "
+                        "invalid for this input — re-stream it sorted or "
+                        "use read_def_lite"
+                    )
                 if band < self._max_band:
                     self.sorted_input = False
                 self._max_band = max(self._max_band, band)
@@ -454,6 +468,7 @@ class DefWindowStream:
                     for idx in sorted(self._bands):
                         if idx >= band:
                             break
+                        self._yielded_max = max(self._yielded_max, idx)
                         yield self._bands.pop(idx)
             if done:
                 break

@@ -9,6 +9,9 @@ Public surface:
 * :func:`dispatch_tiles` — the parallel per-tile solve dispatcher,
 * :class:`SolutionCache` / :class:`SolutionStore` — the content-addressed
   tile-solution cache behind incremental ECO re-fill,
+* :class:`ShardPlan` / :func:`plan_shards` / :func:`run_sharded` — grid
+  sharding along the dissection's cut lines (bounded peak memory,
+  bit-identical merge),
 * :func:`evaluate_impact` — the common delay-impact scorer,
 * the per-tile methods (ILP-I, ILP-II, Greedy, marginal greedy, DP),
 * the scan-line slack-column extraction (paper Fig. 7).
@@ -72,6 +75,15 @@ from repro.pilfill.robust import (
     SolveReport,
     fallback_chain,
     solve_tile_robust,
+)
+from repro.pilfill.shard import (
+    GridShard,
+    ShardPlan,
+    iter_shard_windows,
+    plan_shards,
+    result_digest,
+    run_sharded,
+    solve_shard_batch,
 )
 from repro.pilfill.ilp1 import solve_tile_ilp1
 from repro.pilfill.ilp2 import solve_tile_ilp2
@@ -149,6 +161,13 @@ __all__ = [
     "SolveReport",
     "fallback_chain",
     "solve_tile_robust",
+    "GridShard",
+    "ShardPlan",
+    "iter_shard_windows",
+    "plan_shards",
+    "result_digest",
+    "run_sharded",
+    "solve_shard_batch",
     "MultiLayerResult",
     "run_all_layers",
     "ImpactModel",

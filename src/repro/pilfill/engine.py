@@ -37,7 +37,7 @@ import dataclasses
 import random
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.dissection.density import DENSITY_BACKENDS
 from repro.errors import FillError, SolveTimeoutError
@@ -82,7 +82,7 @@ from repro.testing import faults as fault_hooks
 from repro.testing.faults import FaultSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.pilfill.executor import SharedCostStore
+    from repro.pilfill.executor import SharedCostStore, TileBatch
 
 #: The method names the engine accepts.
 METHODS = ("normal", "ilp1", "ilp2", "greedy", "greedy_marginal", "dp")
@@ -178,6 +178,17 @@ class EngineConfig:
             bit-identical to cold solves by construction. ``None``
             (default) → no caching. Ignored (with zeroed counters) when
             a tile/run deadline makes outcomes wall-clock-dependent.
+        shards: partition the solve phase into this many row-band shards
+            along the dissection's window cut lines (see
+            :mod:`repro.pilfill.shard`). Each shard builds only its own
+            cost tables and shared-memory store, so peak memory holds
+            one band instead of the grid; all shards share one warm
+            persistent pool, and the merge is bit-identical to the
+            unsharded run — sharding is a scheduling knob, excluded from
+            :func:`~repro.pilfill.incremental.run_context_digest` like
+            ``workers``. 1 (default) → the single-pass path. Applies to
+            :meth:`PILFillEngine.run` only (the MVDC and budgeted
+            variants ignore it).
     """
 
     fill_rules: FillRules
@@ -201,6 +212,7 @@ class EngineConfig:
     fault_spec: FaultSpec | None = None
     telemetry: bool = False
     solution_cache: SolutionCache | None = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -222,6 +234,8 @@ class EngineConfig:
             )
         if self.workers < 1:
             raise FillError(f"workers must be >= 1, got {self.workers}")
+        if self.shards < 1:
+            raise FillError(f"shards must be >= 1, got {self.shards}")
         if self.batch_tiles is not None and self.batch_tiles < 1:
             raise FillError(f"batch_tiles must be >= 1, got {self.batch_tiles}")
         if self.parallel_backend not in PARALLEL_BACKENDS:
@@ -378,8 +392,16 @@ class PILFillEngine:
     def run(self, budget: dict[tuple[int, int], int] | None = None) -> FillResult:
         """Execute the flow. ``budget`` overrides the density step when
         given (used to hold density control identical across methods);
-        the override also skips building the density map entirely."""
+        the override also skips building the density map entirely.
+
+        With ``config.shards > 1`` the solve phase runs shard by shard
+        (:func:`~repro.pilfill.shard.run_sharded`) — bounded peak memory,
+        bit-identical results."""
         cfg = self.config
+        if cfg.shards > 1:
+            from repro.pilfill.shard import run_sharded
+
+            return run_sharded(self, budget=budget)
         telemetry = Telemetry() if cfg.telemetry else None
         tracer: TracerLike = telemetry.tracer if telemetry is not None else NULL_TRACER
         metrics: MetricsLike = telemetry.metrics if telemetry is not None else NULL_METRICS
@@ -444,81 +466,15 @@ class PILFillEngine:
             with tracer.span(
                 "solve", tiles=len(solve_keys), cached=len(cached_outcomes)
             ):
-                if cfg.parallel_backend == "process":
-                    store = self._shared_store(tracer)
-                    payloads = [
-                        make_tile_payload(
-                            key,
-                            costs_by_tile[key],
-                            effective_budget[key],
-                            method=cfg.method,
-                            weighted=cfg.weighted,
-                            ilp_backend=cfg.backend,
-                            seed=cfg.seed,
-                            tile_deadline_s=cfg.tile_deadline_s,
-                            run_deadline=run_deadline,
-                            fault_spec=cfg.fault_spec,
-                            fallback=cfg.fallback,
-                            telemetry=cfg.telemetry,
-                            inline_columns=store is None,
-                        )
-                        for key in dispatch_keys
-                    ]
-                    outcomes = dispatch_tile_payloads(
-                        payloads,
-                        workers=cfg.workers,
-                        isolate=cfg.fallback,
-                        store=store.handle if store is not None else None,
-                        batch_tiles=cfg.batch_tiles,
-                        persistent=cfg.persistent_pool,
-                        tracer=tracer,
-                        metrics=metrics,
-                    )
-                else:
-                    if cfg.fallback:
-                        def solve_one(key: tuple[int, int], attempt: int) -> RobustSolve:
-                            # Per-tile tracer/metrics: single-owner, so the
-                            # thread pool needs no locks; the merge loop
-                            # absorbs them into the run-level telemetry.
-                            tile_tracer = Tracer() if cfg.telemetry else None
-                            tile_metrics = Metrics() if cfg.telemetry else None
-                            robust = solve_tile_robust(
-                                costs_by_tile[key],
-                                cfg.method,
-                                effective_budget[key],
-                                cfg.weighted,
-                                cfg.backend,
-                                tile_rng(cfg.seed, key),
-                                key=key,
-                                tile_deadline_s=cfg.tile_deadline_s,
-                                run_deadline=run_deadline,
-                                fault_spec=cfg.fault_spec,
-                                attempt=attempt,
-                                tracer=tile_tracer,
-                                metrics=tile_metrics,
-                            )
-                            if tile_tracer is None:
-                                return robust
-                            return dataclasses.replace(
-                                robust,
-                                spans=tile_tracer.records(),
-                                metrics=tile_metrics.snapshot() if tile_metrics else None,
-                            )
-                    else:
-                        def solve_one(key: tuple[int, int], attempt: int) -> TileSolution:
-                            fault_hooks.inject(key, cfg.method, attempt, cfg.fault_spec)
-                            return self._solve_tile(
-                                costs_by_tile[key],
-                                effective_budget[key],
-                                tile_rng(cfg.seed, key),
-                                time_limit=effective_time_limit(
-                                    cfg.tile_deadline_s, run_deadline
-                                ),
-                            )
-
-                    outcomes = dispatch_tiles(
-                        dispatch_keys, solve_one, workers=cfg.workers, isolate=cfg.fallback
-                    )
+                store = (
+                    self._shared_store(tracer)
+                    if cfg.parallel_backend == "process"
+                    else None
+                )
+                outcomes = self._dispatch_solves(
+                    dispatch_keys, costs_by_tile, effective_budget,
+                    run_deadline, store, tracer, metrics,
+                )
                 for key in solve_keys:
                     outcome = cached_outcomes[key] if key in cached_outcomes else outcomes[key]
                     self._merge_outcome(
@@ -553,6 +509,110 @@ class PILFillEngine:
                 metrics.observe(f"phase.{phase}.seconds", seconds)
         return result
 
+    def _dispatch_solves(
+        self,
+        dispatch_keys: list[tuple[int, int]],
+        costs_by_tile: dict[tuple[int, int], list[ColumnCosts]],
+        effective_budget: Mapping[tuple[int, int], int],
+        run_deadline: float | None,
+        store: "SharedCostStore | None",
+        tracer: TracerLike = NULL_TRACER,
+        metrics: MetricsLike = NULL_METRICS,
+        batch_solver: "Callable[[TileBatch], list[TileOutcome]] | None" = None,
+    ) -> dict[tuple[int, int], TileOutcome]:
+        """Solve ``dispatch_keys`` on the configured backend.
+
+        The shared dispatch core of :meth:`run` and the sharded path
+        (:func:`~repro.pilfill.shard.run_sharded`): builds payloads for
+        the process backend (columns inline only when ``store`` is
+        ``None``) or the in-process solve closures for thread/serial,
+        and returns one :class:`TileOutcome` per key. ``store`` must be
+        scoped by the caller — the whole-grid store for unsharded runs,
+        a shard-scoped one (closed by the caller afterwards) for sharded
+        runs. ``batch_solver`` overrides the pool's batch entry (the
+        sharded path submits
+        :func:`~repro.pilfill.shard.solve_shard_batch`).
+        """
+        cfg = self.config
+        if cfg.parallel_backend == "process":
+            payloads = [
+                make_tile_payload(
+                    key,
+                    costs_by_tile[key],
+                    effective_budget[key],
+                    method=cfg.method,
+                    weighted=cfg.weighted,
+                    ilp_backend=cfg.backend,
+                    seed=cfg.seed,
+                    tile_deadline_s=cfg.tile_deadline_s,
+                    run_deadline=run_deadline,
+                    fault_spec=cfg.fault_spec,
+                    fallback=cfg.fallback,
+                    telemetry=cfg.telemetry,
+                    inline_columns=store is None,
+                )
+                for key in dispatch_keys
+            ]
+            return dispatch_tile_payloads(
+                payloads,
+                workers=cfg.workers,
+                isolate=cfg.fallback,
+                store=store.handle if store is not None else None,
+                batch_tiles=cfg.batch_tiles,
+                persistent=cfg.persistent_pool,
+                tracer=tracer,
+                metrics=metrics,
+                batch_solver=batch_solver,
+            )
+        if cfg.fallback:
+            def solve_one(key: tuple[int, int], attempt: int) -> RobustSolve:
+                # Per-tile tracer/metrics: single-owner, so the
+                # thread pool needs no locks; the merge loop
+                # absorbs them into the run-level telemetry.
+                tile_tracer = Tracer() if cfg.telemetry else None
+                tile_metrics = Metrics() if cfg.telemetry else None
+                robust = solve_tile_robust(
+                    costs_by_tile[key],
+                    cfg.method,
+                    effective_budget[key],
+                    cfg.weighted,
+                    cfg.backend,
+                    tile_rng(cfg.seed, key),
+                    key=key,
+                    tile_deadline_s=cfg.tile_deadline_s,
+                    run_deadline=run_deadline,
+                    fault_spec=cfg.fault_spec,
+                    attempt=attempt,
+                    tracer=tile_tracer,
+                    metrics=tile_metrics,
+                )
+                if tile_tracer is None:
+                    return robust
+                return dataclasses.replace(
+                    robust,
+                    spans=tile_tracer.records(),
+                    metrics=tile_metrics.snapshot() if tile_metrics else None,
+                )
+
+            return dispatch_tiles(
+                dispatch_keys, solve_one, workers=cfg.workers, isolate=cfg.fallback
+            )
+
+        def solve_strict(key: tuple[int, int], attempt: int) -> TileSolution:
+            fault_hooks.inject(key, cfg.method, attempt, cfg.fault_spec)
+            return self._solve_tile(
+                costs_by_tile[key],
+                effective_budget[key],
+                tile_rng(cfg.seed, key),
+                time_limit=effective_time_limit(
+                    cfg.tile_deadline_s, run_deadline
+                ),
+            )
+
+        return dispatch_tiles(
+            dispatch_keys, solve_strict, workers=cfg.workers, isolate=cfg.fallback
+        )
+
     def _shared_store(self, tracer: TracerLike = NULL_TRACER) -> "SharedCostStore | None":
         """The shared-memory cost store backing process-pool payloads.
 
@@ -580,6 +640,9 @@ class PILFillEngine:
         costs: list[ColumnCosts],
         tracer: TracerLike = NULL_TRACER,
         metrics: MetricsLike = NULL_METRICS,
+        *,
+        placed: list[FillFeature] | None = None,
+        n_columns: int | None = None,
     ) -> None:
         """Fold one tile's outcome into the result: place its features,
         record timings and the solve report, absorb the tile's telemetry
@@ -590,11 +653,18 @@ class PILFillEngine:
         (``fallback=False``) path, which produces no robust-layer report:
         an ``ok`` report is synthesized there so ``FillResult.clean`` is
         grounded in evidence rather than vacuously true.
+
+        The sharded path releases each shard's cost tables before this
+        global-order merge runs, so it pre-places features while the
+        tables are alive and hands them in via ``placed`` (with
+        ``n_columns`` sizing a failed tile's empty solution); ``costs``
+        is then unused and may be empty.
         """
         tracer.absorb(outcome.spans)
         metrics.merge(outcome.metrics)
         if outcome.failed:
-            solution = TileSolution(counts=[0] * len(costs))
+            width = n_columns if n_columns is not None else len(costs)
+            solution = TileSolution(counts=[0] * width)
             result.solve_reports[key] = failed_report(
                 key, self.config.method, outcome.retries, outcome.error,
                 prior_errors=outcome.error_chain,
@@ -620,7 +690,10 @@ class PILFillEngine:
         result.tile_solutions[key] = solution
         result.tile_seconds[key] = outcome.seconds
         result.model_objective_ps += solution.model_objective_ps
-        self._place(costs, solution, result.features)
+        if placed is not None:
+            result.features.extend(placed)
+        else:
+            self._place(costs, solution, result.features)
 
     def run_mvdc(self, slack_fraction: float = 0.25) -> FillResult:
         """Run the MVDC (minimum variation with delay constraint) variant

@@ -56,8 +56,8 @@ from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
-from typing import TYPE_CHECKING, Mapping, Sequence
-from weakref import finalize
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+from weakref import finalize, ref
 
 from repro.errors import FillError, SolveTimeoutError, WorkerDeathError
 from repro.obs.metrics import NULL_METRICS, MetricsLike
@@ -109,7 +109,11 @@ class SharedCostStore:
     every run; the block is unlinked when :meth:`close` is called or the
     store is garbage-collected (a :func:`weakref.finalize` guard — shm
     segments outlive processes on POSIX, so leaking them is not an
-    option). ``handle`` is the picklable reference batches carry.
+    option). Live stores are additionally tracked in the process-wide
+    :class:`_LiveStoreRegistry` so a broken-pool recovery can unlink
+    them *eagerly* (:func:`release_store`) instead of waiting for
+    interpreter exit. ``handle`` is the picklable reference batches
+    carry.
     """
 
     def __init__(self, data: SharedStoreData) -> None:
@@ -122,14 +126,25 @@ class SharedCostStore:
             content_hash=hashlib.sha256(blob).hexdigest(),
         )
         self._finalizer = finalize(self, _release_shm, self._shm)
+        _LIVE_STORES.register(self)
 
     @property
     def nbytes(self) -> int:
         """Payload size in bytes (the once-per-worker transfer cost)."""
         return self.handle.size
 
+    @property
+    def closed(self) -> bool:
+        """Whether the shared block has been unlinked (the handle is then
+        dead: workers attaching to it would raise). Owners that cache
+        stores check this and rebuild — see
+        :meth:`~repro.pilfill.prepare.PreparedInstance.shared_store_for`.
+        """
+        return not self._finalizer.alive
+
     def close(self) -> None:
         """Unlink the shared block (idempotent)."""
+        _LIVE_STORES.unregister(self.handle.content_hash)
         self._finalizer()
 
 
@@ -140,6 +155,80 @@ def _release_shm(shm: shared_memory.SharedMemory) -> None:
         shm.unlink()
     except (FileNotFoundError, OSError):  # pragma: no cover - already gone
         pass
+
+
+class _LiveStoreRegistry:
+    """Parent-side index of live :class:`SharedCostStore` blocks.
+
+    Keyed by content hash, holding weak references — the registry never
+    extends a store's lifetime, it only lets :func:`release_store` find
+    and unlink a block eagerly when the pool that was using it breaks.
+    Worker processes re-import this module and see an empty registry,
+    which is correct: only the parent creates stores. All mutation
+    happens under the lock, per the C2xx concurrency rules.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_hash: dict[str, ref[SharedCostStore]] = {}
+
+    def register(self, store: SharedCostStore) -> None:
+        """Track a freshly created store (called by its constructor)."""
+        with self._lock:
+            self._by_hash[store.handle.content_hash] = ref(store)
+
+    def unregister(self, content_hash: str) -> None:
+        """Forget a store that is closing normally."""
+        with self._lock:
+            self._by_hash.pop(content_hash, None)
+
+    def release(self, content_hash: str) -> bool:
+        """Close (unlink) the live store behind ``content_hash``.
+
+        Returns ``True`` when a live store was actually closed. The
+        close happens outside the lock: ``close()`` re-enters
+        :meth:`unregister`.
+        """
+        with self._lock:
+            store_ref = self._by_hash.pop(content_hash, None)
+        store = store_ref() if store_ref is not None else None
+        if store is None:
+            return False
+        store.close()
+        return True
+
+    def live_names(self) -> tuple[str, ...]:
+        """Segment names of stores still live (test/leak-audit hook)."""
+        with self._lock:
+            refs = list(self._by_hash.values())
+        stores = (r() for r in refs)
+        return tuple(sorted(s.handle.name for s in stores if s is not None and not s.closed))
+
+
+#: The process-wide live-store index (parent-only; see the class docs).
+_LIVE_STORES = _LiveStoreRegistry()
+
+
+def release_store(handle: SharedStoreHandle) -> bool:
+    """Eagerly unlink the live store behind ``handle``.
+
+    Called when a broken pool is discarded mid-run: the dead workers'
+    attached copies died with them, but the parent-side block (and the
+    parent's own resolved copy, from the recovery path) would otherwise
+    linger until the owning :class:`~repro.pilfill.prepare.
+    PreparedInstance` is closed or the interpreter exits. Also drops
+    this process's :class:`_StoreCache` entry for the handle. Returns
+    ``True`` when a live block was unlinked. Owners that cached the
+    store observe :attr:`SharedCostStore.closed` and rebuild.
+    """
+    released = _LIVE_STORES.release(handle.content_hash)
+    _STORE_CACHE.evict(handle.content_hash)
+    return released
+
+
+def live_store_names() -> tuple[str, ...]:
+    """Segment names of currently live shared stores (leak audits)."""
+    return _LIVE_STORES.live_names()
 
 
 def make_shared_store(
@@ -196,6 +285,17 @@ class _StoreCache:
             self._by_hash.clear()
         self._by_hash[handle.content_hash] = data
         return data
+
+    def evict(self, content_hash: str) -> bool:
+        """Drop one resolved epoch; ``True`` when it was held.
+
+        The parent resolves a copy of the store for its broken-pool
+        recovery path — when the store is released early
+        (:func:`release_store`) that copy must go too, or a later run
+        reusing the content hash would silently serve bytes from a
+        segment that no longer exists for new attachers.
+        """
+        return self._by_hash.pop(content_hash, None) is not None
 
     def cached_hashes(self) -> tuple[str, ...]:
         """Hashes currently resolved (test/introspection hook)."""
@@ -420,6 +520,7 @@ def dispatch_batches(
     persistent: bool = True,
     tracer: TracerLike = NULL_TRACER,
     metrics: MetricsLike = NULL_METRICS,
+    batch_solver: "Callable[[TileBatch], list[TileOutcome]] | None" = None,
 ) -> dict[TileKey, TileOutcome]:
     """Solve ``payloads`` on a (persistent) process pool in chunked batches.
 
@@ -442,7 +543,20 @@ def dispatch_batches(
     The re-solve *replaces* the batch wholesale; outcomes (and their
     telemetry buffers) from the failed attempt never reach the caller,
     so span/metric totals count every tile exactly once.
+
+    After a broken pool the run's shared store is released eagerly
+    (:func:`release_store`) — the dead workers' attached copies are
+    gone, and keeping the parent-side block (plus the parent's resolved
+    recovery copy) alive until interpreter exit is the shm leak this
+    guards against. The release waits until every batch has been
+    recovered: :func:`_resolve_batch_in_parent` needs the segment alive.
+
+    ``batch_solver`` substitutes the submitted entry point (default
+    :func:`solve_tile_batch`); it must be a module-level picklable
+    callable with the same contract — the sharded path submits its
+    X301-anchored wrapper here.
     """
+    solver = batch_solver if batch_solver is not None else solve_tile_batch
     batches = [
         TileBatch(payloads=chunk, store=store, isolate=isolate)
         for chunk in chunk_payloads(payloads, workers, batch_tiles)
@@ -468,10 +582,11 @@ def dispatch_batches(
                 # boundary per submit (the shared store is excluded — it
                 # crosses once per worker, reported as pool.store_bytes).
                 metrics.count("pool.payload_bytes", len(pickle.dumps(batch)))
-            futures.append(pool.submit(solve_tile_batch, batch))
+            futures.append(pool.submit(solver, batch))
         if store is not None:
             metrics.count("pool.store_bytes", store.size)
 
+        broken = False
         by_key: dict[TileKey, TileOutcome] = {}
         for index, (batch, future) in enumerate(zip(batches, futures)):
             with tracer.span("solve.batch", index=index, tiles=len(batch.payloads)):
@@ -484,6 +599,7 @@ def dispatch_batches(
                 except BrokenProcessPool:
                     if not isolate:
                         raise
+                    broken = True
                     if persistent:
                         discard_pool(workers)
                     metrics.count("pool.broken")
@@ -494,6 +610,8 @@ def dispatch_batches(
                     outcomes = _resolve_batch_in_parent(batch, store)
             for outcome in outcomes:
                 by_key[outcome.key] = outcome
+        if broken and store is not None:
+            release_store(store)
     finally:
         if not persistent:
             pool.shutdown(wait=True)

@@ -49,7 +49,7 @@ from repro.obs.metrics import NULL_METRICS, Metrics, MetricsLike, MetricsSnapsho
 from repro.obs.trace import NULL_TRACER, SpanRecord, Tracer, TracerLike
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.pilfill.executor import SharedStoreHandle
+    from repro.pilfill.executor import SharedStoreHandle, TileBatch
 from repro.pilfill.columns import ColumnNeighbor
 from repro.pilfill.costlike import TileCosts
 from repro.pilfill.methods import solve_tile_method, trim_to
@@ -387,6 +387,7 @@ def dispatch_tile_payloads(
     persistent: bool = True,
     tracer: TracerLike = NULL_TRACER,
     metrics: MetricsLike = NULL_METRICS,
+    batch_solver: "Callable[[TileBatch], list[TileOutcome]] | None" = None,
 ) -> dict[TileKey, TileOutcome]:
     """Solve shipped tiles, serially or on a (persistent) process pool.
 
@@ -414,6 +415,13 @@ def dispatch_tile_payloads(
     any batch stranded by the broken pool — re-solved in the parent
     process, which is attempt 1 of the same deterministic contract.
     With ``isolate=False`` the first exception propagates.
+
+    ``batch_solver`` substitutes the pool-submitted batch entry point
+    (the sharded path submits its own X301-anchored wrapper). It must be
+    a module-level picklable callable with the same contract as
+    :func:`~repro.pilfill.executor.solve_tile_batch`; the in-process
+    fast path ignores it, since ``workers=1`` never crosses a pickle
+    boundary.
     """
     from repro.pilfill.executor import _hydrate, dispatch_batches, resolve_store
 
@@ -437,6 +445,7 @@ def dispatch_tile_payloads(
         persistent=persistent,
         tracer=tracer,
         metrics=metrics,
+        batch_solver=batch_solver,
     )
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass, field
-from typing import IO, TYPE_CHECKING, Iterable
+from typing import IO, TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -180,6 +180,82 @@ class PreparedInstance:
         )
         return costs
 
+    def costs_for_tiles(
+        self,
+        weighted: bool,
+        keys: Sequence[TileKey],
+        tracer: TracerLike | None = None,
+    ) -> dict[TileKey, list[ColumnCosts]]:
+        """Cost tables for just ``keys`` — the shard-scoped sibling of
+        :meth:`costs_for`.
+
+        When the full table set is already cached this returns a cheap
+        subset view (no rebuild). Otherwise it builds only the requested
+        tiles and — unlike :meth:`costs_for` — does *not* cache them on
+        the instance: the sharded solve path owns the lifetime, holding
+        one shard's tables at a time and releasing them before the next
+        shard builds. One LUT cache per ``weighted`` flag is shared
+        across calls, so shard-by-shard building reuses interpolations
+        exactly like the global build (caching is value-transparent, so
+        the tables are bit-identical either way). Tiles without slack
+        columns are omitted, matching :meth:`costs_for`.
+        """
+        cached = self._costs.get(weighted)
+        if cached is not None:
+            return {key: cached[key] for key in keys if key in cached}
+        trc = tracer if tracer is not None else NULL_TRACER
+        t0 = time.perf_counter()
+        with trc.span("prepare.costs", weighted=weighted, tiles=len(keys)):
+            layer_proc = self.layout.stack.layer(self.layer)
+            dbu = self.layout.stack.dbu_per_micron
+            lut_cache = self._lut_caches.get(weighted)
+            if lut_cache is None:
+                lut_cache = LUTCache(
+                    layer_proc.eps_r,
+                    layer_proc.thickness_um,
+                    self.fill_rules.fill_size / dbu,
+                )
+                self._lut_caches[weighted] = lut_cache
+            stats_before = dict(lut_cache.stats())
+            costs = {
+                key: build_costs(
+                    self.columns_by_tile[key], layer_proc, self.fill_rules,
+                    dbu, lut_cache, weighted,
+                )
+                for key in keys
+                if key in self.columns_by_tile
+            }
+            for name, count in lut_cache.stats().items():
+                delta = count - stats_before.get(name, 0)
+                self.lut_stats[name] = self.lut_stats.get(name, 0) + delta
+        self.phase_seconds["costs"] = (
+            self.phase_seconds.get("costs", 0.0) + time.perf_counter() - t0
+        )
+        return costs
+
+    def store_for_costs(
+        self,
+        weighted: bool,
+        costs_by_tile: Mapping[TileKey, list[ColumnCosts]],
+    ) -> "SharedCostStore | None":
+        """A caller-owned shared-memory store for a subset of tiles.
+
+        The sharded dispatch path builds one per shard and must
+        ``close()`` it when the shard completes — unlike
+        :meth:`shared_store_for`, nothing is cached on the instance, so
+        an unclosed store would linger until garbage collection.
+        Returns ``None`` where shared memory is unavailable (callers
+        fall back to inline payload columns).
+        """
+        from repro.pilfill.executor import make_shared_store
+        from repro.pilfill.parallel import payload_columns
+
+        columns = {key: payload_columns(cc) for key, cc in costs_by_tile.items()}
+        lut_cache = self._lut_caches.get(weighted)
+        return make_shared_store(
+            columns, lut_cache.snapshot() if lut_cache is not None else None
+        )
+
     def payload_columns_for(
         self, weighted: bool, tracer: TracerLike | None = None
     ) -> dict[TileKey, tuple["PayloadColumnCosts", ...]]:
@@ -203,12 +279,18 @@ class PreparedInstance:
         Built once per flag and reused by every ``engine.run()`` on this
         instance — the persistent pool's workers resolve it by content
         hash, so consecutive runs (even interleaved with runs of another
-        prepared instance) always see the right tables. Returns ``None``
-        where shared memory is unavailable; callers then fall back to
-        inline per-payload columns.
+        prepared instance) always see the right tables. A cached store
+        whose block was released early (a broken-pool recovery unlinks
+        eagerly — see :func:`~repro.pilfill.executor.release_store`) is
+        rebuilt rather than handed out dead. Returns ``None`` where
+        shared memory is unavailable; callers then fall back to inline
+        per-payload columns.
         """
         if weighted in self._shared_stores:
-            return self._shared_stores[weighted]
+            cached = self._shared_stores[weighted]
+            if cached is None or not cached.closed:
+                return cached
+            del self._shared_stores[weighted]
         from repro.pilfill.executor import make_shared_store
 
         columns = self.payload_columns_for(weighted, tracer=tracer)

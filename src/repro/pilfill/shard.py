@@ -1,0 +1,434 @@
+"""Grid sharding: partition the fill run along the dissection's cut lines.
+
+The fixed r-dissection makes every tile's MDFC instance independent, and
+its window structure gives natural horizontal cut lines: every tile-row
+boundary ``y = die.ylo + iy * tile`` is a cut line of the sliding window
+grid (windows advance by exactly one tile). :func:`plan_shards` splits
+the tile grid into contiguous bands of tile rows along those lines —
+deterministic integer shard keys, near-even row counts — and
+:func:`run_sharded` runs the solve phase shard by shard:
+
+* **Bounded peak memory.** The unsharded path materializes the cost
+  tables for *every* tile before the first solve. A sharded run builds
+  only the current shard's tables
+  (:meth:`~repro.pilfill.prepare.PreparedInstance.costs_for_tiles`),
+  ships them through a shard-scoped shared-memory store, and releases
+  both when the shard completes — peak memory holds one band, not the
+  grid. The shard bands are the same horizontal bands
+  :class:`~repro.io.deflite.DefWindowStream` streams a chip-scale DEF
+  in (:func:`iter_shard_windows` maps its windows onto shard keys), so a
+  future multi-host driver can feed each shard only its slice of the
+  input.
+* **One warm pool.** All shards dispatch through the persistent
+  :class:`~repro.pilfill.executor._PoolRegistry` pool for the configured
+  worker count; the per-shard store rides the content-hash handshake, so
+  workers re-sync once per shard instead of once per tile.
+* **Bit-identity (the crown jewel).** The merge never trusts shard
+  order: features are buffered per tile while the shard's cost tables
+  are still alive, then folded into the result by one final pass in
+  global dissection order — the same iteration order, feature order,
+  and float-accumulation order as the unsharded run. Telemetry,
+  cache-stats deltas, and solve reports are merged exactly once, in
+  that same pass. ``run_sharded`` output is bit-identical to
+  ``engine.run()`` for every method, backend, worker count, and shard
+  count; :func:`result_digest` is the canonical oracle for that claim.
+
+:func:`solve_shard_batch` is the pool entry sharded dispatch submits —
+anchored in the X301 policy so the purity pass walks the shard worker
+cone like any other worker entry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import IO, TYPE_CHECKING, Iterable, Iterator
+
+from repro.dissection.fixed import FixedDissection
+from repro.errors import FillError
+from repro.layout.layout import FillFeature
+from repro.obs.metrics import NULL_METRICS, MetricsLike
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import NULL_TRACER, TracerLike
+from repro.pilfill.executor import TileBatch, solve_tile_batch
+from repro.pilfill.incremental import (
+    _rect_payload,
+    _sha256,
+    cache_eligible,
+    run_context_digest,
+    tile_digest,
+)
+from repro.pilfill.parallel import TileOutcome
+from repro.pilfill.prepare import PreparedInstance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.io.deflite import DefWindow
+    from repro.pilfill.engine import FillResult, PILFillEngine
+    from repro.tech.process import ProcessStack
+
+TileKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridShard:
+    """One contiguous band of tile rows, solvable independently.
+
+    ``tile_keys`` covers *every* grid tile of the band (not just tiles
+    with slack columns), column-major within the band — the same
+    relative order the global sweep visits them in.
+    """
+
+    key: int
+    iy_lo: int
+    iy_hi: int
+    tile_keys: tuple[TileKey, ...]
+
+    @property
+    def rows(self) -> int:
+        return self.iy_hi - self.iy_lo
+
+    @property
+    def tile_count(self) -> int:
+        return len(self.tile_keys)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic partition of a fixed dissection into row bands.
+
+    Shard keys are dense integers ``0..n_shards-1`` in ascending-row
+    order; the same ``(grid, n_shards)`` input always produces the same
+    plan. ``tile_size`` / ``die_ylo`` let the plan map DEF-stream band
+    coordinates back onto shards (see :meth:`shard_of_row` and
+    :func:`iter_shard_windows`).
+    """
+
+    nx: int
+    ny: int
+    tile_size: int
+    die_ylo: int
+    shards: tuple[GridShard, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of_row(self, iy: int) -> int:
+        """Shard key owning tile row ``iy`` (rows past the grid clamp to
+        the nearest edge shard, matching the density clip behavior)."""
+        if iy < 0:
+            return 0
+        for shard in self.shards:
+            if iy < shard.iy_hi:
+                return shard.key
+        return self.shards[-1].key
+
+    def shard_of(self, key: TileKey) -> int:
+        """Shard key owning tile ``key``."""
+        return self.shard_of_row(key[1])
+
+    def band_bounds_dbu(self, key: int) -> tuple[int, int]:
+        """The DBU y-range ``[lo, hi)`` shard ``key`` consumes from a
+        band-sorted DEF stream."""
+        shard = self.shards[key]
+        return (
+            self.die_ylo + shard.iy_lo * self.tile_size,
+            self.die_ylo + shard.iy_hi * self.tile_size,
+        )
+
+
+def plan_shards(
+    prepared: "PreparedInstance | FixedDissection",
+    n_shards: int | None = None,
+    max_tiles_per_shard: int | None = None,
+) -> ShardPlan:
+    """Partition the tile grid into row-band shards along window cut lines.
+
+    Exactly one of ``n_shards`` / ``max_tiles_per_shard`` selects the
+    granularity (neither → a single shard covering the grid). Rows are
+    distributed as evenly as possible — ``divmod`` spread, earlier shards
+    take the remainder — and ``n_shards`` is clamped to the row count, so
+    every shard holds at least one full tile row and the union of all
+    shards is exactly the grid.
+    """
+    dissection = (
+        prepared if isinstance(prepared, FixedDissection) else prepared.dissection
+    )
+    nx, ny = dissection.nx, dissection.ny
+    if n_shards is not None and max_tiles_per_shard is not None:
+        raise FillError("pass n_shards or max_tiles_per_shard, not both")
+    if max_tiles_per_shard is not None:
+        if max_tiles_per_shard < 1:
+            raise FillError(
+                f"max_tiles_per_shard must be >= 1, got {max_tiles_per_shard}"
+            )
+        rows_per = max(1, max_tiles_per_shard // nx)
+        n_shards = -(-ny // rows_per)  # ceil div
+    if n_shards is None:
+        n_shards = 1
+    if n_shards < 1:
+        raise FillError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, ny)
+
+    shards: list[GridShard] = []
+    base, extra = divmod(ny, n_shards)
+    iy_lo = 0
+    for key in range(n_shards):
+        iy_hi = iy_lo + base + (1 if key < extra else 0)
+        tile_keys = tuple(
+            (ix, iy) for ix in range(nx) for iy in range(iy_lo, iy_hi)
+        )
+        shards.append(GridShard(key=key, iy_lo=iy_lo, iy_hi=iy_hi, tile_keys=tile_keys))
+        iy_lo = iy_hi
+    return ShardPlan(
+        nx=nx,
+        ny=ny,
+        tile_size=dissection.tile_size,
+        die_ylo=dissection.die.ylo,
+        shards=tuple(shards),
+    )
+
+
+def iter_shard_windows(
+    source: "str | IO[str] | Iterable[str]",
+    stack: "ProcessStack",
+    plan: ShardPlan,
+) -> "Iterator[tuple[int, DefWindow]]":
+    """Stream a band-sorted DEF-lite source as ``(shard_key, window)``.
+
+    Bands one tile row high ride :func:`~repro.io.deflite.
+    iter_def_windows`; each window is tagged with the shard whose row
+    band contains it, so a shard driver consumes only its own slice of
+    the input and peak memory stays one band deep. Shard keys arrive in
+    ascending order on band-sorted input.
+    """
+    from repro.io.deflite import iter_def_windows
+
+    for window in iter_def_windows(source, stack, plan.tile_size):
+        yield plan.shard_of_row(window.index), window
+
+
+def solve_shard_batch(batch: TileBatch) -> list[TileOutcome]:
+    """Pool entry for one shard's tile batch.
+
+    Delegates to the standard batch worker — shard batches are ordinary
+    tile batches whose store happens to be shard-scoped. Exists as a
+    named entry so the X301 purity pass anchors the shard worker cone
+    explicitly (``repro.pilfill.shard.solve_shard_batch`` in the
+    default policy).
+    """
+    return solve_tile_batch(batch)
+
+
+def result_digest(result: "FillResult") -> str:
+    """Canonical content digest of a :class:`FillResult` placement.
+
+    Covers everything the bit-identity contract promises: the feature
+    list *in order* (layer + exact rect), both budget maps, every tile
+    solution's counts / explicit site indices / model objective, and the
+    run's accumulated model objective via ``repr`` (shortest round-trip
+    form, so equal digests mean equal floats). Timings, telemetry, and
+    cache stats are excluded — they vary run to run by design. Sharded
+    and unsharded runs of the same configuration must digest equal; the
+    ``t3_shard`` bench gates on exactly that.
+    """
+    solutions: dict[str, object] = {}
+    for (ix, iy), sol in sorted(result.tile_solutions.items()):
+        solutions[f"{ix},{iy}"] = {
+            "counts": list(sol.counts),
+            "model_objective_ps": repr(sol.model_objective_ps),
+            "site_indices": (
+                None
+                if sol.site_indices is None
+                else [list(sites) for sites in sol.site_indices]
+            ),
+        }
+    payload: dict[str, object] = {
+        "features": [
+            {"layer": f.layer, "rect": _rect_payload(f.rect)} for f in result.features
+        ],
+        "requested_budget": sorted(
+            (f"{ix},{iy}", v) for (ix, iy), v in result.requested_budget.items()
+        ),
+        "effective_budget": sorted(
+            (f"{ix},{iy}", v) for (ix, iy), v in result.effective_budget.items()
+        ),
+        "solutions": solutions,
+        "model_objective_ps": repr(result.model_objective_ps),
+    }
+    return _sha256(payload)
+
+
+def run_sharded(
+    engine: "PILFillEngine",
+    budget: dict[TileKey, int] | None = None,
+) -> "FillResult":
+    """Execute ``engine``'s flow shard by shard (``EngineConfig.shards``).
+
+    The density budget is derived once, globally — sharding is a solve
+    scheduling choice and must not perturb density control. Each shard
+    then builds only its own cost tables, looks its tiles up in the
+    solution cache, dispatches its misses (all shards share one
+    persistent pool; process dispatch rides a shard-scoped shared store
+    that is closed the moment the shard completes), and buffers the
+    placed features per tile. A final pass in global dissection order
+    folds every outcome into the result, so feature order, float
+    accumulation, dict insertion order, and per-tile telemetry
+    absorption are bit-identical to the unsharded run. Cache recording
+    and stats deltas happen once, after the merge, exactly as in
+    :meth:`~repro.pilfill.engine.PILFillEngine.run`.
+    """
+    from repro.pilfill.engine import FillResult
+
+    cfg = engine.config
+    telemetry = Telemetry() if cfg.telemetry else None
+    tracer: TracerLike = telemetry.tracer if telemetry is not None else NULL_TRACER
+    metrics: MetricsLike = telemetry.metrics if telemetry is not None else NULL_METRICS
+    prep = engine._prepared_traced(tracer)
+    plan = plan_shards(prep, n_shards=max(1, cfg.shards))
+    result = FillResult(telemetry=telemetry)
+
+    with tracer.span(
+        "engine.run", method=cfg.method, backend=cfg.backend,
+        workers=cfg.workers, parallel_backend=cfg.parallel_backend,
+        shards=plan.n_shards,
+    ):
+        if budget is None:
+            budget = prep.budget_for(cfg, tracer=tracer)
+        result.requested_budget = dict(budget)
+
+        t0 = time.perf_counter()
+        run_deadline = engine._run_deadline()
+
+        cache = (
+            cfg.solution_cache
+            if cfg.solution_cache is not None and cache_eligible(cfg)
+            else None
+        )
+        stats_before: dict[str, int] = cache.stats() if cache is not None else {}
+        context = run_context_digest(cfg, engine.layer) if cache is not None else ""
+        digests: dict[TileKey, str] = {}
+        dispatch_keys: list[TileKey] = []
+        cached_outcomes: dict[TileKey, TileOutcome] = {}
+        outcomes_all: dict[TileKey, TileOutcome] = {}
+        # Per-tile merge inputs, buffered while the owning shard's cost
+        # tables are alive; the final global-order pass consumes them.
+        effective: dict[TileKey, int] = {}
+        placed: dict[TileKey, list[FillFeature]] = {}
+        n_columns: dict[TileKey, int] = {}
+
+        for shard in plan.shards:
+            with tracer.span(
+                "shard", key=shard.key, rows=shard.rows, tiles=shard.tile_count
+            ):
+                costs_by_tile = prep.costs_for_tiles(
+                    cfg.weighted, shard.tile_keys, tracer=tracer
+                )
+                shard_solve: list[TileKey] = []
+                for key in shard.tile_keys:
+                    want = budget.get(key, 0)
+                    capacity = sum(c.capacity for c in costs_by_tile.get(key, []))
+                    effective[key] = min(want, capacity)
+                    if effective[key] > 0:
+                        shard_solve.append(key)
+
+                if cache is None:
+                    shard_dispatch = list(shard_solve)
+                else:
+                    shard_dispatch = []
+                    for key in shard_solve:
+                        digest = tile_digest(
+                            context, key, costs_by_tile[key], effective[key]
+                        )
+                        digests[key] = digest
+                        hit = cache.lookup(digest)
+                        if hit is None:
+                            shard_dispatch.append(key)
+                        else:
+                            solution, report = hit
+                            cached_outcomes[key] = TileOutcome(
+                                key=key, value=solution, seconds=0.0, report=report
+                            )
+
+                store = None
+                if cfg.parallel_backend == "process" and cfg.workers > 1:
+                    store = prep.store_for_costs(
+                        cfg.weighted,
+                        {key: costs_by_tile[key] for key in shard_dispatch},
+                    )
+                try:
+                    with tracer.span(
+                        "solve",
+                        tiles=len(shard_solve),
+                        cached=len(shard_solve) - len(shard_dispatch),
+                        shard=shard.key,
+                    ):
+                        outcomes = engine._dispatch_solves(
+                            shard_dispatch, costs_by_tile, effective,
+                            run_deadline, store, tracer, metrics,
+                            batch_solver=solve_shard_batch,
+                        )
+                finally:
+                    if store is not None:
+                        # Shard-scoped segment: unlink eagerly, never let
+                        # it outlive its shard (workers re-sync on the
+                        # next shard's content hash anyway).
+                        store.close()
+                outcomes_all.update(outcomes)
+                dispatch_keys.extend(shard_dispatch)
+                for key in shard_solve:
+                    outcome = (
+                        cached_outcomes[key]
+                        if key in cached_outcomes
+                        else outcomes[key]
+                    )
+                    costs = costs_by_tile[key]
+                    n_columns[key] = len(costs)
+                    feats: list[FillFeature] = []
+                    if not outcome.failed:
+                        engine._place(costs, outcome.value, feats)
+                    placed[key] = feats
+                # costs_by_tile goes out of scope here: a shard's tables
+                # are released before the next shard builds its own.
+                del costs_by_tile
+
+        # The merge pass: global dissection order, exactly like the
+        # unsharded run — same feature order, same float-accumulation
+        # order, same dict insertion order, telemetry absorbed once.
+        for tile in prep.dissection.tiles():
+            key = tile.key
+            result.effective_budget[key] = effective.get(key, 0)
+            if key not in placed:
+                continue
+            outcome = (
+                cached_outcomes[key] if key in cached_outcomes else outcomes_all[key]
+            )
+            engine._merge_outcome(
+                result, key, outcome, [],
+                tracer=tracer, metrics=metrics,
+                placed=placed[key], n_columns=n_columns[key],
+            )
+
+        if cache is not None:
+            for key in dispatch_keys:
+                if not outcomes_all[key].failed:
+                    cache.record(
+                        digests[key],
+                        result.tile_solutions[key],
+                        result.solve_reports[key],
+                    )
+            cache.remember_run(digests)
+            stats_after = cache.stats()
+            result.cache_stats = {
+                name: stats_after[name] - stats_before.get(name, 0)
+                for name in stats_after
+            }
+            for name, delta in result.cache_stats.items():
+                metrics.count(f"cache.{name}", delta)
+        engine._finish_phases(result, time.perf_counter() - t0)
+        metrics.count("features.placed", result.total_features)
+        for name, hits in prep.lut_stats.items():
+            metrics.count(f"lut.{name}", hits)
+        for phase, seconds in result.phase_seconds.items():
+            metrics.observe(f"phase.{phase}.seconds", seconds)
+    return result

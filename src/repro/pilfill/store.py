@@ -12,10 +12,14 @@ layers:
   store schema + version; any mismatch reads as a miss, so bumping
   :data:`STORE_VERSION` retires every stale entry without a migration.
 
-The store is content-addressed and append-only on disk: an edited tile
-produces a *new* digest, so stale entries are simply never looked up
-again. Eviction (:meth:`SolutionStore.evict`) only drops the memory
-layer — it exists for the dirty-window bookkeeping, not for correctness.
+The store is content-addressed: an edited tile produces a *new* digest,
+so a stale entry is never looked up again *under its new inputs*. But
+content addressing alone is not enough for the dirty-window contract —
+an ECO invalidation names digests whose inputs may recur (a revert, or
+neighbor churn that cancels out), and those must not be re-hit by a
+fresh process with a cold memory layer. Eviction
+(:meth:`SolutionStore.evict`) therefore drops *both* layers: the memory
+entry and, when a disk layer is configured, the entry file itself.
 
 Entries round-trip through JSON exactly: ``json`` serializes floats via
 ``repr`` (shortest round-trip form), so a solution loaded from disk is
@@ -216,10 +220,24 @@ class SolutionStore:
             pass
 
     def evict(self, digest: str) -> bool:
-        """Drop ``digest`` from the memory layer; True when it was held.
+        """Drop ``digest`` from *every* layer; True when any layer held it.
 
-        Disk entries stay — the store is content-addressed, so a stale
-        entry is unreachable the moment its inputs change. Eviction is
-        bookkeeping for the dirty-window pass, not a correctness lever.
+        The dirty-window pass evicts digests whose solved answer is no
+        longer trustworthy (an ECO touched the tile or its neighborhood).
+        Dropping only the memory layer would leave the disk entry live
+        for any *other* process — or a later cold start — whose digest
+        computation lands back on the same value, silently serving a
+        stale solution. The disk unlink is best-effort like :meth:`put`
+        (a read-only filesystem cannot un-write the entry, but such a
+        store also never recorded the pre-ECO run that would alias it).
         """
-        return self._memory.pop(digest, None) is not None
+        held = self._memory.pop(digest, None) is not None
+        if self._dir is not None:
+            path = self.entry_path(digest)
+            try:
+                if path.exists():
+                    path.unlink()
+                    held = True
+            except OSError:  # pragma: no cover - store is best-effort
+                pass
+        return held

@@ -21,9 +21,11 @@ Regression targets of the persistent-pool executor PR:
 
 from __future__ import annotations
 
+import gc
 import os
 import pickle
 from dataclasses import replace
+from multiprocessing import shared_memory
 
 import pytest
 
@@ -48,6 +50,9 @@ from repro.pilfill.executor import (
     SharedStoreHandle,
     TileBatch,
     _STORE_CACHE,
+    dispatch_batches,
+    live_store_names,
+    release_store,
     resolve_store,
     solve_tile_batch,
 )
@@ -427,6 +432,137 @@ class TestSharedStore:
             payloads=tuple(make_payloads(prepared, baseline)[:2]), store=handle
         )
         assert pickle.loads(pickle.dumps(batch)) == batch
+
+
+def _exit_worker(batch):
+    """Pool entry that hard-kills its worker: a *real* worker death (not
+    the injected WorkerDeathError), so the future raises
+    BrokenProcessPool and the dispatcher walks its recovery path."""
+    os._exit(1)
+
+
+class TestStoreLifetime:
+    """Shared-memory segments must never outlive the run that made them.
+
+    Regression targets of the broken-pool lifetime fix: a
+    BrokenProcessPool mid-run used to strand both the parent-side shm
+    block and the parent's resolved recovery copy until interpreter
+    exit. Now the dispatcher releases the store eagerly once every batch
+    is recovered, the registry/cache forget it, and owners that cached
+    the store observe ``closed`` and rebuild.
+    """
+
+    def _store_payloads(self, prepared, baseline):
+        inline = make_payloads(prepared, baseline)
+        columns = {p.key: p.columns for p in inline}
+        store = make_shared_store(columns)
+        if store is None:
+            pytest.skip("platform has no usable shared memory")
+        return inline, [replace(p, columns=()) for p in inline], store
+
+    def test_broken_pool_releases_store_and_recovers(self, prepared, baseline):
+        """One real worker death: every batch is re-solved in the parent
+        (bit-identical), then the shm segment is unlinked eagerly — no
+        /dev/shm leak — and the broken pool is discarded for rebuild."""
+        shutdown_pools()
+        inline, stripped, store = self._store_payloads(prepared, baseline)
+        assert store.handle.name in live_store_names()
+        created_before = pool_stats()["created"]
+        try:
+            outcomes = dispatch_batches(
+                stripped,
+                workers=2,
+                store=store.handle,
+                batch_tiles=len(stripped),
+                batch_solver=_exit_worker,
+            )
+            reference = {
+                o.key: o
+                for o in solve_tile_batch(TileBatch(payloads=tuple(inline)))
+            }
+            assert set(outcomes) == set(reference)
+            for key, outcome in outcomes.items():
+                assert not outcome.failed, key
+                assert outcome.value.counts == reference[key].value.counts
+
+            # The eager release: block unlinked, every index dropped.
+            assert store.closed
+            assert store.handle.name not in live_store_names()
+            assert store.handle.content_hash not in _STORE_CACHE.cached_hashes()
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=store.handle.name)
+
+            # The broken pool is gone; the next dispatch rebuilds one.
+            stats = pool_stats()
+            assert stats["created"] == created_before + 1
+            assert stats["live"] == 0
+            rebuilt = dispatch_tile_payloads(inline, workers=2)
+            assert len(rebuilt) == len(inline)
+            assert pool_stats()["created"] == created_before + 2
+        finally:
+            store.close()
+            shutdown_pools()
+
+    def test_release_store_unlinks_once(self, prepared):
+        columns = {k: payload_columns(cc) for k, cc in prepared.costs_for(True).items()}
+        store = make_shared_store(columns)
+        if store is None:
+            pytest.skip("platform has no usable shared memory")
+        assert not store.closed
+        assert release_store(store.handle) is True
+        assert store.closed
+        assert store.handle.name not in live_store_names()
+        # Idempotent: the second release finds nothing live.
+        assert release_store(store.handle) is False
+        store.close()  # also still idempotent
+
+    def test_release_evicts_resolved_copy(self, prepared):
+        """The parent's own resolved copy (broken-pool recovery path)
+        must not pin the payload either: release drops the cache entry."""
+        columns = {k: payload_columns(cc) for k, cc in prepared.costs_for(True).items()}
+        store = make_shared_store(columns)
+        if store is None:
+            pytest.skip("platform has no usable shared memory")
+        resolve_store(store.handle)
+        assert store.handle.content_hash in _STORE_CACHE.cached_hashes()
+        release_store(store.handle)
+        assert store.handle.content_hash not in _STORE_CACHE.cached_hashes()
+
+    def test_collected_store_leaves_no_registry_ghost(self, prepared):
+        """The registry holds weak refs: a store that is simply dropped
+        is finalized (segment unlinked) and vanishes from the audit."""
+        columns = {k: payload_columns(cc) for k, cc in prepared.costs_for(True).items()}
+        store = make_shared_store(columns)
+        if store is None:
+            pytest.skip("platform has no usable shared memory")
+        name = store.handle.name
+        del store
+        gc.collect()
+        assert name not in live_store_names()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_prepared_rebuilds_store_after_release(self, small_generated_layout):
+        """PreparedInstance caches its store per weighted flag; after an
+        eager release it must hand out a fresh live store, not the
+        closed one."""
+        prep = prepare(
+            small_generated_layout, "metal3", FILL, DENSITY, SlackColumnDef.FULL_LAYOUT
+        )
+        try:
+            store = prep.shared_store_for(True)
+            if store is None:
+                pytest.skip("platform has no usable shared memory")
+            release_store(store.handle)
+            rebuilt = prep.shared_store_for(True)
+            assert rebuilt is not store
+            assert not rebuilt.closed
+            # Same content, fresh segment.
+            assert rebuilt.handle.content_hash == store.handle.content_hash
+            assert rebuilt.handle.name != store.handle.name
+            assert resolve_store(rebuilt.handle).columns
+        finally:
+            prep.close()
 
 
 class TestLUTSnapshot:

@@ -12,6 +12,11 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -112,14 +117,22 @@ class TestSolutionStore:
         store.entry_path(DIGEST).write_text("{ torn")
         assert SolutionStore(cache_dir=tmp_path).get(DIGEST) is None
 
-    def test_evict_drops_memory_not_disk(self, tmp_path):
+    def test_evict_drops_both_layers(self, tmp_path):
         store = SolutionStore(cache_dir=tmp_path)
         store.put(DIGEST, sample_entry())
         assert store.evict(DIGEST)
-        assert not store.evict(DIGEST)  # already gone from memory
+        assert not store.evict(DIGEST)  # already gone everywhere
         assert len(store) == 0
-        # Content-addressed disk layer is append-only: still readable.
-        assert store.get(DIGEST) is not None
+        assert not store.entry_path(DIGEST).exists()
+        # A fresh process over the same cache_dir must miss too — the
+        # dirty-window invalidation has to be durable, not memory-only.
+        assert SolutionStore(cache_dir=tmp_path).get(DIGEST) is None
+
+    def test_evict_unlinks_disk_even_with_cold_memory(self, tmp_path):
+        SolutionStore(cache_dir=tmp_path).put(DIGEST, sample_entry())
+        cold = SolutionStore(cache_dir=tmp_path)  # never loaded the entry
+        assert cold.evict(DIGEST)  # held on disk only
+        assert SolutionStore(cache_dir=tmp_path).get(DIGEST) is None
 
     def test_entry_path_requires_disk_layer(self):
         with pytest.raises(ValueError):
@@ -358,6 +371,51 @@ class TestInvalidateWindow:
         assert len(cache.store) == before - len(dirty)
         # The remembered run map was consumed: a second pass finds nothing.
         assert cache.invalidate_window(prepared.tile_index(), tile_rects[target]) == ()
+
+    def test_cold_process_misses_invalidated_tiles(
+        self, small_generated_layout, prepared, tmp_path
+    ):
+        """The ECO contract across processes: after ``invalidate_window``
+        the evicted digests must miss even for a *fresh interpreter* with
+        a cold memory layer — the disk entries are gone, not just the
+        in-memory ones."""
+        cache = SolutionCache(cache_dir=tmp_path)
+        result = PILFillEngine(
+            small_generated_layout, "metal3", make_cfg(solution_cache=cache),
+            prepared=prepared,
+        ).run()
+        tile_rects = {t.key: t.rect for t in prepared.dissection.tiles()}
+        target = sorted(result.tile_solutions)[0]
+        digests = dict(cache._run_digests)
+
+        dirty = cache.invalidate_window(prepared.tile_index(), tile_rects[target])
+        assert dirty
+        dirty_digests = [digests[key] for key in dirty]
+        survivors = [d for key, d in digests.items() if key not in dirty]
+
+        code = textwrap.dedent(
+            """
+            import json, sys
+            from repro.pilfill import SolutionStore
+            cache_dir, dirty, survivors = json.loads(sys.argv[1])
+            store = SolutionStore(cache_dir=cache_dir)
+            print(json.dumps({
+                "stale_hits": sum(store.get(d) is not None for d in dirty),
+                "survivor_hits": sum(store.get(d) is not None for d in survivors),
+            }))
+            """
+        )
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", code,
+             json.dumps([str(tmp_path), dirty_digests, survivors])],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        outcome = json.loads(proc.stdout)
+        assert outcome["stale_hits"] == 0
+        assert outcome["survivor_hits"] == len(survivors)
 
     def test_disjoint_window_dirties_nothing(self, small_generated_layout, prepared):
         cache = SolutionCache()

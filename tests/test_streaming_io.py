@@ -178,6 +178,32 @@ class TestStreamedEngineRuns:
         assert results["process"] == results["serial"]
 
 
+def _banded_def(stack, ys, die_hi=100000):
+    """A DEF-lite text with one horizontal net per entry of ``ys``.
+
+    Each net ``n<i>`` is a 400-wide wire centered at ``ys[i]``, so its
+    lowest geometry (``net_ylo``) is ``ys[i] - 200`` — tests pick the
+    center to land ``net_ylo`` exactly where they want it.
+    """
+    lines = [
+        "VERSION 1.0 ;",
+        "DESIGN banded ;",
+        f"UNITS DISTANCE MICRONS {stack.dbu_per_micron} ;",
+        f"DIEAREA ( 0 0 ) ( {die_hi} {die_hi} ) ;",
+        f"NETS {len(ys)} ;",
+    ]
+    for i, y in enumerate(ys):
+        lines += [
+            f"- n{i}",
+            f"  + PIN drv ( 1000 {y} ) LAYER metal3 DRIVER RES 100",
+            f"  + PIN s0 ( 9000 {y} ) LAYER metal3 CAP 5",
+            f"  + ROUTED metal3 ( 1000 {y} ) ( 9000 {y} ) WIDTH 400",
+            ";",
+        ]
+    lines += ["END NETS", "FILLS 0 ;", "END FILLS", "END DESIGN"]
+    return "\n".join(lines) + "\n"
+
+
 class TestWindowStreaming:
     BAND = 32000
 
@@ -204,6 +230,57 @@ class TestWindowStreaming:
         reference = parse_def(t1_text, stack)
         assert sorted(names) == sorted(reference.nets)
         assert len(names) == len(reference.nets)
+
+    def test_late_net_in_yielded_band_raises(self, stack):
+        """A net landing in a band that was already yielded cannot be
+        silently dropped into a window the consumer has seen: the stream
+        must fail loud. (The old behavior flipped ``sorted_input`` and
+        kept going — the already-emitted windows were wrong.)"""
+        # n0 -> band 0; n1 -> band 2, which yields band 0 eagerly;
+        # n2 -> band 0 again, below the yield watermark.
+        text = _banded_def(stack, [1000, 70000, 2000])
+        stream = DefWindowStream(io.StringIO(text), stack, self.BAND)
+        windows = stream.windows()
+        first = next(windows)
+        assert first.index == 0
+        with pytest.raises(FillError, match="already yielded"):
+            list(windows)
+
+    def test_out_of_order_above_watermark_buffers_exactly_once(self, stack):
+        """Out-of-order input that never dips below the watermark is
+        still legal: eager yielding stops, bands buffer, and EOF flushes
+        each window exactly once in index order."""
+        # n0 -> band 0; n1 -> band 2 (yields band 0); n2 -> band 1:
+        # out of order but above the watermark.
+        text = _banded_def(stack, [1000, 70000, 40000])
+        stream = DefWindowStream(io.StringIO(text), stack, self.BAND)
+        windows = list(stream.windows())
+        assert not stream.sorted_input
+        assert [w.index for w in windows] == [0, 1, 2]
+        assert [net.name for w in windows for net in w.nets] == ["n0", "n2", "n1"]
+        for window in windows:
+            for net in window.nets:
+                assert window.y_lo <= net_ylo(net) < window.y_hi
+
+    def test_band_boundary_is_half_open(self, stack):
+        """The off-by-one pin: a net whose lowest geometry sits exactly
+        on a band cut line belongs to the *upper* band (bands are
+        half-open ``[y_lo, y_hi)``), while one DBU below stays in the
+        lower band."""
+        # Wires are 400 wide: centers BAND+199 / BAND+200 put net_ylo at
+        # BAND-1 and exactly BAND.
+        text = _banded_def(stack, [self.BAND + 199, self.BAND + 200])
+        stream = DefWindowStream(io.StringIO(text), stack, self.BAND)
+        windows = list(stream.windows())
+        assert stream.sorted_input
+        assert [(w.index, [n.name for n in w.nets]) for w in windows] == [
+            (0, ["n0"]),
+            (1, ["n1"]),
+        ]
+        below, on_cut = windows[0].nets[0], windows[1].nets[0]
+        assert net_ylo(below) == self.BAND - 1
+        assert net_ylo(on_cut) == self.BAND
+        assert windows[0].y_hi == self.BAND == windows[1].y_lo
 
 
 # ---------------------------------------------------------------------------
